@@ -1,0 +1,73 @@
+//! Ablation of the PPA-awareness ingredients (DESIGN.md's design-choice
+//! study; complements Table 5).
+//!
+//! Toggles each of the three extra signals the clustering uses — logical
+//! hierarchy, timing-path criticality, switching activity — and reports
+//! post-route PPA with the OpenROAD-like flow.
+
+use cp_bench::{flow_options, fmt_norm, fmt_power, fmt_tns, fmt_wns, print_table, scale, small_profiles, Bench};
+use cp_core::flow::{run_default_flow, run_flow, Tool};
+use cp_core::ClusteringOptions;
+
+fn main() {
+    println!("# Ablation — PPA-awareness ingredients (scale {})", scale());
+    let base = flow_options().tool(Tool::OpenRoadLike);
+    let variants: Vec<(&str, Box<dyn Fn(ClusteringOptions) -> ClusteringOptions>)> = vec![
+        ("full", Box::new(|c| c)),
+        (
+            "no hierarchy",
+            Box::new(|c| ClusteringOptions {
+                use_hierarchy: false,
+                ..c
+            }),
+        ),
+        (
+            "no timing",
+            Box::new(|c| ClusteringOptions {
+                use_timing: false,
+                ..c
+            }),
+        ),
+        (
+            "no switching",
+            Box::new(|c| ClusteringOptions {
+                use_switching: false,
+                ..c
+            }),
+        ),
+        (
+            "connectivity only",
+            Box::new(|c| ClusteringOptions {
+                use_hierarchy: false,
+                use_timing: false,
+                use_switching: false,
+                ..c
+            }),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for p in small_profiles() {
+        let b = Bench::generate(p);
+        let default = run_default_flow(&b.netlist, &b.constraints, &base);
+        for (name, f) in &variants {
+            let mut opts = base.clone();
+            opts.clustering = f(base.clustering);
+            let r = run_flow(&b.netlist, &b.constraints, &opts);
+            rows.push(vec![
+                b.name().to_string(),
+                name.to_string(),
+                fmt_norm(r.hpwl, default.hpwl),
+                fmt_norm(r.ppa.rwl, default.ppa.rwl),
+                fmt_wns(r.ppa.wns),
+                fmt_tns(r.ppa.tns),
+                fmt_power(r.ppa.power),
+            ]);
+        }
+        eprintln!("{} done", b.name());
+    }
+    print_table(
+        "Post-route PPA by ablated signal (normalized to the default flat flow)",
+        &["Design", "Variant", "HPWL", "rWL", "WNS (ps)", "TNS (ns)", "Power (W)"],
+        &rows,
+    );
+}

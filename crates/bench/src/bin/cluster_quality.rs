@@ -1,0 +1,47 @@
+//! Classic clustering metrics vs PPA (supports the paper's Section 2
+//! argument that cutsize/modularity do not predict PPA).
+//!
+//! Prints cutsize, K−1, modularity, balance and the Rent score for
+//! Leiden, MFC and our PPA-aware clustering — compare against Table 5's
+//! post-route PPA ordering.
+
+use cp_bench::{flow_options, print_table, scale, small_profiles, Bench};
+use cp_core::baselines::{leiden_assignment, mfc_assignment};
+use cp_core::cluster::ppa_aware_clustering;
+use cp_core::cluster::quality::clustering_quality;
+
+fn main() {
+    println!("# Clustering quality metrics (scale {})", scale());
+    let opts = flow_options();
+    let mut rows = Vec::new();
+    for p in small_profiles() {
+        let b = Bench::generate(p);
+        let hg = b.netlist.to_hypergraph();
+        let (leiden, _) = leiden_assignment(&b.netlist, opts.clustering.seed);
+        let (mfc, _) = mfc_assignment(&b.netlist, &opts.clustering);
+        let ours = ppa_aware_clustering(&b.netlist, &b.constraints, &opts.clustering);
+        for (name, labels) in [
+            ("Leiden", &leiden),
+            ("MFC", &mfc),
+            ("Ours", &ours.assignment),
+        ] {
+            let q = clustering_quality(&hg, labels);
+            rows.push(vec![
+                b.name().to_string(),
+                name.to_string(),
+                format!("{}", q.cluster_count),
+                format!("{}", q.cutsize),
+                format!("{}", q.k_minus_one),
+                format!("{:.3}", q.modularity),
+                format!("{:.2}", q.balance),
+                format!("{:.3}", q.rent),
+            ]);
+        }
+        eprintln!("{} done", b.name());
+    }
+    print_table(
+        "Classic criteria per clustering method (lower cut/K−1/Rent and higher modularity are \"better\" classically — compare with Table 5's PPA)",
+        &["Design", "Method", "#Clusters", "Cutsize", "K−1", "Modularity", "Balance", "Rent"],
+        &rows,
+    );
+}

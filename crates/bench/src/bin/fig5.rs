@@ -1,0 +1,55 @@
+//! Figure 5: hyperparameter validation.
+//!
+//! Sweeps multipliers 1–6 on each of α, β, γ and µ (holding the others at
+//! their defaults), runs the OpenROAD-like flow on aes/jpeg/ariane, and
+//! reports the post-place HPWL normalized to the default hyperparameters —
+//! the paper's "score" (arithmetic mean over designs, footnote 7).
+
+use cp_bench::{flow_options, print_table, scale, small_profiles, Bench};
+use cp_core::flow::{run_flow, Tool};
+use cp_core::ClusteringOptions;
+
+fn main() {
+    println!("# Figure 5 — hyperparameter validation (scale {})", scale());
+    let base = flow_options().tool(Tool::OpenRoadLike);
+    let benches: Vec<Bench> = small_profiles().into_iter().map(Bench::generate).collect();
+
+    // HPWL at the default hyperparameters, per design.
+    let baseline: Vec<f64> = benches
+        .iter()
+        .map(|b| run_flow(&b.netlist, &b.constraints, &base).hpwl)
+        .collect();
+
+    let mut rows = Vec::new();
+    for param in ["alpha", "beta", "gamma", "mu"] {
+        for mult in 1..=6u32 {
+            let m = mult as f64;
+            let c = base.clustering;
+            let clustering = match param {
+                "alpha" => ClusteringOptions { alpha: c.alpha * m, ..c },
+                "beta" => ClusteringOptions { beta: c.beta * m, ..c },
+                "gamma" => ClusteringOptions { gamma: c.gamma * m, ..c },
+                _ => ClusteringOptions { mu: c.mu * m, ..c },
+            };
+            let mut opts = base.clone();
+            opts.clustering = clustering;
+            let mut score = 0.0;
+            for (b, &base_hpwl) in benches.iter().zip(&baseline) {
+                let r = run_flow(&b.netlist, &b.constraints, &opts);
+                score += r.hpwl / base_hpwl;
+            }
+            score /= benches.len() as f64;
+            rows.push(vec![
+                param.to_string(),
+                format!("{mult}"),
+                format!("{score:.4}"),
+            ]);
+            eprintln!("{param} x{mult}: score {score:.4}");
+        }
+    }
+    print_table(
+        "Normalized post-place HPWL vs hyperparameter multiplier (1.0 = default setting)",
+        &["Parameter", "Multiplier", "Score (avg normalized HPWL)"],
+        &rows,
+    );
+}

@@ -1,0 +1,139 @@
+//! Section 4.4: V-P&R model evaluation.
+//!
+//! Generates the labeled dataset by perturbing clustering hyperparameters
+//! (the paper's procedure), splits by cluster into train/validation/test,
+//! trains the Total-Cost GNN and reports MAE and R² per split — the
+//! paper's numbers are MAE 0.105/0.113/0.131 and R² 0.788/0.753/0.638.
+//! Also measures the exact-V-P&R vs ML-inference wall-clock ratio (the
+//! paper reports ~30× acceleration).
+//!
+//! Dataset size scales with `CP_GNN_CONFIGS` (default 6 perturbations).
+
+use cp_bench::{flow_options, print_table, scale, Bench};
+use cp_core::vpr::ml::{cluster_features, generate_dataset, DatasetConfig, MlShapeSelector};
+use cp_core::vpr::{best_shape, extract_subnetlist};
+use cp_core::ClusteringOptions;
+use cp_gnn::train::TrainOptions;
+use cp_gnn::GraphSample;
+use cp_netlist::generator::DesignProfile;
+use cp_netlist::CellId;
+use std::time::Instant;
+
+fn main() {
+    println!("# Section 4.4 — GNN model evaluation (scale {})", scale());
+    let configs: usize = std::env::var("CP_GNN_CONFIGS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let base = flow_options();
+    let mut data: Vec<(GraphSample, f64)> = Vec::new();
+    for p in [DesignProfile::Aes, DesignProfile::Jpeg] {
+        let b = Bench::generate(p);
+        let d = generate_dataset(
+            &b.netlist,
+            &b.constraints,
+            &DatasetConfig {
+                configs,
+                min_cells: base.vpr_min_instances / 2,
+                max_clusters_per_config: 8,
+                base: ClusteringOptions {
+                    seed: 7 + p.table1_insts() as u64,
+                    ..base.clustering
+                },
+                vpr: base.vpr,
+                seed: 31,
+            },
+        );
+        eprintln!("{}: {} samples", b.name(), d.len());
+        data.extend(d);
+    }
+    // Split by cluster (20 consecutive samples share a cluster) to avoid
+    // leakage: 70% train / 17% validation / 13% test.
+    let clusters = data.len() / 20;
+    let train_c = (clusters as f64 * 0.70) as usize;
+    let val_c = (clusters as f64 * 0.17) as usize;
+    let train_set = &data[..train_c * 20];
+    let val_set = &data[train_c * 20..(train_c + val_c) * 20];
+    let test_set = &data[(train_c + val_c) * 20..];
+    eprintln!(
+        "dataset: {} train / {} val / {} test samples",
+        train_set.len(),
+        val_set.len(),
+        test_set.len()
+    );
+
+    let labels: Vec<f64> = data.iter().map(|(_, l)| *l).collect();
+    let mean = labels.iter().sum::<f64>() / labels.len() as f64;
+    let std = (labels.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>()
+        / labels.len() as f64)
+        .sqrt();
+    let (lo, hi) = labels
+        .iter()
+        .fold((f64::MAX, f64::MIN), |acc, &l| (acc.0.min(l), acc.1.max(l)));
+    println!(
+        "\nLabel range [{lo:.3}, {hi:.3}], mean {mean:.3}, std {std:.3} (paper: [0.564, 2.96], mean 1.703, std 0.727)"
+    );
+
+    let epochs: usize = std::env::var("CP_GNN_EPOCHS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let (selector, stats) = MlShapeSelector::train(
+        train_set,
+        &TrainOptions {
+            epochs,
+            ..Default::default()
+        },
+        13,
+    );
+    let (val_mae, val_r2) = selector.evaluate(val_set);
+    let (test_mae, test_r2) = selector.evaluate(test_set);
+    print_table(
+        "Model accuracy (paper: MAE 0.105/0.113/0.131, R2 0.788/0.753/0.638)",
+        &["Split", "MAE", "R2"],
+        &[
+            vec!["train".into(), format!("{:.3}", stats.train_mae), format!("{:.3}", stats.train_r2)],
+            vec!["validation".into(), format!("{val_mae:.3}"), format!("{val_r2:.3}")],
+            vec!["test".into(), format!("{test_mae:.3}"), format!("{test_r2:.3}")],
+        ],
+    );
+
+    // Acceleration: exact 20-shape V-P&R vs ML inference on one cluster.
+    let b = Bench::generate(DesignProfile::Ariane);
+    let clustering =
+        cp_core::cluster::ppa_aware_clustering(&b.netlist, &b.constraints, &base.clustering);
+    let members = cp_core::flow::cluster_members(&clustering.assignment, clustering.cluster_count);
+    let cluster: Vec<CellId> = members
+        .into_iter()
+        .filter(|m| m.len() >= base.vpr_min_instances)
+        .max_by_key(|m| m.len())
+        .expect("a shapeable cluster exists");
+    let sub = extract_subnetlist(&b.netlist, &cluster);
+    let t0 = Instant::now();
+    let (exact_shape, _) = best_shape(&sub, &base.vpr);
+    let exact_time = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let feats = cluster_features(&sub);
+    let ml_shape = {
+        let cands = cp_netlist::ClusterShape::candidates();
+        let samples: Vec<GraphSample> = cands.iter().map(|&s| feats.with_shape(s)).collect();
+        let pred = selector.predict_costs(&samples);
+        let i = pred
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("candidates");
+        cands[i]
+    };
+    let ml_time = t1.elapsed().as_secs_f64();
+    println!(
+        "\nAcceleration on a {}-cell cluster: exact V-P&R {exact_time:.3}s vs ML {ml_time:.3}s = {:.1}x (paper: ~30x)",
+        sub.cell_count(),
+        exact_time / ml_time.max(1e-9),
+    );
+    println!(
+        "exact shape: AR {:.2} util {:.2}; ML shape: AR {:.2} util {:.2}",
+        exact_shape.aspect_ratio, exact_shape.utilization, ml_shape.aspect_ratio, ml_shape.utilization
+    );
+}

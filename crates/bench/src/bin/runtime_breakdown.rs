@@ -1,0 +1,78 @@
+//! Per-stage runtime breakdown of Algorithm 1 (the paper publishes this
+//! in its repository for Table 2's designs).
+
+use cp_bench::{all_profiles, flow_options, print_table, scale, Bench};
+use cp_core::cluster::dendrogram::cluster_by_hierarchy;
+use cp_core::cluster::ppa_aware_clustering;
+use cp_core::flow::Tool;
+use cp_netlist::clustered::ClusteredNetlist;
+use cp_netlist::Floorplan;
+use cp_place::{GlobalPlacer, PlacementProblem};
+use cp_timing::activity::propagate_activity;
+use cp_timing::sta::Sta;
+use cp_timing::wire::WireModel;
+use std::time::Instant;
+
+fn secs<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    println!("# Runtime breakdown of our approach (scale {})", scale());
+    let opts = flow_options().tool(Tool::OpenRoadLike);
+    let mut rows = Vec::new();
+    for p in all_profiles() {
+        let b = Bench::generate(p);
+        let (_, t_dendro) = secs(|| cluster_by_hierarchy(&b.netlist));
+        let (_, t_sta) = secs(|| {
+            let sta = Sta::new(&b.netlist, &b.constraints);
+            let r = sta.run(&WireModel::Estimate);
+            sta.extract_paths(&r, opts.clustering.path_count).len()
+        });
+        let (_, t_act) = secs(|| propagate_activity(&b.netlist, &b.constraints).iterations);
+        let (clustering, t_cluster_total) =
+            secs(|| ppa_aware_clustering(&b.netlist, &b.constraints, &opts.clustering));
+        let fp = Floorplan::for_netlist(&b.netlist, opts.utilization, opts.aspect_ratio);
+        let (clustered, t_collapse) =
+            secs(|| ClusteredNetlist::from_assignment(&b.netlist, &clustering.assignment));
+        let (cluster_pl, t_cluster_place) = secs(|| {
+            GlobalPlacer::new(opts.placer).place(&PlacementProblem::from_clustered(&clustered, &fp))
+        });
+        let seeds: Vec<(f64, f64)> = clustered
+            .cluster_of_cell()
+            .iter()
+            .map(|&c| cluster_pl.positions[c as usize])
+            .collect();
+        let (_, t_incremental) = secs(|| {
+            let problem = PlacementProblem::from_netlist(&b.netlist, &fp).with_seeds(seeds.clone());
+            GlobalPlacer::new(opts.placer).place(&problem).hpwl
+        });
+        rows.push(vec![
+            b.name().to_string(),
+            format!("{:.2}", t_dendro),
+            format!("{:.2}", t_sta),
+            format!("{:.2}", t_act),
+            format!("{:.2}", t_cluster_total),
+            format!("{:.2}", t_collapse),
+            format!("{:.2}", t_cluster_place),
+            format!("{:.2}", t_incremental),
+        ]);
+        eprintln!("{} done", b.name());
+    }
+    print_table(
+        "Seconds per stage (FC column includes the dendrogram/STA/activity re-runs inside it)",
+        &[
+            "Design",
+            "Dendrogram",
+            "STA+paths",
+            "Activity",
+            "Clustering total",
+            "Collapse",
+            "Cluster place",
+            "Incremental place",
+        ],
+        &rows,
+    );
+}

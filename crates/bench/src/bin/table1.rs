@@ -1,0 +1,35 @@
+//! Table 1: specifications of benchmarks.
+//!
+//! Prints the paper's reported statistics next to the generated (scaled)
+//! designs. Run with `CP_SCALE=1.0` to generate at the paper's sizes.
+
+use cp_bench::{all_profiles, print_table, scale, Bench};
+
+fn main() {
+    let s = scale();
+    println!("# Table 1 — benchmark specifications (scale {s})");
+    let mut rows = Vec::new();
+    for p in all_profiles() {
+        let b = Bench::generate(p);
+        let stats = b.netlist.stats();
+        rows.push(vec![
+            b.name().to_string(),
+            format!("{}", p.table1_insts()),
+            format!("{}", p.table1_nets()),
+            format!("{}", stats.cells),
+            format!("{}", stats.nets),
+            format!("{}", stats.flops),
+            format!("{}", stats.hier_depth),
+            format!("{:.2}", stats.avg_fanout),
+            format!("{:.2}", b.constraints.clock_period / 1000.0),
+        ]);
+    }
+    print_table(
+        "Benchmark statistics (paper vs generated)",
+        &[
+            "Design", "#Insts (paper)", "#Nets (paper)", "#Insts (gen)", "#Nets (gen)",
+            "#FFs", "HierDepth", "AvgFanout", "TCP_OR (ns)",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,60 @@
+//! Table 2: post-place HPWL and CPU with the OpenROAD-like flow.
+//!
+//! Compares blob placement [9] (Louvain + IO-weight-×4 seeded placement)
+//! and our PPA-aware clustered flow against the default flat flow. HPWL
+//! and CPU (clustering + seeded placement) are normalized to the default
+//! flow, exactly as the paper reports them. The paper lists "NA" for blob
+//! placement on MegaBoom and MemPool Group (its clustering runtime
+//! explodes); we honor that.
+
+use cp_bench::{all_profiles, flow_options, fmt_norm, print_table, scale, Bench};
+use cp_core::baselines::run_blob_flow;
+use cp_core::flow::{run_default_flow, run_flow, Tool};
+use cp_netlist::generator::DesignProfile;
+
+fn main() {
+    println!("# Table 2 — post-place HPWL / CPU (scale {})", scale());
+    let opts = flow_options().tool(Tool::OpenRoadLike);
+    let mut rows = Vec::new();
+    for p in all_profiles() {
+        let b = Bench::generate(p);
+        let default = run_default_flow(&b.netlist, &b.constraints, &opts);
+        let ours = run_flow(&b.netlist, &b.constraints, &opts);
+        let ours_cpu = ours.clustering_runtime + ours.placement_runtime;
+        let (blob_hpwl, blob_cpu) = if matches!(
+            p,
+            DesignProfile::MegaBoom | DesignProfile::MemPoolGroup
+        ) {
+            ("NA".to_string(), "NA".to_string())
+        } else {
+            let blob = run_blob_flow(&b.netlist, &b.constraints, &opts);
+            (
+                fmt_norm(blob.hpwl, default.hpwl),
+                fmt_norm(
+                    blob.clustering_runtime + blob.placement_runtime,
+                    default.placement_runtime,
+                ),
+            )
+        };
+        rows.push(vec![
+            b.name().to_string(),
+            blob_hpwl,
+            blob_cpu,
+            fmt_norm(ours.hpwl, default.hpwl),
+            fmt_norm(ours_cpu, default.placement_runtime),
+            format!("{}", ours.cluster_count),
+        ]);
+        eprintln!(
+            "{}: default {:.1}s, ours {:.1}s ({} clusters)",
+            b.name(),
+            default.placement_runtime,
+            ours_cpu,
+            ours.cluster_count
+        );
+    }
+    print_table(
+        "Post-place results, normalized to the default flow",
+        &["Design", "[9] HPWL", "[9] CPU", "Ours HPWL", "Ours CPU", "#Clusters"],
+        &rows,
+    );
+}

@@ -1,0 +1,42 @@
+//! Table 3: post-route PPA with the OpenROAD-like flow.
+//!
+//! Default (flat) vs ours (PPA-aware clustering + V-P&R shaping) on the
+//! four designs OpenROAD can route. rWL is normalized to the default flow;
+//! WNS is in ps, TNS in ns, power in W — matching the paper's table.
+
+use cp_bench::{flow_options, fmt_norm, fmt_power, fmt_tns, fmt_wns, print_table, scale, Bench};
+use cp_core::flow::{run_default_flow, run_flow, ShapeMode, Tool};
+use cp_netlist::generator::DesignProfile;
+
+fn main() {
+    println!("# Table 3 — post-route PPA, OpenROAD-like (scale {})", scale());
+    let opts = flow_options()
+        .tool(Tool::OpenRoadLike)
+        .shape_mode(ShapeMode::Vpr);
+    let mut rows = Vec::new();
+    for p in [
+        DesignProfile::Aes,
+        DesignProfile::Jpeg,
+        DesignProfile::Ariane,
+        DesignProfile::BlackParrot,
+    ] {
+        let b = Bench::generate(p);
+        let default = run_default_flow(&b.netlist, &b.constraints, &opts);
+        let ours = run_flow(&b.netlist, &b.constraints, &opts);
+        for (flow, r) in [("Default", &default), ("Ours", &ours)] {
+            rows.push(vec![
+                b.name().to_string(),
+                flow.to_string(),
+                fmt_norm(r.ppa.rwl, default.ppa.rwl),
+                fmt_wns(r.ppa.wns),
+                fmt_tns(r.ppa.tns),
+                fmt_power(r.ppa.power),
+            ]);
+        }
+    }
+    print_table(
+        "Post-route PPA (rWL normalized to Default)",
+        &["Design", "Flow", "rWL", "WNS (ps)", "TNS (ns)", "Power (W)"],
+        &rows,
+    );
+}

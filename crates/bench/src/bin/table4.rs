@@ -1,0 +1,36 @@
+//! Table 4: post-route PPA with the Innovus-like flow.
+//!
+//! Default (flat) vs ours (PPA-aware clustering + V-P&R shapes + region
+//! constraints during incremental placement) on all six designs.
+
+use cp_bench::{all_profiles, flow_options, fmt_norm, fmt_power, fmt_tns, fmt_wns, print_table, scale, Bench};
+use cp_core::flow::{run_default_flow, run_flow, ShapeMode, Tool};
+
+fn main() {
+    println!("# Table 4 — post-route PPA, Innovus-like (scale {})", scale());
+    let opts = flow_options()
+        .tool(Tool::InnovusLike)
+        .shape_mode(ShapeMode::Vpr);
+    let mut rows = Vec::new();
+    for p in all_profiles() {
+        let b = Bench::generate(p);
+        let default = run_default_flow(&b.netlist, &b.constraints, &opts);
+        let ours = run_flow(&b.netlist, &b.constraints, &opts);
+        for (flow, r) in [("Default", &default), ("Ours", &ours)] {
+            rows.push(vec![
+                b.name().to_string(),
+                flow.to_string(),
+                fmt_norm(r.ppa.rwl, default.ppa.rwl),
+                fmt_wns(r.ppa.wns),
+                fmt_tns(r.ppa.tns),
+                fmt_power(r.ppa.power),
+            ]);
+        }
+        eprintln!("{} done", b.name());
+    }
+    print_table(
+        "Post-route PPA (rWL normalized to Default)",
+        &["Design", "Flow", "rWL", "WNS (ps)", "TNS (ns)", "Power (W)"],
+        &rows,
+    );
+}

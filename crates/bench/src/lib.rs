@@ -1,0 +1,11 @@
+//! Shared harness for the table/figure reproduction binaries and benches.
+//!
+//! Every experiment binary (`table1` … `table6`, `fig5`, `gnn_eval`) pulls
+//! its designs and flow settings from here so results are consistent and
+//! reproducible. The global design scale comes from the `CP_SCALE`
+//! environment variable (default 1/32 of the paper's instance counts) —
+//! crank it up on a bigger machine to approach the paper's sizes.
+
+pub mod support;
+
+pub use support::*;

@@ -1,0 +1,249 @@
+//! PPA-aware netlist clustering (Section 3.1 of the paper).
+
+pub mod costs;
+pub mod quality;
+pub mod dendrogram;
+pub mod fc;
+pub mod rent;
+
+use crate::cluster::costs::{build_edge_costs, EdgeCosts};
+use crate::cluster::dendrogram::cluster_by_hierarchy_with_min;
+use crate::cluster::fc::{multilevel_fc, FcOptions};
+use cp_netlist::netlist::Netlist;
+use cp_netlist::Constraints;
+use cp_timing::activity::propagate_activity;
+use cp_timing::sta::Sta;
+use cp_timing::wire::WireModel;
+use std::time::Instant;
+
+/// Options for the full PPA-aware clustering stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusteringOptions {
+    /// Connectivity scale α (Eq. 3).
+    pub alpha: f64,
+    /// Timing scale β.
+    pub beta: f64,
+    /// Switching scale γ.
+    pub gamma: f64,
+    /// Switching-cost exponent µ (Eq. 2, default 2).
+    pub mu: f64,
+    /// Number of critical paths |P| to extract (paper: 100 000).
+    pub path_count: usize,
+    /// Average cells per final cluster (sets the FC target count).
+    pub avg_cluster_size: usize,
+    /// Size cap as a multiple of the average cluster size.
+    pub max_cluster_factor: f64,
+    /// Use hierarchy grouping constraints (ablation toggle).
+    pub use_hierarchy: bool,
+    /// Use timing costs (ablation toggle).
+    pub use_timing: bool,
+    /// Use switching costs (ablation toggle).
+    pub use_switching: bool,
+    /// RNG seed for the coarsening visit order.
+    pub seed: u64,
+}
+
+impl Default for ClusteringOptions {
+    fn default() -> Self {
+        Self {
+            alpha: 1.0,
+            beta: 1.0,
+            gamma: 1.0,
+            mu: 2.0,
+            path_count: 100_000,
+            avg_cluster_size: 250,
+            max_cluster_factor: 4.0,
+            use_hierarchy: true,
+            use_timing: true,
+            use_switching: true,
+            seed: 11,
+        }
+    }
+}
+
+impl ClusteringOptions {
+    /// The FC target cluster count for a design of `n_cells`.
+    pub fn target_clusters(&self, n_cells: usize) -> usize {
+        (n_cells / self.avg_cluster_size.max(1)).max(8)
+    }
+
+    /// The FC size cap for a design of `n_cells`.
+    pub fn max_cluster_size(&self) -> usize {
+        ((self.avg_cluster_size as f64) * self.max_cluster_factor) as usize
+    }
+}
+
+/// The result of the clustering stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteringResult {
+    /// Dense cluster id per cell.
+    pub assignment: Vec<u32>,
+    /// Number of clusters.
+    pub cluster_count: usize,
+    /// The dendrogram level the grouping constraints came from (if used).
+    pub dendrogram_level: Option<u32>,
+    /// `R_avg` of the grouping constraints (if used).
+    pub dendrogram_rent: Option<f64>,
+    /// Wall-clock seconds spent clustering (incl. STA/activity extraction).
+    pub runtime: f64,
+}
+
+/// Runs the full PPA-aware clustering pipeline (Algorithm 1, lines 2–10):
+/// logical-hierarchy dendrogram clustering → grouping constraints, STA
+/// path/net slacks → `t_e`, vectorless activity → `s_e`, then enhanced
+/// multilevel FC.
+pub fn ppa_aware_clustering(
+    netlist: &Netlist,
+    constraints: &Constraints,
+    options: &ClusteringOptions,
+) -> ClusteringResult {
+    let start = Instant::now();
+    let (hg, net_to_edge) = netlist.to_hypergraph_with_map();
+    let n_cells = netlist.cell_count();
+
+    // Lines 2-3: hierarchy-based grouping constraints. Levels coarser than
+    // the coarsening target are skipped (they cannot guide it), and a
+    // degenerate hierarchy (everything in one module) falls back to
+    // unconstrained coarsening, as Algorithm 1 does when no logical
+    // hierarchy is present.
+    let target = options.target_clusters(n_cells);
+    let dendro = options
+        .use_hierarchy
+        .then(|| cluster_by_hierarchy_with_min(netlist, &hg, target))
+        .filter(|d| d.cluster_count >= 2 && 2 * d.cluster_count >= target);
+
+    // Lines 4-5: timing paths and switching activity.
+    let mut costs = if options.use_timing || options.use_switching {
+        let act = propagate_activity(netlist, constraints);
+        let paths = if options.use_timing {
+            let sta = Sta::new(netlist, constraints);
+            let report = sta.run(&WireModel::Estimate);
+            sta.extract_paths(&report, options.path_count)
+        } else {
+            Vec::new()
+        };
+        build_edge_costs(
+            netlist,
+            &net_to_edge,
+            hg.edge_count(),
+            &paths,
+            constraints.clock_period,
+            &act,
+            options.mu,
+        )
+    } else {
+        EdgeCosts::uniform(hg.edge_count())
+    };
+    if !options.use_switching {
+        costs.switching = vec![1.0; hg.edge_count()];
+    }
+
+    // Line 9: enhanced multilevel FC.
+    let fc_opts = FcOptions {
+        alpha: options.alpha,
+        beta: if options.use_timing { options.beta } else { 0.0 },
+        gamma: if options.use_switching {
+            options.gamma
+        } else {
+            0.0
+        },
+        target_clusters: options.target_clusters(n_cells),
+        max_cluster_size: options.max_cluster_size(),
+        seed: options.seed,
+        max_passes: 24,
+    };
+    let groups = dendro.as_ref().map(|d| d.assignment.as_slice());
+    let mut assignment = multilevel_fc(&hg, n_cells, &costs, groups, &fc_opts);
+    let cluster_count = cp_graph::community::compact_labels(&mut assignment);
+    ClusteringResult {
+        assignment,
+        cluster_count,
+        dendrogram_level: dendro.as_ref().map(|d| d.level),
+        dendrogram_rent: dendro.as_ref().map(|d| d.rent),
+        runtime: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+
+    fn setup() -> (Netlist, Constraints) {
+        GeneratorConfig::from_profile(DesignProfile::Aes)
+            .scale(0.02)
+            .seed(4)
+            .generate_with_constraints()
+    }
+
+    #[test]
+    fn produces_reasonable_cluster_counts() {
+        let (n, c) = setup();
+        let opts = ClusteringOptions {
+            avg_cluster_size: 40,
+            ..Default::default()
+        };
+        let r = ppa_aware_clustering(&n, &c, &opts);
+        assert_eq!(r.assignment.len(), n.cell_count());
+        let target = opts.target_clusters(n.cell_count());
+        assert!(
+            r.cluster_count >= target / 2 && r.cluster_count <= n.cell_count() / 4,
+            "clusters {} target {target}",
+            r.cluster_count
+        );
+        assert!(r.dendrogram_level.is_some());
+    }
+
+    #[test]
+    fn ablations_change_the_result() {
+        let (n, c) = setup();
+        let base = ClusteringOptions {
+            avg_cluster_size: 40,
+            ..Default::default()
+        };
+        let ours = ppa_aware_clustering(&n, &c, &base);
+        let no_hier = ppa_aware_clustering(
+            &n,
+            &c,
+            &ClusteringOptions {
+                use_hierarchy: false,
+                ..base
+            },
+        );
+        assert_ne!(ours.assignment, no_hier.assignment);
+        assert!(no_hier.dendrogram_level.is_none());
+    }
+
+    #[test]
+    fn clustering_is_deterministic() {
+        let (n, c) = setup();
+        let opts = ClusteringOptions {
+            avg_cluster_size: 40,
+            ..Default::default()
+        };
+        let a = ppa_aware_clustering(&n, &c, &opts);
+        let b = ppa_aware_clustering(&n, &c, &opts);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn cluster_sizes_respect_cap() {
+        let (n, c) = setup();
+        let opts = ClusteringOptions {
+            avg_cluster_size: 30,
+            max_cluster_factor: 2.0,
+            ..Default::default()
+        };
+        let r = ppa_aware_clustering(&n, &c, &opts);
+        let mut sizes = vec![0usize; r.cluster_count];
+        for &a in &r.assignment {
+            sizes[a as usize] += 1;
+        }
+        let cap = opts.max_cluster_size();
+        assert!(
+            sizes.iter().all(|&s| s <= cap),
+            "max size {} cap {cap}",
+            sizes.iter().max().unwrap()
+        );
+    }
+}

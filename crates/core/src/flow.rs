@@ -1,0 +1,633 @@
+//! The clustered-placement flow (Algorithm 1 of the paper).
+//!
+//! `run_flow` executes the full pipeline: PPA-aware clustering →
+//! (ML-accelerated) V-P&R cluster shaping → cluster seed placement →
+//! flat seeded placement (OpenROAD-like with IO-net weight ×4, or
+//! Innovus-like with region constraints) → legalization → CTS → global
+//! routing → post-route STA and power. `run_default_flow` is the flat
+//! baseline every table normalizes against.
+
+use crate::cluster::costs::build_edge_costs;
+use crate::cluster::{ppa_aware_clustering, ClusteringOptions};
+use crate::vpr::ml::MlShapeSelector;
+use crate::vpr::{best_shape, extract_subnetlist, VprOptions};
+use cp_netlist::clustered::ClusteredNetlist;
+use cp_netlist::floorplan::Rect;
+use cp_netlist::netlist::Netlist;
+use cp_netlist::{CellId, ClusterShape, Constraints, Floorplan};
+use cp_place::cts::{synthesize_clock_tree, CtsOptions};
+use cp_place::hpwl::raw_hpwl;
+use cp_place::detailed::{refine, DetailedOptions};
+use cp_place::{legalize, GlobalPlacer, PlacementProblem, PlacerOptions};
+use cp_route::{route_placed_netlist, RouterOptions};
+use cp_timing::activity::propagate_activity;
+use cp_timing::power::power_report;
+use cp_timing::sta::Sta;
+use cp_timing::wire::WireModel;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Instant;
+
+/// Which tool's seeded-placement recipe to follow (Algorithm 1, lines
+/// 15–25).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tool {
+    /// IO-net weights ×4, no region constraints (lines 22–25).
+    OpenRoadLike,
+    /// Region constraints around shaped clusters during incremental
+    /// placement (lines 16–20).
+    InnovusLike,
+}
+
+/// How cluster shapes are chosen (Table 6's ablation axis).
+#[derive(Debug, Clone)]
+pub enum ShapeMode {
+    /// Every cluster at utilization 0.9, aspect ratio 1.0.
+    Uniform,
+    /// Random candidate per cluster (seeded).
+    Random(u64),
+    /// Exact V-P&R sweep (20 place-and-route runs per cluster).
+    Vpr,
+    /// GNN-predicted Total Cost (the ML-accelerated path).
+    VprMl(Box<MlShapeSelector>),
+}
+
+/// Flow configuration.
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    /// Seeded-placement recipe.
+    pub tool: Tool,
+    /// Clustering stage options.
+    pub clustering: ClusteringOptions,
+    /// Cluster shape selection.
+    pub shape_mode: ShapeMode,
+    /// Shape only clusters with more than this many instances (paper: 200).
+    pub vpr_min_instances: usize,
+    /// V-P&R settings (used by `ShapeMode::Vpr`).
+    pub vpr: VprOptions,
+    /// Global placer settings.
+    pub placer: PlacerOptions,
+    /// Global router settings.
+    pub router: RouterOptions,
+    /// CTS settings.
+    pub cts: CtsOptions,
+    /// Floorplan core utilization.
+    pub utilization: f64,
+    /// Floorplan aspect ratio.
+    pub aspect_ratio: f64,
+    /// IO-net weight factor in the OpenROAD-like mode (paper: 4).
+    pub io_weight: f64,
+    /// Preplaced macro blockages `(count, core-area fraction)` — the
+    /// `.def` macro preplacements of the paper's larger testcases.
+    pub macro_blockages: (usize, f64),
+    /// Timing-driven placement: scale flat-placement net weights by the
+    /// nets' timing criticality (`w = 1 + 2·t_e`). Applied to both the
+    /// default and the clustered flow so comparisons stay fair.
+    pub timing_driven: bool,
+    /// Congestion-driven refinement: after placement, inflate cells in
+    /// overflowed GCells and re-place incrementally (RePlAce-style
+    /// routability pass). Applied to both flows.
+    pub congestion_driven: bool,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        Self {
+            tool: Tool::OpenRoadLike,
+            clustering: ClusteringOptions::default(),
+            shape_mode: ShapeMode::Uniform,
+            vpr_min_instances: 200,
+            vpr: VprOptions::default(),
+            placer: PlacerOptions::default(),
+            router: RouterOptions::default(),
+            cts: CtsOptions::default(),
+            utilization: 0.6,
+            aspect_ratio: 1.0,
+            io_weight: 4.0,
+            macro_blockages: (0, 0.0),
+            timing_driven: false,
+            congestion_driven: false,
+        }
+    }
+}
+
+impl FlowOptions {
+    /// Reduced-effort settings for tests and small designs.
+    pub fn fast() -> Self {
+        Self {
+            clustering: ClusteringOptions {
+                avg_cluster_size: 60,
+                path_count: 2000,
+                ..Default::default()
+            },
+            vpr_min_instances: 50,
+            placer: PlacerOptions {
+                max_iterations: 12,
+                incremental_iterations: 5,
+                cg_iterations: 30,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Sets the tool (builder style).
+    pub fn tool(mut self, tool: Tool) -> Self {
+        self.tool = tool;
+        self
+    }
+
+    /// Sets the shape mode (builder style).
+    pub fn shape_mode(mut self, mode: ShapeMode) -> Self {
+        self.shape_mode = mode;
+        self
+    }
+}
+
+/// Post-route PPA metrics (the columns of Tables 3–6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PpaReport {
+    /// Routed wirelength, µm.
+    pub rwl: f64,
+    /// Worst negative slack, ps (positive = met).
+    pub wns: f64,
+    /// Total negative slack, ps.
+    pub tns: f64,
+    /// Total power, W.
+    pub power: f64,
+    /// Clock skew from CTS, ps.
+    pub skew: f64,
+    /// Worst hold slack, ps (positive = met).
+    pub hold_wns: f64,
+}
+
+/// The flow outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowReport {
+    /// Post-placement (legalized) HPWL, µm.
+    pub hpwl: f64,
+    /// Clusters formed (0 for the flat flow).
+    pub cluster_count: usize,
+    /// Seconds in clustering (incl. STA/activity extraction).
+    pub clustering_runtime: f64,
+    /// Seconds in placement (cluster placement + seeded flat placement,
+    /// or the flat placement for the default flow).
+    pub placement_runtime: f64,
+    /// Post-route PPA.
+    pub ppa: PpaReport,
+}
+
+/// Runs the default (flat, no clustering) flow — the baseline of every
+/// table.
+pub fn run_default_flow(
+    netlist: &Netlist,
+    constraints: &Constraints,
+    options: &FlowOptions,
+) -> FlowReport {
+    let fp = Floorplan::for_netlist(netlist, options.utilization, options.aspect_ratio)
+        .with_macro_blockages(options.macro_blockages.0, options.macro_blockages.1);
+    let mut problem = PlacementProblem::from_netlist(netlist, &fp);
+    if options.timing_driven {
+        problem.net_weights = timing_net_weights(netlist, constraints);
+    }
+    let t0 = Instant::now();
+    let mut result = GlobalPlacer::new(options.placer).place(&problem);
+    if options.congestion_driven {
+        result.positions =
+            congestion_driven_refine(netlist, &fp, &problem, result.positions, options);
+    }
+    legalize(&problem, &fp, &mut result.positions);
+    refine(&problem, &fp, &mut result.positions, &DetailedOptions::default());
+    let placement_runtime = t0.elapsed().as_secs_f64();
+    let hpwl = raw_hpwl(&problem, &result.positions);
+    let ppa = evaluate_ppa(netlist, constraints, &result.positions, &fp, options);
+    FlowReport {
+        hpwl,
+        cluster_count: 0,
+        clustering_runtime: 0.0,
+        placement_runtime,
+        ppa,
+    }
+}
+
+/// Runs the full clustered flow (Algorithm 1).
+pub fn run_flow(
+    netlist: &Netlist,
+    constraints: &Constraints,
+    options: &FlowOptions,
+) -> FlowReport {
+    let clustering = ppa_aware_clustering(netlist, constraints, &options.clustering);
+    run_flow_with_assignment(
+        netlist,
+        constraints,
+        &clustering.assignment,
+        clustering.runtime,
+        options,
+    )
+}
+
+/// Runs the seeded-placement flow for an externally supplied cluster
+/// assignment (used by the baselines of Tables 2 and 5).
+pub fn run_flow_with_assignment(
+    netlist: &Netlist,
+    constraints: &Constraints,
+    assignment: &[u32],
+    clustering_runtime: f64,
+    options: &FlowOptions,
+) -> FlowReport {
+    let fp = Floorplan::for_netlist(netlist, options.utilization, options.aspect_ratio)
+        .with_macro_blockages(options.macro_blockages.0, options.macro_blockages.1);
+    let t0 = Instant::now();
+
+    // Line 10: clustered netlist; lines 12-13: cluster shapes.
+    let mut clustered = ClusteredNetlist::from_assignment(netlist, assignment);
+    let shapeable = clustered.shapeable_clusters(options.vpr_min_instances);
+    let mut shaped: Vec<u32> = Vec::new();
+    match &options.shape_mode {
+        ShapeMode::Uniform => {}
+        ShapeMode::Random(seed) => {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let cands = ClusterShape::candidates();
+            for &c in &shapeable {
+                clustered.set_shape(c, cands[rng.random_range(0..cands.len())]);
+                shaped.push(c);
+            }
+        }
+        ShapeMode::Vpr => {
+            for &c in &shapeable {
+                let sub = extract_subnetlist(netlist, clustered.cells(c));
+                let (shape, _) = best_shape(&sub, &options.vpr);
+                clustered.set_shape(c, shape);
+                shaped.push(c);
+            }
+        }
+        ShapeMode::VprMl(selector) => {
+            for &c in &shapeable {
+                let sub = extract_subnetlist(netlist, clustered.cells(c));
+                clustered.set_shape(c, selector.select_shape(&sub));
+                shaped.push(c);
+            }
+        }
+    }
+
+    // Lines 15-25: seeded placement.
+    if options.tool == Tool::OpenRoadLike {
+        clustered.scale_io_net_weights(options.io_weight);
+    }
+    let cluster_problem = PlacementProblem::from_clustered(&clustered, &fp);
+    let cluster_placement = GlobalPlacer::new(options.placer).place(&cluster_problem);
+
+    // Instances at their cluster centers, with a deterministic in-cluster
+    // jitter so the B2B linearization is non-degenerate.
+    let mut seeds = vec![(0.0, 0.0); netlist.cell_count()];
+    for (i, &c) in clustered.cluster_of_cell().iter().enumerate() {
+        let center = cluster_placement.positions[c as usize];
+        let (w, h) = clustered.dims(c);
+        let golden = (i as f64 * 0.618_033_988_749_895).fract() - 0.5;
+        let golden2 = (i as f64 * 0.381_966_011_250_105).fract() - 0.5;
+        seeds[i] = fp.core.clamp(center.0 + golden * w, center.1 + golden2 * h);
+    }
+
+    let mut flat_problem =
+        PlacementProblem::from_netlist(netlist, &fp).with_seeds(seeds);
+    if options.timing_driven {
+        flat_problem.net_weights = timing_net_weights(netlist, constraints);
+    }
+    if options.tool == Tool::InnovusLike {
+        // Line 18: region constraints for shaped clusters.
+        for &c in &shaped {
+            let (w, h) = clustered.dims(c);
+            let (cx, cy) = cluster_placement.positions[c as usize];
+            // Regions get 25% slack over the macro footprint so clusters
+            // whose seed placements overlap slightly still have room.
+            let (hw, hh) = (w * 0.625, h * 0.625);
+            let region = Rect {
+                llx: (cx - hw).max(fp.core.llx),
+                lly: (cy - hh).max(fp.core.lly),
+                urx: (cx + hw).min(fp.core.urx),
+                ury: (cy + hh).min(fp.core.ury),
+            };
+            for &cell in clustered.cells(c) {
+                flat_problem.set_region(cell.index(), region);
+            }
+        }
+    }
+    let mut result = GlobalPlacer::new(options.placer).place(&flat_problem);
+    // Line 20: remove region constraints before legalization/routing.
+    let free_problem = PlacementProblem::from_netlist(netlist, &fp);
+    if options.congestion_driven {
+        result.positions =
+            congestion_driven_refine(netlist, &fp, &free_problem, result.positions, options);
+    }
+    legalize(&free_problem, &fp, &mut result.positions);
+    refine(&free_problem, &fp, &mut result.positions, &DetailedOptions::default());
+    let placement_runtime = t0.elapsed().as_secs_f64();
+    let hpwl = raw_hpwl(&free_problem, &result.positions);
+    let ppa = evaluate_ppa(netlist, constraints, &result.positions, &fp, options);
+    FlowReport {
+        hpwl,
+        cluster_count: clustered.cluster_count(),
+        clustering_runtime,
+        placement_runtime,
+        ppa,
+    }
+}
+
+/// Timing-criticality net weights for the flat hypergraph
+/// (`w_e = 1 + 2·t_e`, `t_e` from the top critical paths).
+pub fn timing_net_weights(netlist: &Netlist, constraints: &Constraints) -> Vec<f64> {
+    let (hg, map) = netlist.to_hypergraph_with_map();
+    let sta = Sta::new(netlist, constraints);
+    let report = sta.run(&cp_timing::wire::WireModel::Estimate);
+    let paths = sta.extract_paths(&report, 20_000);
+    let act = propagate_activity(netlist, constraints);
+    let costs = build_edge_costs(
+        netlist,
+        &map,
+        hg.edge_count(),
+        &paths,
+        constraints.clock_period,
+        &act,
+        2.0,
+    );
+    costs.timing.iter().map(|&t| 1.0 + 2.0 * t).collect()
+}
+
+/// One congestion-driven refinement pass (RePlAce-style routability
+/// iteration): route the current placement, inflate the footprint of
+/// cells sitting in overflowed GCells (up to 2×), and re-place
+/// incrementally from the current positions so spreading relieves the
+/// hotspots.
+pub fn congestion_driven_refine(
+    netlist: &Netlist,
+    fp: &Floorplan,
+    problem: &PlacementProblem,
+    positions: Vec<(f64, f64)>,
+    options: &FlowOptions,
+) -> Vec<(f64, f64)> {
+    let mut all = positions.clone();
+    all.extend_from_slice(&fp.port_positions);
+    let routed = route_placed_netlist(netlist, &all, fp, &options.router);
+    let cong = routed.congestion.gcell_congestion();
+    let (nx, gsize) = (routed.congestion.nx(), routed.congestion.gcell_size());
+    if routed.congestion.max_utilization() <= 1.0 {
+        return positions; // nothing overflows
+    }
+    let mut inflated = problem.clone();
+    let mut touched = 0usize;
+    for (i, &(x, y)) in positions.iter().enumerate() {
+        let gi = (((x - fp.die.llx) / gsize) as usize).min(nx - 1);
+        let gj = (((y - fp.die.lly) / gsize) as usize).min(cong.len() / nx - 1);
+        let c = cong[gj * nx + gi];
+        if c > 1.0 {
+            let f = c.min(2.0);
+            inflated.movable[i].width = problem.movable[i].width * f;
+        }
+    }
+    for (a, b) in inflated.movable.iter().zip(problem.movable.iter()) {
+        if a.width != b.width {
+            touched += 1;
+        }
+    }
+    if touched == 0 {
+        return positions;
+    }
+    let replaced = GlobalPlacer::new(PlacerOptions {
+        incremental_iterations: 4,
+        ..options.placer
+    })
+    .place(&inflated.with_seeds(positions));
+    replaced.positions
+}
+
+/// Post-placement evaluation (Algorithm 1, lines 27-30): CTS, global
+/// routing, post-route STA and power.
+pub fn evaluate_ppa(
+    netlist: &Netlist,
+    constraints: &Constraints,
+    cell_positions: &[(f64, f64)],
+    floorplan: &Floorplan,
+    options: &FlowOptions,
+) -> PpaReport {
+    let mut positions = cell_positions.to_vec();
+    positions.extend_from_slice(&floorplan.port_positions);
+    let tree = synthesize_clock_tree(netlist, &positions, &options.cts);
+    let routed = route_placed_netlist(netlist, &positions, floorplan, &options.router);
+    let detour = routed.detour_factor();
+    let wire = WireModel::Routed(&positions, detour);
+    let sta = Sta::new(netlist, constraints);
+    let timing = sta.run_with_clock(&wire, Some(&tree.arrival));
+    let activity = propagate_activity(netlist, constraints);
+    let power = power_report(netlist, constraints, &activity, &wire);
+    PpaReport {
+        rwl: routed.wirelength + tree.wirelength,
+        wns: timing.wns,
+        tns: timing.tns,
+        power: power.total(),
+        skew: tree.skew,
+        hold_wns: timing.hold_wns,
+    }
+}
+
+/// Seed-position helper exposed for examples: each cell at its cluster's
+/// placed center.
+pub fn cluster_center_seeds(
+    clustered: &ClusteredNetlist,
+    cluster_positions: &[(f64, f64)],
+) -> Vec<(f64, f64)> {
+    clustered
+        .cluster_of_cell()
+        .iter()
+        .map(|&c| cluster_positions[c as usize])
+        .collect()
+}
+
+/// Looks up the member cells of every cluster (inverse of the assignment).
+pub fn cluster_members(assignment: &[u32], cluster_count: usize) -> Vec<Vec<CellId>> {
+    let mut out = vec![Vec::new(); cluster_count];
+    for (i, &c) in assignment.iter().enumerate() {
+        out[c as usize].push(CellId(i as u32));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+
+    fn setup(scale: f64) -> (Netlist, Constraints) {
+        GeneratorConfig::from_profile(DesignProfile::Aes)
+            .scale(scale)
+            .seed(21)
+            .generate_with_constraints()
+    }
+
+    #[test]
+    fn default_flow_produces_ppa() {
+        let (n, c) = setup(0.01);
+        let r = run_default_flow(&n, &c, &FlowOptions::fast());
+        assert!(r.hpwl > 0.0);
+        assert!(r.ppa.rwl > 0.0);
+        assert!(r.ppa.power > 0.0);
+        assert!(r.ppa.tns <= 0.0);
+        assert_eq!(r.cluster_count, 0);
+    }
+
+    #[test]
+    fn clustered_flow_openroad_mode() {
+        let (n, c) = setup(0.01);
+        let r = run_flow(&n, &c, &FlowOptions::fast().tool(Tool::OpenRoadLike));
+        assert!(r.cluster_count > 1);
+        assert!(r.hpwl > 0.0);
+        assert!(r.ppa.rwl > 0.0);
+        assert!(r.clustering_runtime > 0.0);
+    }
+
+    #[test]
+    fn clustered_flow_innovus_mode_with_vpr_shapes() {
+        let (n, c) = setup(0.01);
+        let opts = FlowOptions::fast()
+            .tool(Tool::InnovusLike)
+            .shape_mode(ShapeMode::Vpr);
+        let r = run_flow(&n, &c, &opts);
+        assert!(r.cluster_count > 1);
+        assert!(r.ppa.rwl > 0.0);
+    }
+
+    #[test]
+    fn seeded_hpwl_is_comparable_to_flat() {
+        let (n, c) = setup(0.02);
+        let flat = run_default_flow(&n, &c, &FlowOptions::fast());
+        let ours = run_flow(&n, &c, &FlowOptions::fast());
+        let ratio = ours.hpwl / flat.hpwl;
+        assert!(
+            (0.7..=1.4).contains(&ratio),
+            "clustered HPWL ratio {ratio} out of band (flat {}, ours {})",
+            flat.hpwl,
+            ours.hpwl
+        );
+    }
+
+    #[test]
+    fn random_shapes_differ_from_uniform() {
+        let (n, c) = setup(0.01);
+        let uni = run_flow(&n, &c, &FlowOptions::fast());
+        let rnd = run_flow(
+            &n,
+            &c,
+            &FlowOptions::fast().shape_mode(ShapeMode::Random(3)),
+        );
+        assert_ne!(uni.hpwl, rnd.hpwl);
+    }
+
+    #[test]
+    fn flow_is_deterministic() {
+        let (n, c) = setup(0.01);
+        let a = run_flow(&n, &c, &FlowOptions::fast());
+        let b = run_flow(&n, &c, &FlowOptions::fast());
+        assert_eq!(a.hpwl, b.hpwl);
+        assert_eq!(a.ppa, b.ppa);
+    }
+}
+
+#[cfg(test)]
+mod helper_tests {
+    use super::*;
+    use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+
+    #[test]
+    fn cluster_members_inverts_assignment() {
+        let assignment = vec![1, 0, 1, 2, 0];
+        let members = cluster_members(&assignment, 3);
+        assert_eq!(members[0], vec![CellId(1), CellId(4)]);
+        assert_eq!(members[1], vec![CellId(0), CellId(2)]);
+        assert_eq!(members[2], vec![CellId(3)]);
+    }
+
+    #[test]
+    fn cluster_center_seeds_follow_positions() {
+        let n = GeneratorConfig::from_profile(DesignProfile::Aes)
+            .scale(0.005)
+            .seed(2)
+            .generate();
+        let labels: Vec<u32> = (0..n.cell_count()).map(|i| (i % 2) as u32).collect();
+        let clustered = ClusteredNetlist::from_assignment(&n, &labels);
+        let centers = vec![(1.0, 2.0), (3.0, 4.0)];
+        let seeds = cluster_center_seeds(&clustered, &centers);
+        for (i, &s) in seeds.iter().enumerate() {
+            assert_eq!(s, centers[clustered.cluster_of_cell()[i] as usize]);
+        }
+    }
+
+    #[test]
+    fn timing_driven_weights_change_the_placement() {
+        let (n, c) = GeneratorConfig::from_profile(DesignProfile::Aes)
+            .scale(0.01)
+            .seed(34)
+            .generate_with_constraints();
+        let base = FlowOptions::fast();
+        let mut td = FlowOptions::fast();
+        td.timing_driven = true;
+        let plain = run_default_flow(&n, &c, &base);
+        let driven = run_default_flow(&n, &c, &td);
+        assert_ne!(plain.hpwl, driven.hpwl);
+        // Weights are ≥ 1 and bounded by 1 + 2·max(t_e) = 3.
+        let w = timing_net_weights(&n, &c);
+        assert!(w.iter().all(|&x| (1.0..=3.0 + 1e-9).contains(&x)));
+        assert!(w.iter().any(|&x| x > 1.0));
+    }
+
+    #[test]
+    fn blockages_flow_end_to_end() {
+        let (n, c) = GeneratorConfig::from_profile(DesignProfile::Aes)
+            .scale(0.02)
+            .seed(33)
+            .generate_with_constraints();
+        let mut opts = FlowOptions::fast();
+        opts.macro_blockages = (2, 0.2);
+        let flat = run_default_flow(&n, &c, &opts);
+        let ours = run_flow(&n, &c, &opts);
+        assert!(flat.ppa.rwl > 0.0);
+        assert!(ours.ppa.rwl > 0.0);
+        assert!(ours.cluster_count > 1);
+    }
+}
+
+#[cfg(test)]
+mod congestion_tests {
+    use super::*;
+    use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+
+    #[test]
+    fn congestion_driven_flow_runs_and_stays_sane() {
+        let (n, c) = GeneratorConfig::from_profile(DesignProfile::Jpeg)
+            .scale(0.005)
+            .seed(55)
+            .generate_with_constraints();
+        let mut opts = FlowOptions::fast();
+        opts.congestion_driven = true;
+        let r = run_default_flow(&n, &c, &opts);
+        assert!(r.hpwl > 0.0);
+        assert!(r.ppa.rwl > 0.0);
+    }
+
+    #[test]
+    fn refinement_is_identity_without_overflow() {
+        // A tiny design at generous utilization never overflows.
+        let (n, _) = GeneratorConfig::from_profile(DesignProfile::Aes)
+            .scale(0.003)
+            .seed(56)
+            .generate_with_constraints();
+        let opts = FlowOptions {
+            utilization: 0.3,
+            ..FlowOptions::fast()
+        };
+        let fp = Floorplan::for_netlist(&n, opts.utilization, opts.aspect_ratio);
+        let problem = PlacementProblem::from_netlist(&n, &fp);
+        let placed = GlobalPlacer::new(opts.placer).place(&problem);
+        let before = placed.positions.clone();
+        let after = congestion_driven_refine(&n, &fp, &problem, placed.positions, &opts);
+        assert_eq!(before, after, "no overflow ⇒ no movement");
+    }
+}

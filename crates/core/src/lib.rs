@@ -1,0 +1,45 @@
+//! PPA-aware clustering, ML-accelerated virtualized P&R and the
+//! clustered-placement flow — the paper's primary contribution.
+//!
+//! The crate mirrors the paper's structure:
+//!
+//! - [`cluster::dendrogram`] — hierarchy-based clustering (Algorithm 2),
+//!   selecting the dendrogram level that minimizes the weighted-average
+//!   Rent exponent (Eq. 1, [`cluster::rent`]).
+//! - [`cluster::costs`] — timing cost `t_e` from the top-|P| critical
+//!   paths and switching cost `s_e` (Eq. 2), combined in the heavy-edge
+//!   rating (Eq. 3).
+//! - [`cluster::fc`] — enhanced multilevel First-Choice coarsening with
+//!   hierarchy grouping constraints.
+//! - [`vpr`] — the virtualized P&R framework: induce each cluster's
+//!   sub-netlist, sweep the 20 (aspect ratio, utilization) candidates
+//!   through place + global route, and score `Cost_HPWL + δ·Cost_Congestion`
+//!   (Eqs. 4–5); [`vpr::ml`] replaces the 20 P&R runs with a GNN that
+//!   predicts Total Cost from 35 node features.
+//! - [`flow`] — Algorithm 1 end to end: PPA-aware clustering →
+//!   ML-accelerated V-P&R → seeded placement (OpenROAD-like or
+//!   Innovus-like) → CTS, routing and post-route PPA.
+//! - [`baselines`] — blob placement [9] (Louvain), Leiden and plain
+//!   multilevel-FC flows for the paper's comparisons.
+//!
+//! # Examples
+//!
+//! ```
+//! use cp_core::flow::{run_default_flow, run_flow, FlowOptions, Tool};
+//! use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+//!
+//! let (netlist, constraints) = GeneratorConfig::from_profile(DesignProfile::Aes)
+//!     .scale(0.005)
+//!     .generate_with_constraints();
+//! let default = run_default_flow(&netlist, &constraints, &FlowOptions::fast());
+//! let ours = run_flow(&netlist, &constraints, &FlowOptions::fast().tool(Tool::OpenRoadLike));
+//! assert!(ours.hpwl > 0.0 && default.hpwl > 0.0);
+//! ```
+
+pub mod baselines;
+pub mod cluster;
+pub mod flow;
+pub mod vpr;
+
+pub use crate::cluster::{ClusteringOptions, ClusteringResult};
+pub use crate::flow::{run_default_flow, run_flow, FlowOptions, FlowReport, PpaReport, Tool};

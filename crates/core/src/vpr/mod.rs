@@ -1,0 +1,161 @@
+//! Virtualized P&R (Section 3.2, Figure 3).
+//!
+//! For a cluster's sub-netlist and a candidate shape, V-P&R floorplans a
+//! virtual die, runs placement and global routing, and scores the result:
+//!
+//! - `Cost_HPWL = HPWL_avg / (Width_core + Height_core)` (Eq. 4),
+//! - `Cost_Congestion` = average congestion over the top-X% GCells (Eq. 5),
+//! - `Total = Cost_HPWL + δ · Cost_Congestion` (δ = 0.01, after [13]).
+//!
+//! The candidate grid is the paper's 5 aspect ratios × 4 utilizations.
+
+pub mod ml;
+pub mod subnetlist;
+
+use cp_netlist::netlist::Netlist;
+use cp_netlist::{ClusterShape, Floorplan};
+use cp_place::{GlobalPlacer, PlacementProblem, PlacerOptions};
+use cp_route::{route_placed_netlist, RouterOptions};
+
+pub use subnetlist::extract_subnetlist;
+
+/// V-P&R tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VprOptions {
+    /// Congestion weight δ in the total cost.
+    pub delta: f64,
+    /// The X of "top X% GCells" in Eq. 5.
+    pub top_percent: f64,
+    /// Placer settings for the virtual die (reduced effort).
+    pub placer: PlacerOptions,
+    /// Router settings for the virtual die.
+    pub router: RouterOptions,
+}
+
+impl Default for VprOptions {
+    fn default() -> Self {
+        Self {
+            delta: 0.01,
+            top_percent: 10.0,
+            placer: PlacerOptions {
+                max_iterations: 10,
+                cg_iterations: 30,
+                ..Default::default()
+            },
+            router: RouterOptions::default(),
+        }
+    }
+}
+
+/// The cost of one shape candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapeCost {
+    /// The candidate.
+    pub shape: ClusterShape,
+    /// Eq. 4.
+    pub hpwl_cost: f64,
+    /// Eq. 5.
+    pub congestion_cost: f64,
+    /// `Cost_HPWL + δ · Cost_Congestion`.
+    pub total: f64,
+}
+
+/// Places and routes `sub` on a virtual die of the given shape and scores
+/// it (one arm of Figure 3).
+pub fn evaluate_shape(sub: &Netlist, shape: ClusterShape, options: &VprOptions) -> ShapeCost {
+    let fp = Floorplan::for_netlist(sub, shape.utilization, shape.aspect_ratio);
+    let problem = PlacementProblem::from_netlist(sub, &fp);
+    let placed = GlobalPlacer::new(options.placer).place(&problem);
+    let mut positions = placed.positions;
+    positions.extend_from_slice(&fp.port_positions);
+    let routed = route_placed_netlist(sub, &positions, &fp, &options.router);
+    let net_count = sub
+        .nets()
+        .iter()
+        .filter(|n| !n.is_clock && n.pin_count() >= 2)
+        .count()
+        .max(1);
+    let hpwl_avg = placed.hpwl / net_count as f64;
+    let hpwl_cost = hpwl_avg / (fp.core.width() + fp.core.height());
+    let congestion_cost = routed.congestion.top_percent_average(options.top_percent);
+    ShapeCost {
+        shape,
+        hpwl_cost,
+        congestion_cost,
+        total: hpwl_cost + options.delta * congestion_cost,
+    }
+}
+
+/// Sweeps the paper's 20 shape candidates through V-P&R; returns the best
+/// shape and every candidate's cost (ties break toward the earlier
+/// candidate, i.e. lower aspect ratio / utilization).
+pub fn best_shape(sub: &Netlist, options: &VprOptions) -> (ClusterShape, Vec<ShapeCost>) {
+    let mut costs = Vec::with_capacity(20);
+    let mut best: Option<ShapeCost> = None;
+    for shape in ClusterShape::candidates() {
+        let c = evaluate_shape(sub, shape, options);
+        if best.is_none_or(|b| c.total < b.total) {
+            best = Some(c);
+        }
+        costs.push(c);
+    }
+    (best.expect("20 candidates evaluated").shape, costs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+    use cp_netlist::CellId;
+
+    fn cluster_sub() -> Netlist {
+        let n = GeneratorConfig::from_profile(DesignProfile::Aes)
+            .scale(0.02)
+            .seed(12)
+            .generate();
+        let cells: Vec<CellId> = (0..220).map(CellId).collect();
+        extract_subnetlist(&n, &cells)
+    }
+
+    #[test]
+    fn shape_costs_are_finite_and_positive() {
+        let sub = cluster_sub();
+        let c = evaluate_shape(&sub, ClusterShape::UNIFORM, &VprOptions::default());
+        assert!(c.hpwl_cost > 0.0 && c.hpwl_cost.is_finite());
+        assert!(c.congestion_cost >= 0.0 && c.congestion_cost.is_finite());
+        assert!((c.total - (c.hpwl_cost + 0.01 * c.congestion_cost)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_evaluates_all_twenty() {
+        let sub = cluster_sub();
+        let (best, costs) = best_shape(&sub, &VprOptions::default());
+        assert_eq!(costs.len(), 20);
+        let min = costs
+            .iter()
+            .map(|c| c.total)
+            .fold(f64::INFINITY, f64::min);
+        let best_cost = costs
+            .iter()
+            .find(|c| c.shape == best)
+            .expect("best is a candidate");
+        assert!((best_cost.total - min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn costs_vary_across_shapes() {
+        let sub = cluster_sub();
+        let (_, costs) = best_shape(&sub, &VprOptions::default());
+        let min = costs.iter().map(|c| c.total).fold(f64::INFINITY, f64::min);
+        let max = costs.iter().map(|c| c.total).fold(0.0f64, f64::max);
+        assert!(max > min * 1.01, "shape choice should matter: {min} vs {max}");
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let sub = cluster_sub();
+        let a = evaluate_shape(&sub, ClusterShape::new(1.25, 0.8), &VprOptions::default());
+        let b = evaluate_shape(&sub, ClusterShape::new(1.25, 0.8), &VprOptions::default());
+        assert_eq!(a, b);
+    }
+}

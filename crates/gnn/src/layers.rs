@@ -1,0 +1,430 @@
+//! Network layers with explicit forward caches and manual backprop.
+
+use crate::optim::{AdamOptions, Param};
+use crate::sparse::SparseSym;
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Xavier-uniform initialization.
+fn xavier(rng: &mut StdRng, rows: usize, cols: usize) -> Vec<f64> {
+    let bound = (6.0 / (rows + cols) as f64).sqrt();
+    (0..rows * cols)
+        .map(|_| (rng.random::<f64>() * 2.0 - 1.0) * bound)
+        .collect()
+}
+
+/// A dense affine layer `y = x W + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    /// Input width.
+    pub in_dim: usize,
+    /// Output width.
+    pub out_dim: usize,
+    /// Weights, `in_dim × out_dim` flattened row-major.
+    pub w: Param,
+    /// Bias, length `out_dim`.
+    pub b: Param,
+}
+
+/// Forward cache for [`Linear`].
+#[derive(Debug, Clone)]
+pub struct LinearCache {
+    x: Matrix,
+}
+
+impl Linear {
+    /// A randomly initialized layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        Self {
+            in_dim,
+            out_dim,
+            w: Param::new(xavier(rng, in_dim, out_dim)),
+            b: Param::new(vec![0.0; out_dim]),
+        }
+    }
+
+    /// `y = x W + b`.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, LinearCache) {
+        let w = Matrix::from_vec(self.in_dim, self.out_dim, self.w.w.clone());
+        let mut y = x.matmul(&w);
+        for r in 0..y.rows {
+            for (c, &bc) in self.b.w.iter().enumerate() {
+                *y.get_mut(r, c) += bc;
+            }
+        }
+        (y, LinearCache { x: x.clone() })
+    }
+
+    /// Accumulates `dW`, `db`; returns `dx`.
+    pub fn backward(&mut self, cache: &LinearCache, dy: &Matrix) -> Matrix {
+        // dW = xᵀ dy
+        let dw = cache.x.matmul_tn(dy);
+        for (g, &v) in self.w.g.iter_mut().zip(dw.data()) {
+            *g += v;
+        }
+        for r in 0..dy.rows {
+            for (c, g) in self.b.g.iter_mut().enumerate() {
+                *g += dy.get(r, c);
+            }
+        }
+        // dx = dy Wᵀ
+        let w = Matrix::from_vec(self.in_dim, self.out_dim, self.w.w.clone());
+        dy.matmul_nt(&w)
+    }
+
+    /// Visits all parameters (for the optimizer).
+    pub fn params_mut(&mut self) -> impl Iterator<Item = &mut Param> {
+        [&mut self.w, &mut self.b].into_iter()
+    }
+}
+
+/// Batch normalization over rows, per feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNorm {
+    /// Feature width.
+    pub dim: usize,
+    /// Scale γ.
+    pub gamma: Param,
+    /// Shift β.
+    pub beta: Param,
+    running_mean: Vec<f64>,
+    running_var: Vec<f64>,
+    momentum: f64,
+    eps: f64,
+}
+
+/// Forward cache for [`BatchNorm`].
+#[derive(Debug, Clone)]
+pub struct BnCache {
+    xhat: Matrix,
+    inv_std: Vec<f64>,
+}
+
+impl BatchNorm {
+    /// A fresh layer (γ = 1, β = 0).
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            gamma: Param::new(vec![1.0; dim]),
+            beta: Param::new(vec![0.0; dim]),
+            running_mean: vec![0.0; dim],
+            running_var: vec![1.0; dim],
+            momentum: 0.1,
+            eps: 1e-5,
+        }
+    }
+
+    /// Training-mode forward: batch statistics, running stats updated.
+    pub fn forward_train(&mut self, x: &Matrix) -> (Matrix, BnCache) {
+        let n = x.rows.max(1) as f64;
+        let mean = x.column_means();
+        let mut var = vec![0.0; self.dim];
+        for r in 0..x.rows {
+            for (c, &v) in x.row(r).iter().enumerate() {
+                let d = v - mean[c];
+                var[c] += d * d;
+            }
+        }
+        for v in &mut var {
+            *v /= n;
+        }
+        for c in 0..self.dim {
+            self.running_mean[c] =
+                (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
+            self.running_var[c] =
+                (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
+        }
+        let inv_std: Vec<f64> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut xhat = Matrix::zeros(x.rows, x.cols);
+        let mut y = Matrix::zeros(x.rows, x.cols);
+        for r in 0..x.rows {
+            for c in 0..x.cols {
+                let h = (x.get(r, c) - mean[c]) * inv_std[c];
+                *xhat.get_mut(r, c) = h;
+                *y.get_mut(r, c) = self.gamma.w[c] * h + self.beta.w[c];
+            }
+        }
+        (y, BnCache { xhat, inv_std })
+    }
+
+    /// Inference-mode forward with running statistics.
+    pub fn forward_eval(&self, x: &Matrix) -> Matrix {
+        let mut y = Matrix::zeros(x.rows, x.cols);
+        for r in 0..x.rows {
+            for c in 0..x.cols {
+                let h = (x.get(r, c) - self.running_mean[c])
+                    / (self.running_var[c] + self.eps).sqrt();
+                *y.get_mut(r, c) = self.gamma.w[c] * h + self.beta.w[c];
+            }
+        }
+        y
+    }
+
+    /// Accumulates `dγ`, `dβ`; returns `dx`.
+    pub fn backward(&mut self, cache: &BnCache, dy: &Matrix) -> Matrix {
+        let n = dy.rows.max(1) as f64;
+        let mut sum_dy = vec![0.0; self.dim];
+        let mut sum_dy_xhat = vec![0.0; self.dim];
+        for r in 0..dy.rows {
+            for c in 0..self.dim {
+                sum_dy[c] += dy.get(r, c);
+                sum_dy_xhat[c] += dy.get(r, c) * cache.xhat.get(r, c);
+            }
+        }
+        for c in 0..self.dim {
+            self.gamma.g[c] += sum_dy_xhat[c];
+            self.beta.g[c] += sum_dy[c];
+        }
+        let mut dx = Matrix::zeros(dy.rows, dy.cols);
+        for r in 0..dy.rows {
+            for c in 0..self.dim {
+                let term = n * dy.get(r, c) - sum_dy[c] - cache.xhat.get(r, c) * sum_dy_xhat[c];
+                *dx.get_mut(r, c) = self.gamma.w[c] * cache.inv_std[c] * term / n;
+            }
+        }
+        dx
+    }
+
+    /// Visits all parameters.
+    pub fn params_mut(&mut self) -> impl Iterator<Item = &mut Param> {
+        [&mut self.gamma, &mut self.beta].into_iter()
+    }
+}
+
+/// ReLU with mask cache.
+pub fn relu_forward(x: &Matrix) -> (Matrix, Vec<bool>) {
+    let mut y = x.clone();
+    let mut mask = Vec::with_capacity(x.rows * x.cols);
+    for r in 0..y.rows {
+        for c in 0..y.cols {
+            let v = y.get(r, c);
+            mask.push(v > 0.0);
+            if v <= 0.0 {
+                *y.get_mut(r, c) = 0.0;
+            }
+        }
+    }
+    (y, mask)
+}
+
+/// ReLU backward: zeroes gradients where the input was ≤ 0.
+pub fn relu_backward(dy: &Matrix, mask: &[bool]) -> Matrix {
+    let mut dx = dy.clone();
+    let mut k = 0;
+    for r in 0..dx.rows {
+        for c in 0..dx.cols {
+            if !mask[k] {
+                *dx.get_mut(r, c) = 0.0;
+            }
+            k += 1;
+        }
+    }
+    dx
+}
+
+/// One hypergraph-convolution block: `y = ReLU(BN(Â x W)) (+ x if dims
+/// match — the paper's skip connections)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvBlock {
+    /// The affine part.
+    pub lin: Linear,
+    /// Normalization after the convolution.
+    pub bn: BatchNorm,
+    /// Whether a residual skip is applied.
+    pub skip: bool,
+}
+
+/// Forward cache for [`ConvBlock`].
+#[derive(Debug, Clone)]
+pub struct ConvCache {
+    lin: LinearCache,
+    bn: BnCache,
+    mask: Vec<bool>,
+}
+
+impl ConvBlock {
+    /// A block mapping `in_dim → out_dim`; the skip engages iff they match.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        Self {
+            lin: Linear::new(in_dim, out_dim, rng),
+            bn: BatchNorm::new(out_dim),
+            skip: in_dim == out_dim,
+        }
+    }
+
+    /// Training-mode forward.
+    pub fn forward_train(&mut self, adj: &SparseSym, x: &Matrix) -> (Matrix, ConvCache) {
+        let ax = adj.spmm(x);
+        let (z, lin_cache) = self.lin.forward(&ax);
+        let (b, bn_cache) = self.bn.forward_train(&z);
+        let (mut y, mask) = relu_forward(&b);
+        if self.skip {
+            y.add_assign(x);
+        }
+        (
+            y,
+            ConvCache {
+                lin: lin_cache,
+                bn: bn_cache,
+                mask,
+            },
+        )
+    }
+
+    /// Inference-mode forward.
+    pub fn forward_eval(&self, adj: &SparseSym, x: &Matrix) -> Matrix {
+        let ax = adj.spmm(x);
+        let (z, _) = self.lin.forward(&ax);
+        let b = self.bn.forward_eval(&z);
+        let (mut y, _) = relu_forward(&b);
+        if self.skip {
+            y.add_assign(x);
+        }
+        y
+    }
+
+    /// Backward; returns `dx`.
+    pub fn backward(&mut self, adj: &SparseSym, cache: &ConvCache, dy: &Matrix) -> Matrix {
+        let db = relu_backward(dy, &cache.mask);
+        let dz = self.bn.backward(&cache.bn, &db);
+        let dax = self.lin.backward(&cache.lin, &dz);
+        // Â is symmetric, so dX = Â · dAX.
+        let mut dx = adj.spmm(&dax);
+        if self.skip {
+            dx.add_assign(dy);
+        }
+        dx
+    }
+
+    /// Visits all parameters.
+    pub fn params_mut(&mut self) -> impl Iterator<Item = &mut Param> {
+        self.lin.params_mut().chain(self.bn.params_mut())
+    }
+}
+
+/// Convenience: seeded RNG for initialization.
+pub fn init_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Optimizer sweep over a parameter iterator.
+pub fn adam_step_all<'a>(
+    params: impl Iterator<Item = &'a mut Param>,
+    opt: &AdamOptions,
+    t: usize,
+) {
+    for p in params {
+        p.adam_step(opt, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_grad(f: &mut dyn FnMut(f64) -> f64, x: f64) -> f64 {
+        let h = 1e-5;
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn linear_gradient_check() {
+        let mut rng = init_rng(3);
+        let mut lin = Linear::new(3, 2, &mut rng);
+        let x = Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 1.5, 0.3, -0.7]);
+        // Loss = sum(y²)/2; dL/dy = y.
+        let (y, cache) = lin.forward(&x);
+        let dx = lin.backward(&cache, &y);
+        // Check dL/dW[0] numerically.
+        let w0 = lin.w.w[0];
+        let mut f = |w: f64| {
+            let mut l2 = lin.clone();
+            l2.w.w[0] = w;
+            let (y2, _) = l2.forward(&x);
+            y2.data().iter().map(|v| v * v).sum::<f64>() / 2.0
+        };
+        let num = numeric_grad(&mut f, w0);
+        assert!(
+            (lin.w.g[0] - num).abs() < 1e-6,
+            "analytic {} vs numeric {num}",
+            lin.w.g[0]
+        );
+        // Check dx numerically for one element.
+        let mut fx = |v: f64| {
+            let mut x2 = x.clone();
+            *x2.get_mut(0, 0) = v;
+            let (y2, _) = lin.forward(&x2);
+            y2.data().iter().map(|u| u * u).sum::<f64>() / 2.0
+        };
+        let numx = numeric_grad(&mut fx, x.get(0, 0));
+        assert!((dx.get(0, 0) - numx).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batchnorm_normalizes_and_backprops() {
+        let mut bn = BatchNorm::new(2);
+        let x = Matrix::from_vec(4, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]);
+        let (y, cache) = bn.forward_train(&x);
+        // Output columns are standardized.
+        let means = y.column_means();
+        assert!(means.iter().all(|m| m.abs() < 1e-9), "{means:?}");
+        // Backward of a constant gradient is ~0 (mean removal).
+        let dy = Matrix::from_fn(4, 2, |_, _| 1.0);
+        let dx = bn.backward(&cache, &dy);
+        assert!(dx.data().iter().all(|v| v.abs() < 1e-9), "{:?}", dx.data());
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm::new(1);
+        let x = Matrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]);
+        for _ in 0..200 {
+            let _ = bn.forward_train(&x);
+        }
+        let y = bn.forward_eval(&Matrix::from_vec(1, 1, vec![2.5]));
+        // 2.5 is the running mean ⇒ output ≈ β = 0.
+        assert!(y.get(0, 0).abs() < 0.05, "{}", y.get(0, 0));
+    }
+
+    #[test]
+    fn relu_masks() {
+        let x = Matrix::from_vec(1, 3, vec![-1.0, 0.0, 2.0]);
+        let (y, mask) = relu_forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+        let dy = Matrix::from_vec(1, 3, vec![1.0, 1.0, 1.0]);
+        let dx = relu_backward(&dy, &mask);
+        assert_eq!(dx.data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn conv_block_skip_engages_on_matching_dims() {
+        let mut rng = init_rng(5);
+        assert!(ConvBlock::new(8, 8, &mut rng).skip);
+        assert!(!ConvBlock::new(8, 16, &mut rng).skip);
+    }
+
+    #[test]
+    fn conv_block_gradient_check() {
+        let mut rng = init_rng(7);
+        let mut block = ConvBlock::new(2, 2, &mut rng);
+        let adj = SparseSym::normalized_from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let x = Matrix::from_vec(3, 2, vec![0.5, -0.2, 1.0, 0.8, -0.4, 0.1]);
+        // Use eval-mode-free path: train forward once and backprop sum(y²)/2.
+        let (y, cache) = block.forward_train(&adj, &x);
+        let _ = block.backward(&adj, &cache, &y);
+        let analytic = block.lin.w.g[0];
+        let base = block.clone();
+        let mut f = |w: f64| {
+            let mut b2 = base.clone();
+            b2.lin.w.w[0] = w;
+            let (y2, _) = b2.forward_train(&adj, &x);
+            y2.data().iter().map(|v| v * v).sum::<f64>() / 2.0
+        };
+        let num = numeric_grad(&mut f, base.lin.w.w[0]);
+        assert!(
+            (analytic - num).abs() < 1e-5,
+            "analytic {analytic} vs numeric {num}"
+        );
+    }
+}

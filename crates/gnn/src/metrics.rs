@@ -1,0 +1,72 @@
+//! Regression metrics: MAE and R².
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty inputs");
+    pred.iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Coefficient of determination `R² = 1 − SS_res / SS_tot`.
+///
+/// Returns 0 when the truth has no variance.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn r2_score(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty inputs");
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|&t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum();
+    if ss_tot <= 0.0 {
+        return 0.0;
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let t = [1.0, 2.0, 3.0];
+        assert_eq!(mae(&t, &t), 0.0);
+        assert_eq!(r2_score(&t, &t), 1.0);
+    }
+
+    #[test]
+    fn mean_prediction_scores_zero_r2() {
+        let truth = [1.0, 2.0, 3.0];
+        let pred = [2.0, 2.0, 2.0];
+        assert!((r2_score(&pred, &truth)).abs() < 1e-12);
+        assert!((mae(&pred, &truth) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worse_than_mean_is_negative() {
+        let truth = [1.0, 2.0, 3.0];
+        let pred = [3.0, 2.0, 1.0];
+        assert!(r2_score(&pred, &truth) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        mae(&[1.0], &[1.0, 2.0]);
+    }
+}

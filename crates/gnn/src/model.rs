@@ -1,0 +1,376 @@
+//! The Total-Cost predictor (Figure 4 of the paper).
+
+use crate::layers::{
+    adam_step_all, init_rng, relu_backward, relu_forward, BatchNorm, BnCache, ConvBlock,
+    ConvCache, Linear, LinearCache,
+};
+use crate::optim::{AdamOptions, Param};
+use crate::sample::GraphSample;
+use crate::tensor::Matrix;
+
+/// Architecture hyperparameters. Defaults match the paper: 4 branches × 3
+/// blocks, conv dims 35/64/32, head dims 32/64/1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Node feature width (35 in the paper).
+    pub in_dim: usize,
+    /// Conv hidden width (64).
+    pub hidden_dim: usize,
+    /// Embedding width (32).
+    pub out_dim: usize,
+    /// Number of convolution branches (4).
+    pub branches: usize,
+    /// Prediction-head hidden width (64).
+    pub head_hidden: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            in_dim: 35,
+            hidden_dim: 64,
+            out_dim: 32,
+            branches: 4,
+            head_hidden: 64,
+        }
+    }
+}
+
+/// One convolution branch: three blocks `in → hidden → hidden → out`
+/// (skip connections engage on the middle block where dims match).
+#[derive(Debug, Clone, PartialEq)]
+struct Branch {
+    blocks: Vec<ConvBlock>,
+}
+
+struct BranchCache {
+    caches: Vec<ConvCache>,
+}
+
+impl Branch {
+    fn new(cfg: &ModelConfig, rng: &mut rand::rngs::StdRng) -> Self {
+        Self {
+            blocks: vec![
+                ConvBlock::new(cfg.in_dim, cfg.hidden_dim, rng),
+                ConvBlock::new(cfg.hidden_dim, cfg.hidden_dim, rng),
+                ConvBlock::new(cfg.hidden_dim, cfg.out_dim, rng),
+            ],
+        }
+    }
+
+    fn forward_train(&mut self, sample: &GraphSample) -> (Matrix, BranchCache) {
+        let mut x = sample.features.clone();
+        let mut caches = Vec::with_capacity(self.blocks.len());
+        for b in &mut self.blocks {
+            let (y, c) = b.forward_train(&sample.adj, &x);
+            caches.push(c);
+            x = y;
+        }
+        (x, BranchCache { caches })
+    }
+
+    fn forward_eval(&self, sample: &GraphSample) -> Matrix {
+        let mut x = sample.features.clone();
+        for b in &self.blocks {
+            x = b.forward_eval(&sample.adj, &x);
+        }
+        x
+    }
+
+    fn backward(&mut self, sample: &GraphSample, cache: &BranchCache, dy: &Matrix) -> Matrix {
+        let mut d = dy.clone();
+        for (b, c) in self.blocks.iter_mut().zip(&cache.caches).rev() {
+            d = b.backward(&sample.adj, c, &d);
+        }
+        d
+    }
+
+    fn params_mut(&mut self) -> impl Iterator<Item = &mut Param> {
+        self.blocks.iter_mut().flat_map(|b| b.params_mut())
+    }
+}
+
+/// The prediction head: `Linear(out→hidden) → BN → ReLU → Linear(hidden→1)`.
+#[derive(Debug, Clone, PartialEq)]
+struct Head {
+    l1: Linear,
+    bn: BatchNorm,
+    l2: Linear,
+}
+
+struct HeadCache {
+    c1: LinearCache,
+    bn: BnCache,
+    mask: Vec<bool>,
+    c2: LinearCache,
+}
+
+impl Head {
+    fn new(cfg: &ModelConfig, rng: &mut rand::rngs::StdRng) -> Self {
+        Self {
+            l1: Linear::new(cfg.out_dim, cfg.head_hidden, rng),
+            bn: BatchNorm::new(cfg.head_hidden),
+            l2: Linear::new(cfg.head_hidden, 1, rng),
+        }
+    }
+
+    fn forward_train(&mut self, emb: &Matrix) -> (Matrix, HeadCache) {
+        let (z1, c1) = self.l1.forward(emb);
+        let (b, bn) = self.bn.forward_train(&z1);
+        let (h, mask) = relu_forward(&b);
+        let (y, c2) = self.l2.forward(&h);
+        (y, HeadCache { c1, bn, mask, c2 })
+    }
+
+    fn forward_eval(&self, emb: &Matrix) -> Matrix {
+        let (z1, _) = self.l1.forward(emb);
+        let b = self.bn.forward_eval(&z1);
+        let (h, _) = relu_forward(&b);
+        let (y, _) = self.l2.forward(&h);
+        y
+    }
+
+    fn backward(&mut self, cache: &HeadCache, dy: &Matrix) -> Matrix {
+        let dh = self.l2.backward(&cache.c2, dy);
+        let db = relu_backward(&dh, &cache.mask);
+        let dz1 = self.bn.backward(&cache.bn, &db);
+        self.l1.backward(&cache.c1, &dz1)
+    }
+
+    fn params_mut(&mut self) -> impl Iterator<Item = &mut Param> {
+        self.l1
+            .params_mut()
+            .chain(self.bn.params_mut())
+            .chain(self.l2.params_mut())
+    }
+}
+
+/// The full model: branches → accumulate → mean pool → head.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TotalCostModel {
+    cfg: ModelConfig,
+    branches: Vec<Branch>,
+    head: Head,
+    step: usize,
+}
+
+impl TotalCostModel {
+    /// A randomly initialized model.
+    pub fn new(cfg: &ModelConfig, seed: u64) -> Self {
+        let mut rng = init_rng(seed);
+        Self {
+            cfg: *cfg,
+            branches: (0..cfg.branches).map(|_| Branch::new(cfg, &mut rng)).collect(),
+            head: Head::new(cfg, &mut rng),
+            step: 0,
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Inference: predicted Total Cost per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample's feature width differs from `cfg.in_dim`.
+    pub fn predict(&self, samples: &[GraphSample]) -> Vec<f64> {
+        samples
+            .iter()
+            .map(|s| {
+                assert_eq!(s.features.cols, self.cfg.in_dim, "feature width mismatch");
+                let emb = self.embed_eval(s);
+                let y = self.head.forward_eval(&Matrix::from_vec(1, self.cfg.out_dim, emb));
+                y.get(0, 0)
+            })
+            .collect()
+    }
+
+    fn embed_eval(&self, s: &GraphSample) -> Vec<f64> {
+        let mut acc = Matrix::zeros(s.node_count(), self.cfg.out_dim);
+        for b in &self.branches {
+            acc.add_assign(&b.forward_eval(s));
+        }
+        acc.column_means()
+    }
+
+    /// One training step over a minibatch; returns the batch MSE.
+    ///
+    /// Graphs are batched PyG-style — block-diagonal adjacency, features
+    /// stacked — so batch normalization sees all nodes of the minibatch
+    /// (keeping training and running-stat inference consistent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is empty.
+    pub fn train_batch(
+        &mut self,
+        batch: &[(&GraphSample, f64)],
+        opt: &AdamOptions,
+    ) -> f64 {
+        assert!(!batch.is_empty(), "empty batch");
+        let bsz = batch.len();
+        // Merge the minibatch into one disjoint-union graph.
+        let parts: Vec<&crate::sparse::SparseSym> = batch.iter().map(|(s, _)| &s.adj).collect();
+        let adj = crate::sparse::SparseSym::block_diag(&parts);
+        let total_nodes: usize = batch.iter().map(|(s, _)| s.node_count()).sum();
+        let mut features = Matrix::zeros(total_nodes, self.cfg.in_dim);
+        let mut seg_start = Vec::with_capacity(bsz);
+        {
+            let mut row = 0;
+            for (s, _) in batch {
+                seg_start.push(row);
+                for r in 0..s.node_count() {
+                    features.row_mut(row).copy_from_slice(s.features.row(r));
+                    row += 1;
+                }
+            }
+            seg_start.push(row);
+        }
+        let merged = GraphSample { adj, features };
+        // Forward through all branches, accumulating node embeddings.
+        let mut branch_caches = Vec::with_capacity(self.branches.len());
+        let mut acc = Matrix::zeros(total_nodes, self.cfg.out_dim);
+        for b in &mut self.branches {
+            let (y, c) = b.forward_train(&merged);
+            acc.add_assign(&y);
+            branch_caches.push(c);
+        }
+        // Segment-wise mean pooling.
+        let mut emb = Matrix::zeros(bsz, self.cfg.out_dim);
+        for gi in 0..bsz {
+            let (s, e) = (seg_start[gi], seg_start[gi + 1]);
+            let n = (e - s).max(1) as f64;
+            for r in s..e {
+                for c in 0..self.cfg.out_dim {
+                    *emb.get_mut(gi, c) += acc.get(r, c) / n;
+                }
+            }
+        }
+        let (pred, head_cache) = self.head.forward_train(&emb);
+        // MSE loss and gradient.
+        let mut dpred = Matrix::zeros(bsz, 1);
+        let mut loss = 0.0;
+        for (gi, (_, label)) in batch.iter().enumerate() {
+            let err = pred.get(gi, 0) - label;
+            loss += err * err;
+            *dpred.get_mut(gi, 0) = 2.0 * err / bsz as f64;
+        }
+        loss /= bsz as f64;
+        // Backward.
+        self.zero_grads();
+        let demb = self.head.backward(&head_cache, &dpred);
+        let mut dnode = Matrix::zeros(total_nodes, self.cfg.out_dim);
+        for gi in 0..bsz {
+            let (s, e) = (seg_start[gi], seg_start[gi + 1]);
+            let n = (e - s).max(1) as f64;
+            for r in s..e {
+                for c in 0..self.cfg.out_dim {
+                    *dnode.get_mut(r, c) = demb.get(gi, c) / n;
+                }
+            }
+        }
+        for (b, c) in self.branches.iter_mut().zip(&branch_caches) {
+            let _ = b.backward(&merged, c, &dnode);
+        }
+        self.step += 1;
+        let step = self.step;
+        adam_step_all(self.params_mut(), opt, step);
+        loss
+    }
+
+    fn zero_grads(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    fn params_mut(&mut self) -> impl Iterator<Item = &mut Param> {
+        let head = &mut self.head;
+        self.branches
+            .iter_mut()
+            .flat_map(|b| b.params_mut())
+            .chain(head.params_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::SparseSym;
+
+    fn toy_sample(n: usize, bias: f64, cfg: &ModelConfig) -> GraphSample {
+        let edges: Vec<(u32, u32, f64)> = (1..n as u32).map(|i| (i - 1, i, 1.0)).collect();
+        GraphSample {
+            adj: SparseSym::normalized_from_edges(n, &edges),
+            features: Matrix::from_fn(n, cfg.in_dim, |r, c| {
+                bias + 0.01 * (r as f64) - 0.005 * (c as f64)
+            }),
+        }
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let cfg = ModelConfig::default();
+        let m1 = TotalCostModel::new(&cfg, 11);
+        let m2 = TotalCostModel::new(&cfg, 11);
+        let s = toy_sample(6, 0.5, &cfg);
+        assert_eq!(m1.predict(&[s.clone()]), m2.predict(&[s]));
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_separable_task() {
+        let cfg = ModelConfig {
+            in_dim: 8,
+            hidden_dim: 16,
+            out_dim: 8,
+            branches: 2,
+            head_hidden: 16,
+        };
+        let mut model = TotalCostModel::new(&cfg, 3);
+        let data: Vec<(GraphSample, f64)> = (0..16)
+            .map(|i| {
+                let bias = i as f64 / 16.0;
+                (toy_sample(5, bias, &cfg), 2.0 * bias)
+            })
+            .collect();
+        let opt = AdamOptions {
+            lr: 5e-3,
+            ..Default::default()
+        };
+        let batch: Vec<(&GraphSample, f64)> = data.iter().map(|(s, l)| (s, *l)).collect();
+        let first = model.train_batch(&batch, &opt);
+        let mut last = first;
+        for _ in 0..150 {
+            last = model.train_batch(&batch, &opt);
+        }
+        assert!(
+            last < first * 0.3,
+            "loss did not drop: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn different_graphs_get_different_predictions() {
+        let cfg = ModelConfig::default();
+        let model = TotalCostModel::new(&cfg, 5);
+        let a = toy_sample(4, 0.0, &cfg);
+        let b = toy_sample(9, 1.0, &cfg);
+        let y = model.predict(&[a, b]);
+        assert_ne!(y[0], y[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn wrong_feature_width_panics() {
+        let cfg = ModelConfig::default();
+        let model = TotalCostModel::new(&cfg, 1);
+        let bad = GraphSample {
+            adj: SparseSym::normalized_from_edges(2, &[]),
+            features: Matrix::zeros(2, 7),
+        };
+        let _ = model.predict(&[bad]);
+    }
+}

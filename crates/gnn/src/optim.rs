@@ -1,0 +1,96 @@
+//! Parameters with accumulated gradients and the Adam optimizer.
+
+/// A learnable parameter tensor (flat) with gradient and Adam state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Weights.
+    pub w: Vec<f64>,
+    /// Accumulated gradient.
+    pub g: Vec<f64>,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Param {
+    /// Wraps initial weights.
+    pub fn new(init: Vec<f64>) -> Self {
+        let n = init.len();
+        Self {
+            w: init,
+            g: vec![0.0; n],
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.g.fill(0.0);
+    }
+
+    /// One Adam update; `t` is the 1-based step count.
+    pub fn adam_step(&mut self, opt: &AdamOptions, t: usize) {
+        let b1t = 1.0 - opt.beta1.powi(t as i32);
+        let b2t = 1.0 - opt.beta2.powi(t as i32);
+        for i in 0..self.w.len() {
+            self.m[i] = opt.beta1 * self.m[i] + (1.0 - opt.beta1) * self.g[i];
+            self.v[i] = opt.beta2 * self.v[i] + (1.0 - opt.beta2) * self.g[i] * self.g[i];
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            self.w[i] -= opt.lr * mhat / (vhat.sqrt() + opt.eps);
+        }
+    }
+}
+
+/// Adam hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamOptions {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical floor.
+    pub eps: f64,
+}
+
+impl Default for AdamOptions {
+    fn default() -> Self {
+        Self {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_minimizes_a_quadratic() {
+        // f(w) = (w - 3)², gradient 2(w - 3).
+        let mut p = Param::new(vec![0.0]);
+        let opt = AdamOptions {
+            lr: 0.1,
+            ..Default::default()
+        };
+        for t in 1..=300 {
+            p.zero_grad();
+            p.g[0] = 2.0 * (p.w[0] - 3.0);
+            p.adam_step(&opt, t);
+        }
+        assert!((p.w[0] - 3.0).abs() < 0.05, "w = {}", p.w[0]);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(vec![1.0, 2.0]);
+        p.g = vec![5.0, 5.0];
+        p.zero_grad();
+        assert_eq!(p.g, vec![0.0, 0.0]);
+    }
+}

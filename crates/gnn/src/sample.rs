@@ -1,0 +1,36 @@
+//! Model inputs: one graph per cluster-shape candidate.
+
+use crate::sparse::SparseSym;
+use crate::tensor::Matrix;
+
+/// One model input: a normalized cluster graph plus per-node features
+/// (which already include the candidate shape as the two design
+/// parameters, per the paper's feature list).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSample {
+    /// Normalized propagation operator over the cluster graph.
+    pub adj: SparseSym,
+    /// `n × in_dim` node features.
+    pub features: Matrix,
+}
+
+impl GraphSample {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count() {
+        let s = GraphSample {
+            adj: SparseSym::normalized_from_edges(4, &[(0, 1, 1.0)]),
+            features: Matrix::zeros(4, 35),
+        };
+        assert_eq!(s.node_count(), 4);
+    }
+}

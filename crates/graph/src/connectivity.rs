@@ -1,0 +1,143 @@
+//! Global minimum cut / edge connectivity via the Stoer–Wagner algorithm.
+
+use crate::Graph;
+
+/// Weighted global minimum cut (Stoer–Wagner).
+///
+/// Returns the total weight of the lightest cut separating the graph into
+/// two non-empty sides. Returns `0.0` for graphs with fewer than two nodes
+/// or for disconnected graphs.
+///
+/// # Examples
+///
+/// ```
+/// use cp_graph::{Graph, connectivity};
+///
+/// // Two triangles joined by a single bridge of weight 1.
+/// let g = Graph::from_edges(6, &[
+///     (0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0),
+///     (3, 4, 1.0), (4, 5, 1.0), (3, 5, 1.0),
+///     (2, 3, 1.0),
+/// ]);
+/// assert_eq!(connectivity::min_cut(&g), 1.0);
+/// ```
+pub fn min_cut(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n < 2 {
+        return 0.0;
+    }
+    // Dense weight matrix; clusters passed to this are small (GNN features).
+    let mut w = vec![vec![0.0f64; n]; n];
+    for (u, v, weight) in g.edges() {
+        if u != v {
+            w[u as usize][v as usize] += weight;
+            w[v as usize][u as usize] += weight;
+        }
+    }
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut best = f64::INFINITY;
+    while active.len() > 1 {
+        let m = active.len();
+        let mut weights = vec![0.0f64; m];
+        let mut added = vec![false; m];
+        let mut prev = 0usize;
+        let mut last = 0usize;
+        for it in 0..m {
+            let mut sel = usize::MAX;
+            for i in 0..m {
+                if !added[i] && (sel == usize::MAX || weights[i] > weights[sel]) {
+                    sel = i;
+                }
+            }
+            added[sel] = true;
+            if it == m - 1 {
+                // Cut-of-the-phase: weight of `sel` to the rest.
+                best = best.min(weights[sel]);
+                // Merge `sel` into `prev`.
+                let (a, b) = (active[prev], active[sel]);
+                for i in 0..m {
+                    let node = active[i];
+                    w[a][node] += w[b][node];
+                    w[node][a] += w[node][b];
+                }
+                last = sel;
+            } else {
+                prev = sel;
+                for i in 0..m {
+                    if !added[i] {
+                        weights[i] += w[active[sel]][active[i]];
+                    }
+                }
+            }
+        }
+        active.remove(last);
+    }
+    if best.is_finite() {
+        best
+    } else {
+        0.0
+    }
+}
+
+/// Edge connectivity of an unweighted view of the graph: the Stoer–Wagner
+/// minimum cut with all edge weights treated as 1.
+pub fn edge_connectivity(g: &Graph) -> u32 {
+    let unit = Graph::from_edges(
+        g.node_count(),
+        &g.edges()
+            .filter(|&(u, v, _)| u != v)
+            .map(|(u, v, _)| (u, v, 1.0))
+            .collect::<Vec<_>>(),
+    );
+    min_cut(&unit).round() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_has_connectivity_two() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+        assert_eq!(edge_connectivity(&g), 2);
+    }
+
+    #[test]
+    fn path_has_connectivity_one() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        assert_eq!(edge_connectivity(&g), 1);
+    }
+
+    #[test]
+    fn complete_graph_connectivity() {
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                edges.push((u, v, 1.0));
+            }
+        }
+        let g = Graph::from_edges(5, &edges);
+        assert_eq!(edge_connectivity(&g), 4);
+    }
+
+    #[test]
+    fn disconnected_graph_cut_is_zero() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        assert_eq!(min_cut(&g), 0.0);
+    }
+
+    #[test]
+    fn weighted_cut_prefers_light_bridge() {
+        let g = Graph::from_edges(
+            4,
+            &[(0, 1, 10.0), (1, 2, 0.5), (2, 3, 10.0)],
+        );
+        assert!((min_cut(&g) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(min_cut(&Graph::new(0)), 0.0);
+        assert_eq!(min_cut(&Graph::new(1)), 0.0);
+    }
+}

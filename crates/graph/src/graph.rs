@@ -1,0 +1,204 @@
+//! Undirected weighted graph with adjacency lists.
+
+/// An undirected weighted graph over nodes `0..n`.
+///
+/// Parallel edges are merged at construction time by summing their weights;
+/// self-loops are kept (they matter for community-detection aggregation).
+///
+/// # Examples
+///
+/// ```
+/// use cp_graph::Graph;
+///
+/// let g = Graph::from_edges(3, &[(0, 1, 2.0), (1, 2, 0.5)]);
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.weighted_degree(1), 2.5);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Graph {
+    adj: Vec<Vec<(u32, f64)>>,
+    edge_count: usize,
+    total_weight: f64,
+}
+
+impl Graph {
+    /// Creates an empty graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+            total_weight: 0.0,
+        }
+    }
+
+    /// Builds a graph from an edge list `(u, v, w)`.
+    ///
+    /// Duplicate `(u, v)` pairs are merged by summing weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32, f64)]) -> Self {
+        let mut g = Self::new(n);
+        for &(u, v, w) in edges {
+            g.add_edge(u, v, w);
+        }
+        g.merge_parallel_edges();
+        g
+    }
+
+    /// Adds an undirected edge. Parallel edges accumulate until
+    /// [`Graph::merge_parallel_edges`] is called (done automatically by
+    /// [`Graph::from_edges`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: u32, v: u32, w: f64) {
+        assert!((u as usize) < self.adj.len(), "node {u} out of range");
+        assert!((v as usize) < self.adj.len(), "node {v} out of range");
+        if u == v {
+            self.adj[u as usize].push((v, w));
+        } else {
+            self.adj[u as usize].push((v, w));
+            self.adj[v as usize].push((u, w));
+        }
+        self.edge_count += 1;
+        self.total_weight += w;
+    }
+
+    /// Merges parallel edges by summing weights, and sorts adjacency lists.
+    pub fn merge_parallel_edges(&mut self) {
+        let mut edge_count = 0usize;
+        for list in &mut self.adj {
+            list.sort_by_key(|&(v, _)| v);
+            let mut merged: Vec<(u32, f64)> = Vec::with_capacity(list.len());
+            for &(v, w) in list.iter() {
+                match merged.last_mut() {
+                    Some(last) if last.0 == v => last.1 += w,
+                    _ => merged.push((v, w)),
+                }
+            }
+            *list = merged;
+        }
+        // Recount: each non-loop edge appears in two lists, loops in one.
+        let mut loops = 0usize;
+        let mut non_loops = 0usize;
+        for (u, list) in self.adj.iter().enumerate() {
+            for &(v, _) in list {
+                if v as usize == u {
+                    loops += 1;
+                } else {
+                    non_loops += 1;
+                }
+            }
+        }
+        edge_count += loops + non_loops / 2;
+        self.edge_count = edge_count;
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of distinct edges (after merging), counting self-loops once.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Sum of all edge weights (each undirected edge counted once).
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Neighbors of `u` with edge weights. A self-loop appears once.
+    pub fn neighbors(&self, u: u32) -> &[(u32, f64)] {
+        &self.adj[u as usize]
+    }
+
+    /// Unweighted degree of `u` (number of incident distinct edges;
+    /// self-loops count once).
+    pub fn degree(&self, u: u32) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Weighted degree (strength) of `u`. Self-loop weights count once.
+    pub fn weighted_degree(&self, u: u32) -> f64 {
+        self.adj[u as usize].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Returns `true` if nodes `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj[u as usize].binary_search_by_key(&v, |&(x, _)| x).is_ok()
+    }
+
+    /// Weight of the edge `(u, v)` if present.
+    pub fn edge_weight(&self, u: u32, v: u32) -> Option<f64> {
+        self.adj[u as usize]
+            .binary_search_by_key(&v, |&(x, _)| x)
+            .ok()
+            .map(|i| self.adj[u as usize][i].1)
+    }
+
+    /// Iterates over all distinct edges `(u, v, w)` with `u <= v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, list)| {
+            list.iter()
+                .filter(move |&&(v, _)| v as usize >= u)
+                .map(move |&(v, w)| (u as u32, v, w))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn from_edges_merges_parallel() {
+        let g = Graph::from_edges(2, &[(0, 1, 1.0), (0, 1, 2.0)]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(3.0));
+        assert_eq!(g.weighted_degree(0), 3.0);
+    }
+
+    #[test]
+    fn self_loop_counted_once() {
+        let g = Graph::from_edges(2, &[(0, 0, 1.5), (0, 1, 1.0)]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.weighted_degree(0), 2.5);
+        assert!(g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (u, v, _) in edges {
+            assert!(u <= v);
+        }
+    }
+
+    #[test]
+    fn total_weight_accumulates() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)]);
+        assert_eq!(g.total_weight(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_out_of_range_panics() {
+        let mut g = Graph::new(1);
+        g.add_edge(0, 1, 1.0);
+    }
+}

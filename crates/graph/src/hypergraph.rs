@@ -1,0 +1,273 @@
+//! Weighted hypergraphs and clique expansion.
+
+use crate::Graph;
+
+/// A weighted hypergraph over vertices `0..n`.
+///
+/// Hyperedges are stored as vertex lists with a scalar weight. Incidence
+/// lists (vertex → hyperedges) are built lazily on construction.
+///
+/// # Examples
+///
+/// ```
+/// use cp_graph::Hypergraph;
+///
+/// let h = Hypergraph::new(4, vec![(vec![0, 1, 2], 1.0), (vec![2, 3], 2.0)]);
+/// assert_eq!(h.vertex_count(), 4);
+/// assert_eq!(h.edge_count(), 2);
+/// assert_eq!(h.incident(2), &[0, 1]);
+/// assert_eq!(h.pin_count(), 5);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Hypergraph {
+    vertex_count: usize,
+    edges: Vec<Vec<u32>>,
+    weights: Vec<f64>,
+    incidence: Vec<Vec<u32>>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph from `(vertices, weight)` hyperedges.
+    ///
+    /// Hyperedges with fewer than one vertex are kept (degenerate but legal);
+    /// duplicate vertices within a hyperedge are deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vertex index is `>= vertex_count`.
+    pub fn new(vertex_count: usize, edges: Vec<(Vec<u32>, f64)>) -> Self {
+        let mut incidence = vec![Vec::new(); vertex_count];
+        let mut edge_lists = Vec::with_capacity(edges.len());
+        let mut weights = Vec::with_capacity(edges.len());
+        for (eid, (mut verts, w)) in edges.into_iter().enumerate() {
+            verts.sort_unstable();
+            verts.dedup();
+            for &v in &verts {
+                assert!(
+                    (v as usize) < vertex_count,
+                    "vertex {v} out of range (n = {vertex_count})"
+                );
+                incidence[v as usize].push(eid as u32);
+            }
+            edge_lists.push(verts);
+            weights.push(w);
+        }
+        Self {
+            vertex_count,
+            edges: edge_lists,
+            weights,
+            incidence,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_count
+    }
+
+    /// Number of hyperedges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total number of pins (vertex–hyperedge incidences).
+    pub fn pin_count(&self) -> usize {
+        self.edges.iter().map(|e| e.len()).sum()
+    }
+
+    /// The vertices of hyperedge `e`.
+    pub fn edge(&self, e: u32) -> &[u32] {
+        &self.edges[e as usize]
+    }
+
+    /// The weight of hyperedge `e`.
+    pub fn weight(&self, e: u32) -> f64 {
+        self.weights[e as usize]
+    }
+
+    /// Hyperedges incident to vertex `v`.
+    pub fn incident(&self, v: u32) -> &[u32] {
+        &self.incidence[v as usize]
+    }
+
+    /// Degree of vertex `v` (number of incident hyperedges).
+    pub fn degree(&self, v: u32) -> usize {
+        self.incidence[v as usize].len()
+    }
+
+    /// Average vertex degree (0 for empty hypergraphs).
+    pub fn average_degree(&self) -> f64 {
+        if self.vertex_count == 0 {
+            0.0
+        } else {
+            self.pin_count() as f64 / self.vertex_count as f64
+        }
+    }
+
+    /// Average hyperedge size (0 when there are no edges).
+    pub fn average_edge_size(&self) -> f64 {
+        if self.edges.is_empty() {
+            0.0
+        } else {
+            self.pin_count() as f64 / self.edges.len() as f64
+        }
+    }
+
+    /// Standard clique expansion: every hyperedge `e` contributes a clique
+    /// over its vertices with per-pair weight `w_e / (|e| - 1)` [16].
+    ///
+    /// Single-vertex hyperedges contribute nothing. Parallel clique edges
+    /// are merged by weight summation.
+    pub fn clique_expansion(&self) -> Graph {
+        let mut g = Graph::new(self.vertex_count);
+        for (verts, &w) in self.edges.iter().zip(&self.weights) {
+            if verts.len() < 2 {
+                continue;
+            }
+            let pair_w = w / (verts.len() as f64 - 1.0);
+            for i in 0..verts.len() {
+                for j in (i + 1)..verts.len() {
+                    g.add_edge(verts[i], verts[j], pair_w);
+                }
+            }
+        }
+        g.merge_parallel_edges();
+        g
+    }
+
+    /// Star expansion on small nets plus clique on large: cliques explode on
+    /// high-fanout nets, so nets with more than `clique_threshold` vertices
+    /// are expanded as a star around their first vertex (the driver, by
+    /// netlist convention).
+    pub fn bounded_clique_expansion(&self, clique_threshold: usize) -> Graph {
+        let mut g = Graph::new(self.vertex_count);
+        for (verts, &w) in self.edges.iter().zip(&self.weights) {
+            if verts.len() < 2 {
+                continue;
+            }
+            let pair_w = w / (verts.len() as f64 - 1.0);
+            if verts.len() <= clique_threshold {
+                for i in 0..verts.len() {
+                    for j in (i + 1)..verts.len() {
+                        g.add_edge(verts[i], verts[j], pair_w);
+                    }
+                }
+            } else {
+                let hub = verts[0];
+                for &v in &verts[1..] {
+                    g.add_edge(hub, v, pair_w);
+                }
+            }
+        }
+        g.merge_parallel_edges();
+        g
+    }
+
+    /// Restricts the hypergraph to `keep` vertices, renumbering them densely
+    /// in the order given. Hyperedges are truncated to the kept vertices;
+    /// edges left with fewer than `min_size` vertices are dropped.
+    ///
+    /// Returns the sub-hypergraph and, for each original hyperedge, the id
+    /// it maps to (or `None` if dropped).
+    pub fn induce(&self, keep: &[u32], min_size: usize) -> (Hypergraph, Vec<Option<u32>>) {
+        let mut new_id = vec![u32::MAX; self.vertex_count];
+        for (i, &v) in keep.iter().enumerate() {
+            new_id[v as usize] = i as u32;
+        }
+        let mut edges = Vec::new();
+        let mut edge_map = vec![None; self.edges.len()];
+        for (eid, (verts, &w)) in self.edges.iter().zip(&self.weights).enumerate() {
+            let kept: Vec<u32> = verts
+                .iter()
+                .filter_map(|&v| {
+                    let nv = new_id[v as usize];
+                    (nv != u32::MAX).then_some(nv)
+                })
+                .collect();
+            if kept.len() >= min_size {
+                edge_map[eid] = Some(edges.len() as u32);
+                edges.push((kept, w));
+            }
+        }
+        (Hypergraph::new(keep.len(), edges), edge_map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Hypergraph {
+        Hypergraph::new(
+            5,
+            vec![
+                (vec![0, 1, 2], 1.0),
+                (vec![2, 3], 2.0),
+                (vec![3, 4], 1.0),
+                (vec![4], 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts() {
+        let h = sample();
+        assert_eq!(h.vertex_count(), 5);
+        assert_eq!(h.edge_count(), 4);
+        assert_eq!(h.pin_count(), 8);
+        assert_eq!(h.degree(2), 2);
+        assert_eq!(h.degree(4), 2);
+        assert!((h.average_degree() - 8.0 / 5.0).abs() < 1e-12);
+        assert!((h.average_edge_size() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dedup_within_edge() {
+        let h = Hypergraph::new(2, vec![(vec![0, 0, 1], 1.0)]);
+        assert_eq!(h.edge(0), &[0, 1]);
+    }
+
+    #[test]
+    fn clique_expansion_weights() {
+        let h = sample();
+        let g = h.clique_expansion();
+        // Hyperedge {0,1,2} w=1 ⇒ pairs at 1/2 each.
+        assert!((g.edge_weight(0, 1).unwrap() - 0.5).abs() < 1e-12);
+        // Hyperedge {2,3} w=2 ⇒ pair at 2.
+        assert!((g.edge_weight(2, 3).unwrap() - 2.0).abs() < 1e-12);
+        // Singleton edge {4} contributes nothing.
+        assert_eq!(g.degree(4), 1);
+    }
+
+    #[test]
+    fn bounded_expansion_stars_large_nets() {
+        let big: Vec<u32> = (0..10).collect();
+        let h = Hypergraph::new(10, vec![(big, 1.0)]);
+        let g = h.bounded_clique_expansion(5);
+        assert_eq!(g.degree(0), 9); // hub
+        assert_eq!(g.degree(1), 1);
+        let full = h.clique_expansion();
+        assert_eq!(full.degree(1), 9);
+    }
+
+    #[test]
+    fn induce_renumbers_and_drops() {
+        let h = sample();
+        let (sub, emap) = h.induce(&[2, 3, 4], 2);
+        assert_eq!(sub.vertex_count(), 3);
+        // {0,1,2} truncated to {2}→ dropped at min_size 2.
+        assert_eq!(emap[0], None);
+        // {2,3} → {0,1}
+        assert_eq!(emap[1], Some(0));
+        assert_eq!(sub.edge(0), &[0, 1]);
+        // {3,4} → {1,2}
+        assert_eq!(sub.edge(emap[2].unwrap()), &[1, 2]);
+        assert_eq!(emap[3], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vertex_out_of_range_panics() {
+        Hypergraph::new(1, vec![(vec![0, 1], 1.0)]);
+    }
+}

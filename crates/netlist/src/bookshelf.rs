@@ -1,0 +1,159 @@
+//! Bookshelf placement-format export (.nodes / .nets / .pl / .scl).
+//!
+//! The GSRC Bookshelf suite is the lingua franca of academic placement
+//! tooling; exporting it lets the generated benchmarks and our placements
+//! be fed to external placers for cross-checking.
+
+use crate::floorplan::Floorplan;
+use crate::netlist::{Netlist, PinRef};
+
+/// The four Bookshelf files as strings (caller decides where they go).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BookshelfExport {
+    /// `.nodes` — objects and dimensions (ports are terminals).
+    pub nodes: String,
+    /// `.nets` — pin lists per net.
+    pub nets: String,
+    /// `.pl` — placement (cells movable, ports fixed).
+    pub pl: String,
+    /// `.scl` — core rows.
+    pub scl: String,
+}
+
+/// Exports a placed netlist in Bookshelf format.
+///
+/// `positions` are hypergraph-vertex positions (cells then ports); pass
+/// the concatenation used everywhere else in the toolkit.
+///
+/// # Panics
+///
+/// Panics if `positions` is shorter than `cells + ports`.
+pub fn export(
+    netlist: &Netlist,
+    floorplan: &Floorplan,
+    positions: &[(f64, f64)],
+) -> BookshelfExport {
+    let nc = netlist.cell_count();
+    let np = netlist.port_count();
+    assert!(
+        positions.len() >= nc + np,
+        "positions must cover cells and ports"
+    );
+
+    let mut nodes = String::new();
+    nodes.push_str("UCLA nodes 1.0\n");
+    nodes.push_str(&format!("NumNodes : {}\n", nc + np));
+    nodes.push_str(&format!("NumTerminals : {np}\n"));
+    for (i, c) in netlist.cells().iter().enumerate() {
+        let m = netlist.library().cell(c.ty);
+        nodes.push_str(&format!("  c{i} {:.4} {:.4}\n", m.width, m.height));
+    }
+    for (i, p) in netlist.ports().iter().enumerate() {
+        let _ = p;
+        nodes.push_str(&format!("  p{i} 1.0000 1.0000 terminal\n"));
+    }
+
+    let mut nets = String::new();
+    nets.push_str("UCLA nets 1.0\n");
+    let routable: Vec<&crate::netlist::Net> = netlist
+        .nets()
+        .iter()
+        .filter(|n| !n.is_clock && n.pin_count() >= 2)
+        .collect();
+    let total_pins: usize = routable.iter().map(|n| n.pin_count()).sum();
+    nets.push_str(&format!("NumNets : {}\n", routable.len()));
+    nets.push_str(&format!("NumPins : {total_pins}\n"));
+    for net in routable {
+        nets.push_str(&format!("NetDegree : {} {}\n", net.pin_count(), net.name));
+        for (p, dir) in net
+            .driver
+            .iter()
+            .map(|p| (p, 'O'))
+            .chain(net.sinks.iter().map(|p| (p, 'I')))
+        {
+            match *p {
+                PinRef::Cell { cell, .. } => {
+                    nets.push_str(&format!("  c{} {dir}\n", cell.0));
+                }
+                PinRef::Port(port) => {
+                    nets.push_str(&format!("  p{} {dir}\n", port.0));
+                }
+            }
+        }
+    }
+
+    let mut pl = String::new();
+    pl.push_str("UCLA pl 1.0\n");
+    for i in 0..nc {
+        let (x, y) = positions[i];
+        pl.push_str(&format!("c{i} {x:.4} {y:.4} : N\n"));
+    }
+    for i in 0..np {
+        let (x, y) = positions[nc + i];
+        pl.push_str(&format!("p{i} {x:.4} {y:.4} : N /FIXED\n"));
+    }
+
+    let mut scl = String::new();
+    scl.push_str("UCLA scl 1.0\n");
+    scl.push_str(&format!("NumRows : {}\n", floorplan.row_count()));
+    for r in 0..floorplan.row_count() {
+        scl.push_str(&format!(
+            "CoreRow Horizontal\n  Coordinate : {:.4}\n  Height : {:.4}\n  Sitewidth : {:.4}\n  SubrowOrigin : {:.4} NumSites : {}\nEnd\n",
+            floorplan.row_y(r),
+            floorplan.row_height,
+            floorplan.site_width,
+            floorplan.core.llx,
+            floorplan.sites_per_row(),
+        ));
+    }
+
+    BookshelfExport { nodes, nets, pl, scl }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{DesignProfile, GeneratorConfig};
+
+    #[test]
+    fn export_counts_are_consistent() {
+        let n = GeneratorConfig::from_profile(DesignProfile::Aes)
+            .scale(0.005)
+            .seed(12)
+            .generate();
+        let fp = Floorplan::for_netlist(&n, 0.6, 1.0);
+        let total = n.cell_count() + n.port_count();
+        let pos: Vec<(f64, f64)> = (0..total).map(|i| (i as f64, i as f64)).collect();
+        let bs = export(&n, &fp, &pos);
+        assert!(bs.nodes.contains(&format!("NumNodes : {total}")));
+        assert!(bs
+            .nodes
+            .contains(&format!("NumTerminals : {}", n.port_count())));
+        // One `.pl` line per object plus header.
+        assert_eq!(bs.pl.lines().count(), 1 + total);
+        // Net count matches the routable (non-clock, ≥2 pin) nets.
+        let routable = n
+            .nets()
+            .iter()
+            .filter(|x| !x.is_clock && x.pin_count() >= 2)
+            .count();
+        assert!(bs.nets.contains(&format!("NumNets : {routable}")));
+        assert!(bs.scl.contains(&format!("NumRows : {}", fp.row_count())));
+    }
+
+    #[test]
+    fn terminals_are_marked_fixed() {
+        let n = GeneratorConfig::from_profile(DesignProfile::Aes)
+            .scale(0.005)
+            .seed(12)
+            .generate();
+        let fp = Floorplan::for_netlist(&n, 0.6, 1.0);
+        let total = n.cell_count() + n.port_count();
+        let pos = vec![(0.0, 0.0); total];
+        let bs = export(&n, &fp, &pos);
+        assert_eq!(
+            bs.pl.matches("/FIXED").count(),
+            n.port_count()
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Typed indices into the netlist database.
+//!
+//! Newtypes keep cell/net/port indices from being confused with one another
+//! (and with plain `usize` loop counters) at zero runtime cost.
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The index as a `usize`, for container access.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(v: $name) -> Self {
+                v.0
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Index of a cell instance in a [`crate::Netlist`].
+    CellId
+);
+id_type!(
+    /// Index of a net in a [`crate::Netlist`].
+    NetId
+);
+id_type!(
+    /// Index of a top-level port in a [`crate::Netlist`].
+    PortId
+);
+id_type!(
+    /// Index of a cell type (master) in a [`crate::Library`].
+    CellTypeId
+);
+id_type!(
+    /// Index of a node in a [`crate::HierTree`] (a module instance).
+    HierNodeId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_index() {
+        let c = CellId::from(7u32);
+        assert_eq!(c.index(), 7);
+        assert_eq!(u32::from(c), 7);
+        assert_eq!(c, CellId(7));
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(NetId(1));
+        s.insert(NetId(1));
+        assert_eq!(s.len(), 1);
+        assert!(NetId(1) < NetId(2));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(PortId(3).to_string(), "PortId(3)");
+    }
+}

@@ -1,0 +1,81 @@
+//! Timing constraints — the `.sdc` equivalent.
+
+use crate::ids::PortId;
+
+/// Design constraints consumed by STA and the flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraints {
+    /// Target clock period in ps (`TCP` in Table 1).
+    pub clock_period: f64,
+    /// The clock port, if the design is sequential.
+    pub clock_port: Option<PortId>,
+    /// Input arrival time at primary inputs, ps after the clock edge.
+    pub input_delay: f64,
+    /// Required margin at primary outputs, ps before the next edge.
+    pub output_delay: f64,
+    /// Assumed switching activity at primary inputs, in toggles per cycle
+    /// (vectorless analysis seed, OpenSTA-style default).
+    pub input_activity: f64,
+    /// Assumed static probability of logic 1 at primary inputs.
+    pub input_probability: f64,
+}
+
+impl Constraints {
+    /// Constraints with a clock period and library-default IO assumptions.
+    pub fn with_period(clock_period: f64) -> Self {
+        Self {
+            clock_period,
+            clock_port: None,
+            input_delay: 0.0,
+            output_delay: 0.0,
+            input_activity: 0.2,
+            input_probability: 0.5,
+        }
+    }
+
+    /// Sets the clock port (builder style).
+    pub fn clock_port(mut self, port: PortId) -> Self {
+        self.clock_port = Some(port);
+        self
+    }
+
+    /// Clock frequency in GHz (`1000 / period_ps`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock period is not positive.
+    pub fn frequency_ghz(&self) -> f64 {
+        assert!(self.clock_period > 0.0, "clock period must be positive");
+        1000.0 / self.clock_period
+    }
+}
+
+impl Default for Constraints {
+    fn default() -> Self {
+        Self::with_period(1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency() {
+        let c = Constraints::with_period(500.0);
+        assert!((c.frequency_ghz() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder() {
+        let c = Constraints::with_period(800.0).clock_port(PortId(3));
+        assert_eq!(c.clock_port, Some(PortId(3)));
+        assert_eq!(c.clock_period, 800.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        Constraints::with_period(0.0).frequency_ghz();
+    }
+}

@@ -1,0 +1,109 @@
+//! Cluster shape models — the cluster `.lef` equivalent.
+//!
+//! A cluster shape is an (aspect ratio, utilization) pair. The paper sweeps
+//! aspect ratio over `[0.75, 1.75]` step `0.25` and utilization over
+//! `[0.75, 0.90]` step `0.05`, i.e. 20 candidates (Section 3.2); more
+//! extreme aspect ratios "generally result in poor PPA" (footnote 5).
+
+/// An (aspect ratio, utilization) pair describing a soft-macro footprint.
+///
+/// Aspect ratio is `height / width`. Utilization is the fraction of the
+/// footprint occupied by cell area.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterShape {
+    /// `height / width` of the macro.
+    pub aspect_ratio: f64,
+    /// Cell-area / footprint-area.
+    pub utilization: f64,
+}
+
+impl ClusterShape {
+    /// The paper's *Uniform* baseline: utilization 0.9, aspect ratio 1.0
+    /// (Table 6).
+    pub const UNIFORM: Self = Self {
+        aspect_ratio: 1.0,
+        utilization: 0.90,
+    };
+
+    /// Creates a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `aspect_ratio > 0` and `utilization ∈ (0, 1]`.
+    pub fn new(aspect_ratio: f64, utilization: f64) -> Self {
+        assert!(aspect_ratio > 0.0, "aspect ratio must be positive");
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization {utilization} out of (0, 1]"
+        );
+        Self {
+            aspect_ratio,
+            utilization,
+        }
+    }
+
+    /// Footprint `(width, height)` in µm for a cluster of the given total
+    /// cell area (µm²).
+    pub fn dims(&self, cell_area: f64) -> (f64, f64) {
+        let footprint = cell_area / self.utilization;
+        let width = (footprint / self.aspect_ratio).sqrt();
+        (width, footprint / width)
+    }
+
+    /// The paper's 20 shape candidates: 5 aspect ratios × 4 utilizations.
+    pub fn candidates() -> Vec<Self> {
+        let mut out = Vec::with_capacity(20);
+        for i in 0..5 {
+            let ar = 0.75 + 0.25 * i as f64;
+            for j in 0..4 {
+                let util = 0.75 + 0.05 * j as f64;
+                out.push(Self::new(ar, util));
+            }
+        }
+        out
+    }
+}
+
+impl Default for ClusterShape {
+    fn default() -> Self {
+        Self::UNIFORM
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_grid_matches_paper() {
+        let c = ClusterShape::candidates();
+        assert_eq!(c.len(), 20);
+        let min_ar = c.iter().map(|s| s.aspect_ratio).fold(f64::MAX, f64::min);
+        let max_ar = c.iter().map(|s| s.aspect_ratio).fold(f64::MIN, f64::max);
+        assert_eq!((min_ar, max_ar), (0.75, 1.75));
+        let min_u = c.iter().map(|s| s.utilization).fold(f64::MAX, f64::min);
+        let max_u = c.iter().map(|s| s.utilization).fold(f64::MIN, f64::max);
+        assert!((min_u - 0.75).abs() < 1e-12 && (max_u - 0.90).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dims_preserve_area_and_ratio() {
+        let s = ClusterShape::new(1.5, 0.8);
+        let (w, h) = s.dims(1200.0);
+        assert!((w * h - 1500.0).abs() < 1e-9);
+        assert!((h / w - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_shape() {
+        let (w, h) = ClusterShape::UNIFORM.dims(90.0);
+        assert!((w - h).abs() < 1e-12);
+        assert!((w * h - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn bad_utilization_panics() {
+        ClusterShape::new(1.0, 1.5);
+    }
+}

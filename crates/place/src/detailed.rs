@@ -1,0 +1,250 @@
+//! Detailed placement: legality-preserving HPWL refinement.
+//!
+//! Two classic moves, applied in alternating passes:
+//!
+//! 1. **Optimal-region sliding** — each cell moves to the HPWL-optimal x
+//!    inside the free span between its row neighbors (the median interval
+//!    of its incident nets' bounding boxes), snapped to sites.
+//! 2. **Adjacent swap** — neighboring cells in a row swap when that lowers
+//!    HPWL and both still fit.
+//!
+//! Both moves keep the placement legal (cells on rows, no overlaps, inside
+//! the core), so this runs after [`crate::legalize`].
+
+use crate::problem::PlacementProblem;
+use cp_netlist::floorplan::Floorplan;
+
+/// Options for [`refine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetailedOptions {
+    /// Slide+swap passes to run.
+    pub passes: usize,
+}
+
+impl Default for DetailedOptions {
+    fn default() -> Self {
+        Self { passes: 2 }
+    }
+}
+
+/// Refines a legalized placement in place; returns the HPWL improvement
+/// (non-negative).
+///
+/// Multi-row objects (macros) are left untouched.
+pub fn refine(
+    problem: &PlacementProblem,
+    floorplan: &Floorplan,
+    positions: &mut [(f64, f64)],
+    options: &DetailedOptions,
+) -> f64 {
+    let m = problem.movable_count();
+    if m == 0 {
+        return 0.0;
+    }
+    // Incidence: movable -> hyperedges.
+    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); m];
+    for e in 0..problem.hypergraph.edge_count() as u32 {
+        for &v in problem.hypergraph.edge(e) {
+            if (v as usize) < m {
+                incident[v as usize].push(e);
+            }
+        }
+    }
+    let before = crate::hpwl::raw_hpwl(problem, positions);
+    // Rows of single-row cells, each sorted by x.
+    let row_of = |y: f64| ((y - floorplan.core.lly) / floorplan.row_height).round() as i64;
+    let mut rows: std::collections::BTreeMap<i64, Vec<usize>> = std::collections::BTreeMap::new();
+    for i in 0..m {
+        if problem.movable[i].height <= floorplan.row_height * 1.5 {
+            rows.entry(row_of(positions[i].1)).or_default().push(i);
+        }
+    }
+    for cells in rows.values_mut() {
+        cells.sort_by(|&a, &b| positions[a].0.partial_cmp(&positions[b].0).expect("finite"));
+    }
+    let site = floorplan.site_width;
+    let core = floorplan.core;
+    for _ in 0..options.passes {
+        // Pass 1: optimal-region sliding.
+        for cells in rows.values() {
+            for (k, &i) in cells.iter().enumerate() {
+                let lo_bound = if k == 0 {
+                    core.llx
+                } else {
+                    let p = cells[k - 1];
+                    positions[p].0 + problem.movable[p].width
+                };
+                let hi_bound = if k + 1 == cells.len() {
+                    core.urx - problem.movable[i].width
+                } else {
+                    positions[cells[k + 1]].0 - problem.movable[i].width
+                };
+                if hi_bound < lo_bound {
+                    continue;
+                }
+                let target = optimal_x(problem, positions, &incident[i], i);
+                let snapped =
+                    core.llx + ((target.clamp(lo_bound, hi_bound) - core.llx) / site).round() * site;
+                let x = snapped.clamp(lo_bound, hi_bound);
+                positions[i].0 = x;
+            }
+        }
+        // Pass 2: adjacent swaps (row lists stay sorted by swapping their
+        // entries together with the positions).
+        for cells in rows.values_mut() {
+            for k in 0..cells.len().saturating_sub(1) {
+                let (a, b) = (cells[k], cells[k + 1]);
+                let (wa, wb) = (problem.movable[a].width, problem.movable[b].width);
+                let (xa, xb) = (positions[a].0, positions[b].0);
+                // Swapped layout: b takes a's slot, a keeps the old gap.
+                let (nxb, nxa) = (xa, xb + wb - wa);
+                if nxa + wa > core.urx + 1e-9 || nxa < nxb + wb - 1e-9 {
+                    continue;
+                }
+                let cost_before = local_hpwl(problem, positions, &incident[a], &incident[b]);
+                positions[a].0 = nxa;
+                positions[b].0 = nxb;
+                let cost_after = local_hpwl(problem, positions, &incident[a], &incident[b]);
+                if cost_after >= cost_before {
+                    positions[a].0 = xa;
+                    positions[b].0 = xb;
+                } else {
+                    cells.swap(k, k + 1);
+                }
+            }
+        }
+    }
+    let after = crate::hpwl::raw_hpwl(problem, positions);
+    (before - after).max(0.0)
+}
+
+/// The x minimizing the cell's incident-net HPWL: the median of the other
+/// pins' interval bounds.
+fn optimal_x(
+    problem: &PlacementProblem,
+    positions: &[(f64, f64)],
+    edges: &[u32],
+    cell: usize,
+) -> f64 {
+    let mut bounds = Vec::with_capacity(edges.len() * 2);
+    for &e in edges {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in problem.hypergraph.edge(e) {
+            if v as usize == cell {
+                continue;
+            }
+            let (x, _) = problem.vertex_pos(v, positions);
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if lo.is_finite() {
+            bounds.push(lo);
+            bounds.push(hi);
+        }
+    }
+    if bounds.is_empty() {
+        return positions[cell].0;
+    }
+    bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    bounds[bounds.len() / 2]
+}
+
+/// HPWL over the union of two cells' incident nets.
+fn local_hpwl(
+    problem: &PlacementProblem,
+    positions: &[(f64, f64)],
+    ea: &[u32],
+    eb: &[u32],
+) -> f64 {
+    let mut seen: Vec<u32> = ea.iter().chain(eb.iter()).copied().collect();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.iter()
+        .map(|&e| {
+            problem.net_weights[e as usize] * crate::hpwl::edge_hpwl(problem, e, positions)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{GlobalPlacer, PlacerOptions};
+    use crate::legalize::legalize;
+    use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+    use cp_netlist::Floorplan;
+
+    fn placed() -> (PlacementProblem, Floorplan, Vec<(f64, f64)>) {
+        let n = GeneratorConfig::from_profile(DesignProfile::Aes)
+            .scale(0.01)
+            .seed(44)
+            .generate();
+        let fp = Floorplan::for_netlist(&n, 0.6, 1.0);
+        let p = PlacementProblem::from_netlist(&n, &fp);
+        let mut r = GlobalPlacer::new(PlacerOptions::default()).place(&p);
+        legalize(&p, &fp, &mut r.positions);
+        (p, fp, r.positions)
+    }
+
+    #[test]
+    fn refinement_never_hurts_hpwl() {
+        let (p, fp, mut pos) = placed();
+        let before = crate::hpwl::raw_hpwl(&p, &pos);
+        let gain = refine(&p, &fp, &mut pos, &DetailedOptions::default());
+        let after = crate::hpwl::raw_hpwl(&p, &pos);
+        assert!(gain >= 0.0);
+        assert!(after <= before + 1e-6, "HPWL rose: {before} -> {after}");
+        assert!(gain > 0.0, "expected some improvement on a fresh legalization");
+    }
+
+    #[test]
+    fn refinement_preserves_legality() {
+        let (p, fp, mut pos) = placed();
+        refine(&p, &fp, &mut pos, &DetailedOptions { passes: 3 });
+        // On rows, inside core.
+        for (i, &(x, y)) in pos.iter().enumerate() {
+            let off = (y - fp.core.lly) / fp.row_height;
+            assert!((off - off.round()).abs() < 1e-6, "cell {i} off-row");
+            assert!(x >= fp.core.llx - 1e-6);
+            assert!(x + p.movable[i].width <= fp.core.urx + 1e-6);
+        }
+        // No overlap per row.
+        let mut by_row: std::collections::HashMap<i64, Vec<(f64, f64)>> =
+            std::collections::HashMap::new();
+        for (i, &(x, y)) in pos.iter().enumerate() {
+            by_row
+                .entry((y * 1000.0).round() as i64)
+                .or_default()
+                .push((x, x + p.movable[i].width));
+        }
+        for (_, mut spans) in by_row {
+            spans.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            for w in spans.windows(2) {
+                assert!(w[0].1 <= w[1].0 + 1e-6, "overlap {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_is_deterministic() {
+        let (p, fp, pos0) = placed();
+        let mut a = pos0.clone();
+        let mut b = pos0;
+        refine(&p, &fp, &mut a, &DetailedOptions::default());
+        refine(&p, &fp, &mut b, &DetailedOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_problem_is_fine() {
+        let (p, fp, _) = placed();
+        let mut empty = p.clone();
+        empty.movable.clear();
+        empty.region.clear();
+        empty.hypergraph = cp_graph::Hypergraph::new(empty.fixed.len(), vec![]);
+        empty.net_weights.clear();
+        let mut pos: Vec<(f64, f64)> = Vec::new();
+        assert_eq!(refine(&empty, &fp, &mut pos, &DetailedOptions::default()), 0.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! The global placement loop (SimPL-style lower/upper bound iteration).
+
+use crate::hpwl::raw_hpwl;
+use crate::problem::PlacementProblem;
+use crate::solver::{Anchors, Axis, B2bSystem};
+use crate::spreading::{density_overflow, spread};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Instant;
+
+/// Tuning knobs for [`GlobalPlacer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacerOptions {
+    /// Iterations for a from-scratch placement.
+    pub max_iterations: usize,
+    /// Iterations when seed positions are provided (incremental mode) —
+    /// the source of the clustered flow's runtime win.
+    pub incremental_iterations: usize,
+    /// Conjugate-gradient iterations per axis solve.
+    pub cg_iterations: usize,
+    /// Stop once density overflow drops below this.
+    pub target_overflow: f64,
+    /// Anchor pseudo-net weight ramp per iteration.
+    pub anchor_base: f64,
+    /// Constant anchor weight toward seed positions (incremental mode).
+    pub seed_anchor: f64,
+    /// RNG seed for the initial scatter.
+    pub seed: u64,
+}
+
+impl Default for PlacerOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 30,
+            incremental_iterations: 12,
+            cg_iterations: 60,
+            target_overflow: 0.08,
+            anchor_base: 0.015,
+            seed_anchor: 0.08,
+            seed: 7,
+        }
+    }
+}
+
+/// A finished placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementResult {
+    /// One position per movable object, inside the core.
+    pub positions: Vec<(f64, f64)>,
+    /// Unweighted HPWL of the result, µm.
+    pub hpwl: f64,
+    /// Lower/upper-bound iterations performed.
+    pub iterations: usize,
+    /// Final density overflow.
+    pub overflow: f64,
+    /// Wall-clock seconds spent in `place`.
+    pub runtime: f64,
+}
+
+/// The global placer. See the crate docs for the algorithm outline.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalPlacer {
+    options: PlacerOptions,
+}
+
+impl GlobalPlacer {
+    /// Creates a placer with the given options.
+    pub fn new(options: PlacerOptions) -> Self {
+        Self { options }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &PlacerOptions {
+        &self.options
+    }
+
+    /// Places the problem. Incremental mode engages automatically when the
+    /// problem carries seed positions.
+    pub fn place(&self, problem: &PlacementProblem) -> PlacementResult {
+        let start = Instant::now();
+        let m = problem.movable_count();
+        if m == 0 {
+            return PlacementResult {
+                positions: Vec::new(),
+                hpwl: 0.0,
+                iterations: 0,
+                overflow: 0.0,
+                runtime: start.elapsed().as_secs_f64(),
+            };
+        }
+        let opt = &self.options;
+        let incremental = problem.seed_positions.is_some();
+        let iters = if incremental {
+            opt.incremental_iterations
+        } else {
+            opt.max_iterations
+        };
+
+        // Initial positions: seeds, or a random scatter in the core.
+        let mut rng = StdRng::seed_from_u64(opt.seed);
+        let core = problem.core;
+        let mut pos: Vec<(f64, f64)> = match &problem.seed_positions {
+            Some(seeds) => seeds.clone(),
+            None => (0..m)
+                .map(|_| {
+                    (
+                        core.llx + rng.random::<f64>() * core.width(),
+                        core.lly + rng.random::<f64>() * core.height(),
+                    )
+                })
+                .collect(),
+        };
+        self.clamp(problem, &mut pos);
+        let seeds = problem.seed_positions.clone();
+        let mut upper = spread(problem, &pos);
+        let mut overflow = density_overflow(problem, &upper);
+        let mut done = 0;
+
+        let mut anchor_w: Vec<f64> = vec![0.0; m];
+        for it in 0..iters {
+            done = it + 1;
+            // Anchor targets: spread positions (weight ramping up), blended
+            // with the seed pull in incremental mode.
+            let ramp = opt.anchor_base * (it as f64 + 1.0);
+            for i in 0..m {
+                let mut w_sum = ramp;
+                let mut t = upper[i];
+                if let Some(s) = &seeds {
+                    let sw = opt.seed_anchor;
+                    t = (
+                        (t.0 * ramp + s[i].0 * sw) / (ramp + sw),
+                        (t.1 * ramp + s[i].1 * sw) / (ramp + sw),
+                    );
+                    w_sum += sw;
+                }
+                anchor_w[i] = w_sum;
+                upper[i] = t;
+            }
+            let tx: Vec<f64> = upper.iter().map(|p| p.0).collect();
+            let ty: Vec<f64> = upper.iter().map(|p| p.1).collect();
+            let x0: Vec<f64> = pos.iter().map(|p| p.0).collect();
+            let y0: Vec<f64> = pos.iter().map(|p| p.1).collect();
+            let sx = B2bSystem::build(
+                problem,
+                &pos,
+                Axis::X,
+                Some(Anchors {
+                    target: &tx,
+                    weight: &anchor_w,
+                }),
+            )
+            .solve(&x0, opt.cg_iterations, 1e-6);
+            let sy = B2bSystem::build(
+                problem,
+                &pos,
+                Axis::Y,
+                Some(Anchors {
+                    target: &ty,
+                    weight: &anchor_w,
+                }),
+            )
+            .solve(&y0, opt.cg_iterations, 1e-6);
+            for i in 0..m {
+                pos[i] = (sx[i], sy[i]);
+            }
+            self.clamp(problem, &mut pos);
+            upper = spread(problem, &pos);
+            overflow = density_overflow(problem, &upper);
+            if overflow <= opt.target_overflow {
+                break;
+            }
+        }
+        let hpwl = raw_hpwl(problem, &upper);
+        PlacementResult {
+            positions: upper,
+            hpwl,
+            iterations: done,
+            overflow,
+            runtime: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    fn clamp(&self, problem: &PlacementProblem, pos: &mut [(f64, f64)]) {
+        for (i, p) in pos.iter_mut().enumerate() {
+            let r = problem.region[i].unwrap_or(problem.core);
+            *p = r.clamp(p.0, p.1);
+            *p = problem.evict_from_blockages(p.0, p.1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_netlist::floorplan::Floorplan;
+    use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+    use cp_netlist::netlist::Netlist;
+
+    fn flat(scale: f64, seed: u64) -> (Netlist, Floorplan) {
+        let n = GeneratorConfig::from_profile(DesignProfile::Aes)
+            .scale(scale)
+            .seed(seed)
+            .generate();
+        let fp = Floorplan::for_netlist(&n, 0.6, 1.0);
+        (n, fp)
+    }
+
+    #[test]
+    fn placement_beats_random_scatter() {
+        let (n, fp) = flat(0.01, 1);
+        let p = PlacementProblem::from_netlist(&n, &fp);
+        let mut rng = StdRng::seed_from_u64(99);
+        let random: Vec<(f64, f64)> = (0..p.movable_count())
+            .map(|_| {
+                (
+                    fp.core.llx + rng.random::<f64>() * fp.core.width(),
+                    fp.core.lly + rng.random::<f64>() * fp.core.height(),
+                )
+            })
+            .collect();
+        let random_hpwl = raw_hpwl(&p, &random);
+        let result = GlobalPlacer::new(PlacerOptions::default()).place(&p);
+        assert!(
+            result.hpwl < random_hpwl * 0.8,
+            "placed {} vs random {random_hpwl}",
+            result.hpwl
+        );
+        for &(x, y) in &result.positions {
+            assert!(fp.core.contains(x, y));
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let (n, fp) = flat(0.005, 2);
+        let p = PlacementProblem::from_netlist(&n, &fp);
+        let a = GlobalPlacer::new(PlacerOptions::default()).place(&p);
+        let b = GlobalPlacer::new(PlacerOptions::default()).place(&p);
+        assert_eq!(a.positions, b.positions);
+        assert_eq!(a.hpwl, b.hpwl);
+    }
+
+    #[test]
+    fn incremental_mode_is_faster_and_respects_seeds() {
+        let (n, fp) = flat(0.01, 3);
+        let p = PlacementProblem::from_netlist(&n, &fp);
+        let full = GlobalPlacer::new(PlacerOptions::default()).place(&p);
+        // Seed with the full result: incremental should converge quickly to
+        // a similar-quality placement.
+        let p2 = p.clone().with_seeds(full.positions.clone());
+        let inc = GlobalPlacer::new(PlacerOptions::default()).place(&p2);
+        assert!(inc.iterations <= PlacerOptions::default().incremental_iterations);
+        assert!(
+            inc.hpwl < full.hpwl * 1.25,
+            "incremental {} vs full {}",
+            inc.hpwl,
+            full.hpwl
+        );
+    }
+
+    #[test]
+    fn overflow_is_controlled() {
+        let (n, fp) = flat(0.01, 4);
+        let p = PlacementProblem::from_netlist(&n, &fp);
+        let r = GlobalPlacer::new(PlacerOptions::default()).place(&p);
+        assert!(r.overflow < 0.4, "overflow {}", r.overflow);
+    }
+
+    #[test]
+    fn region_constraint_is_honored() {
+        let (n, fp) = flat(0.005, 5);
+        let mut p = PlacementProblem::from_netlist(&n, &fp);
+        let r = cp_netlist::floorplan::Rect::new(
+            fp.core.llx,
+            fp.core.lly,
+            fp.core.width() / 4.0,
+            fp.core.height() / 4.0,
+        );
+        for i in 0..10.min(p.movable_count()) {
+            p.set_region(i, r);
+        }
+        let res = GlobalPlacer::new(PlacerOptions::default()).place(&p);
+        for i in 0..10.min(p.movable_count()) {
+            let (x, y) = res.positions[i];
+            assert!(r.contains(x, y), "cell {i} at ({x}, {y}) escaped region");
+        }
+    }
+
+    #[test]
+    fn empty_problem_is_ok() {
+        let (n, fp) = flat(0.005, 6);
+        let mut p = PlacementProblem::from_netlist(&n, &fp);
+        p.movable.clear();
+        p.region.clear();
+        // Rebuild a consistent empty hypergraph.
+        p.hypergraph = cp_graph::Hypergraph::new(p.fixed.len(), vec![]);
+        p.net_weights.clear();
+        let r = GlobalPlacer::new(PlacerOptions::default()).place(&p);
+        assert_eq!(r.positions.len(), 0);
+        assert_eq!(r.hpwl, 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Half-perimeter wirelength over a placement problem.
+
+use crate::problem::PlacementProblem;
+
+/// Weighted HPWL of all hyperedges under the given movable positions.
+///
+/// # Examples
+///
+/// ```
+/// use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+/// use cp_netlist::Floorplan;
+/// use cp_place::{hpwl::weighted_hpwl, PlacementProblem};
+///
+/// let netlist = GeneratorConfig::from_profile(DesignProfile::Aes)
+///     .scale(0.01)
+///     .generate();
+/// let fp = Floorplan::for_netlist(&netlist, 0.6, 1.0);
+/// let p = PlacementProblem::from_netlist(&netlist, &fp);
+/// let center = vec![fp.core.center(); p.movable_count()];
+/// assert!(weighted_hpwl(&p, &center) > 0.0); // port-to-center spans remain
+/// ```
+pub fn weighted_hpwl(problem: &PlacementProblem, positions: &[(f64, f64)]) -> f64 {
+    let mut total = 0.0;
+    for e in 0..problem.hypergraph.edge_count() as u32 {
+        total += problem.net_weights[e as usize] * edge_hpwl(problem, e, positions);
+    }
+    total
+}
+
+/// Unweighted HPWL (every net counted at weight 1) — the metric the paper's
+/// Table 2 reports.
+pub fn raw_hpwl(problem: &PlacementProblem, positions: &[(f64, f64)]) -> f64 {
+    (0..problem.hypergraph.edge_count() as u32)
+        .map(|e| edge_hpwl(problem, e, positions))
+        .sum()
+}
+
+/// HPWL of one hyperedge.
+pub fn edge_hpwl(problem: &PlacementProblem, e: u32, positions: &[(f64, f64)]) -> f64 {
+    let verts = problem.hypergraph.edge(e);
+    if verts.len() < 2 {
+        return 0.0;
+    }
+    let mut lo = (f64::INFINITY, f64::INFINITY);
+    let mut hi = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for &v in verts {
+        let (x, y) = problem.vertex_pos(v, positions);
+        lo = (lo.0.min(x), lo.1.min(y));
+        hi = (hi.0.max(x), hi.1.max(y));
+    }
+    (hi.0 - lo.0) + (hi.1 - lo.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_graph::Hypergraph;
+    use cp_netlist::floorplan::Rect;
+    use crate::problem::Object;
+
+    fn toy() -> PlacementProblem {
+        // Two movables + one fixed terminal at (10, 0).
+        PlacementProblem {
+            movable: vec![
+                Object { width: 1.0, height: 1.0 },
+                Object { width: 1.0, height: 1.0 },
+            ],
+            fixed: vec![(10.0, 0.0)],
+            hypergraph: Hypergraph::new(3, vec![(vec![0, 1], 1.0), (vec![1, 2], 1.0)]),
+            net_weights: vec![1.0, 3.0],
+            core: Rect::new(0.0, 0.0, 10.0, 10.0),
+            region: vec![None, None],
+            seed_positions: None,
+            blockages: Vec::new(),
+            density_target: 0.9,
+        }
+    }
+
+    #[test]
+    fn hand_computed_hpwl() {
+        let p = toy();
+        let pos = vec![(0.0, 0.0), (2.0, 1.0)];
+        // Edge 0: bbox (0,0)-(2,1) ⇒ 3. Edge 1: (2,1)-(10,0) ⇒ 9.
+        assert_eq!(edge_hpwl(&p, 0, &pos), 3.0);
+        assert_eq!(edge_hpwl(&p, 1, &pos), 9.0);
+        assert_eq!(raw_hpwl(&p, &pos), 12.0);
+        assert_eq!(weighted_hpwl(&p, &pos), 3.0 + 3.0 * 9.0);
+    }
+
+    #[test]
+    fn coincident_points_have_zero_hpwl() {
+        let p = toy();
+        let pos = vec![(5.0, 5.0), (5.0, 5.0)];
+        assert_eq!(edge_hpwl(&p, 0, &pos), 0.0);
+    }
+}

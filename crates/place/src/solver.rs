@@ -1,0 +1,327 @@
+//! Bound-to-bound quadratic wirelength model and conjugate-gradient solver.
+//!
+//! The B2B model (Spindler et al.) linearizes HPWL: per net and axis, the
+//! extreme pins connect to each other and every interior pin connects to
+//! both extremes, each two-pin edge weighted `w_e · 2 / ((p−1) · |x_i−x_j|)`
+//! so the quadratic form's value equals the net's HPWL at the linearization
+//! point. The resulting symmetric positive-definite system is solved with
+//! Jacobi-preconditioned conjugate gradients.
+
+use crate::problem::PlacementProblem;
+
+/// Axis selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Horizontal (x).
+    X,
+    /// Vertical (y).
+    Y,
+}
+
+/// Minimum pin separation for B2B weights, µm (avoids singular weights).
+const MIN_DIST: f64 = 0.5;
+
+/// A sparse SPD system `A x = b` over the movable objects of one axis.
+#[derive(Debug, Clone)]
+pub struct B2bSystem {
+    diag: Vec<f64>,
+    off: Vec<Vec<(u32, f64)>>,
+    rhs: Vec<f64>,
+}
+
+/// Anchor pseudo-nets: per-movable target position and weight.
+#[derive(Debug, Clone, Copy)]
+pub struct Anchors<'a> {
+    /// Target coordinate per movable (this axis).
+    pub target: &'a [f64],
+    /// Pseudo-net weight per movable (0 disables).
+    pub weight: &'a [f64],
+}
+
+impl B2bSystem {
+    /// Builds the B2B system for one axis, linearized at `positions`.
+    pub fn build(
+        problem: &PlacementProblem,
+        positions: &[(f64, f64)],
+        axis: Axis,
+        anchors: Option<Anchors<'_>>,
+    ) -> Self {
+        let m = problem.movable_count();
+        let coord = |v: u32| -> f64 {
+            let (x, y) = problem.vertex_pos(v, positions);
+            match axis {
+                Axis::X => x,
+                Axis::Y => y,
+            }
+        };
+        let mut sys = Self {
+            diag: vec![0.0; m],
+            off: vec![Vec::new(); m],
+            rhs: vec![0.0; m],
+        };
+        let add_pair = |sys: &mut Self, u: u32, v: u32, w: f64| {
+            let (u, v) = (u as usize, v as usize);
+            match (u < m, v < m) {
+                (true, true) => {
+                    sys.diag[u] += w;
+                    sys.diag[v] += w;
+                    sys.off[u].push((v as u32, w));
+                    sys.off[v].push((u as u32, w));
+                }
+                (true, false) => {
+                    sys.diag[u] += w;
+                    sys.rhs[u] += w * coord(v as u32);
+                }
+                (false, true) => {
+                    sys.diag[v] += w;
+                    sys.rhs[v] += w * coord(u as u32);
+                }
+                (false, false) => {}
+            }
+        };
+        for e in 0..problem.hypergraph.edge_count() as u32 {
+            let verts = problem.hypergraph.edge(e);
+            let p = verts.len();
+            if p < 2 {
+                continue;
+            }
+            let w_net = problem.net_weights[e as usize];
+            // Locate extreme pins on this axis.
+            let (mut lo_i, mut hi_i) = (0usize, 0usize);
+            for (i, &v) in verts.iter().enumerate() {
+                if coord(v) < coord(verts[lo_i]) {
+                    lo_i = i;
+                }
+                if coord(v) > coord(verts[hi_i]) {
+                    hi_i = i;
+                }
+            }
+            let scale = w_net * 2.0 / (p as f64 - 1.0);
+            let b2b_w = |a: u32, b: u32| scale / (coord(a) - coord(b)).abs().max(MIN_DIST);
+            let (lo, hi) = (verts[lo_i], verts[hi_i]);
+            if lo != hi {
+                add_pair(&mut sys, lo, hi, b2b_w(lo, hi));
+            }
+            for (i, &v) in verts.iter().enumerate() {
+                if i == lo_i || i == hi_i {
+                    continue;
+                }
+                if v != lo {
+                    add_pair(&mut sys, v, lo, b2b_w(v, lo));
+                }
+                if v != hi {
+                    add_pair(&mut sys, v, hi, b2b_w(v, hi));
+                }
+            }
+        }
+        if let Some(a) = anchors {
+            for i in 0..m {
+                let w = a.weight[i];
+                if w > 0.0 {
+                    sys.diag[i] += w;
+                    sys.rhs[i] += w * a.target[i];
+                }
+            }
+        }
+        // Isolated objects stay where they are.
+        for i in 0..m {
+            if sys.diag[i] == 0.0 {
+                sys.diag[i] = 1.0;
+                sys.rhs[i] = match axis {
+                    Axis::X => positions[i].0,
+                    Axis::Y => positions[i].1,
+                };
+            }
+        }
+        sys
+    }
+
+    /// Solves with Jacobi-preconditioned CG from `x0`.
+    pub fn solve(&self, x0: &[f64], max_iters: usize, tol: f64) -> Vec<f64> {
+        let n = self.diag.len();
+        let mut x = x0.to_vec();
+        let mut r = vec![0.0; n];
+        let ax = self.apply(&x);
+        for i in 0..n {
+            r[i] = self.rhs[i] - ax[i];
+        }
+        let mut z: Vec<f64> = r.iter().zip(&self.diag).map(|(&ri, &d)| ri / d).collect();
+        let mut p = z.clone();
+        let mut rz: f64 = r.iter().zip(&z).map(|(&a, &b)| a * b).sum();
+        let rhs_norm: f64 = self.rhs.iter().map(|&b| b * b).sum::<f64>().sqrt().max(1e-30);
+        for _ in 0..max_iters {
+            let ap = self.apply(&p);
+            let pap: f64 = p.iter().zip(&ap).map(|(&a, &b)| a * b).sum();
+            if pap <= 0.0 {
+                break;
+            }
+            let alpha = rz / pap;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            let rnorm: f64 = r.iter().map(|&v| v * v).sum::<f64>().sqrt();
+            if rnorm / rhs_norm < tol {
+                break;
+            }
+            for i in 0..n {
+                z[i] = r[i] / self.diag[i];
+            }
+            let rz_new: f64 = r.iter().zip(&z).map(|(&a, &b)| a * b).sum();
+            let beta = rz_new / rz;
+            rz = rz_new;
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
+        }
+        x
+    }
+
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut out: Vec<f64> = self
+            .diag
+            .iter()
+            .zip(x)
+            .map(|(&d, &xi)| d * xi)
+            .collect();
+        for (i, list) in self.off.iter().enumerate() {
+            let mut acc = 0.0;
+            for &(j, w) in list {
+                acc -= w * x[j as usize];
+            }
+            out[i] += acc;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Object;
+    use cp_graph::Hypergraph;
+    use cp_netlist::floorplan::Rect;
+
+    fn line_problem() -> PlacementProblem {
+        // fixed(0,0) -- m0 -- m1 -- fixed(9,0); 2-pin nets.
+        PlacementProblem {
+            movable: vec![
+                Object { width: 1.0, height: 1.0 },
+                Object { width: 1.0, height: 1.0 },
+            ],
+            fixed: vec![(0.0, 0.0), (9.0, 0.0)],
+            hypergraph: Hypergraph::new(
+                4,
+                vec![
+                    (vec![2, 0], 1.0),
+                    (vec![0, 1], 1.0),
+                    (vec![1, 3], 1.0),
+                ],
+            ),
+            net_weights: vec![1.0, 1.0, 1.0],
+            core: Rect::new(0.0, 0.0, 9.0, 9.0),
+            region: vec![None, None],
+            seed_positions: None,
+            blockages: Vec::new(),
+            density_target: 0.9,
+        }
+    }
+
+    #[test]
+    fn pulls_stray_cells_into_the_hull() {
+        // B2B reproduces HPWL, which is flat while movables stay between
+        // their net extremes — so the meaningful invariant is that cells
+        // starting *outside* the fixed hull converge into it and the
+        // ordering along the chain is preserved.
+        let p = line_problem();
+        let mut pos = vec![(20.0, 0.0), (30.0, 0.0)];
+        for _ in 0..30 {
+            let sys = B2bSystem::build(&p, &pos, Axis::X, None);
+            let x = sys.solve(&[pos[0].0, pos[1].0], 100, 1e-10);
+            pos[0].0 = x[0];
+            pos[1].0 = x[1];
+        }
+        assert!(pos[0].0 > -0.5 && pos[0].0 < 9.5, "{pos:?}");
+        assert!(pos[1].0 > -0.5 && pos[1].0 < 9.5, "{pos:?}");
+        assert!(pos[0].0 <= pos[1].0 + 1e-9, "{pos:?}");
+    }
+
+    #[test]
+    fn heavier_net_wins() {
+        // One movable between fixed pins at 0 and 9; the net to 9 carries
+        // 10× the weight, so the linear HPWL objective is minimized at 9.
+        let p = PlacementProblem {
+            movable: vec![Object { width: 1.0, height: 1.0 }],
+            fixed: vec![(0.0, 0.0), (9.0, 0.0)],
+            hypergraph: Hypergraph::new(3, vec![(vec![0, 1], 1.0), (vec![0, 2], 1.0)]),
+            net_weights: vec![1.0, 10.0],
+            core: Rect::new(0.0, 0.0, 9.0, 9.0),
+            region: vec![None],
+            seed_positions: None,
+            blockages: Vec::new(),
+            density_target: 0.9,
+        };
+        let mut pos = vec![(4.5, 0.0)];
+        for _ in 0..40 {
+            let sys = B2bSystem::build(&p, &pos, Axis::X, None);
+            let x = sys.solve(&[pos[0].0], 100, 1e-10);
+            pos[0].0 = x[0];
+        }
+        assert!(pos[0].0 > 7.5, "{pos:?}");
+    }
+
+    #[test]
+    fn anchors_pull_toward_targets() {
+        let p = line_problem();
+        let pos = vec![(4.5, 0.0), (4.5, 0.0)];
+        let targets = vec![1.0, 8.0];
+        let weights = vec![100.0, 100.0]; // dominate the nets
+        let sys = B2bSystem::build(
+            &p,
+            &pos,
+            Axis::X,
+            Some(Anchors {
+                target: &targets,
+                weight: &weights,
+            }),
+        );
+        let x = sys.solve(&[4.5, 4.5], 200, 1e-12);
+        assert!((x[0] - 1.0).abs() < 0.6, "{x:?}");
+        assert!((x[1] - 8.0).abs() < 0.6, "{x:?}");
+    }
+
+    #[test]
+    fn isolated_objects_stay_put() {
+        let p = PlacementProblem {
+            movable: vec![Object { width: 1.0, height: 1.0 }],
+            fixed: vec![],
+            hypergraph: Hypergraph::new(1, vec![]),
+            net_weights: vec![],
+            core: Rect::new(0.0, 0.0, 10.0, 10.0),
+            region: vec![None],
+            seed_positions: None,
+            blockages: Vec::new(),
+            density_target: 0.9,
+        };
+        let pos = vec![(3.0, 7.0)];
+        let sx = B2bSystem::build(&p, &pos, Axis::X, None).solve(&[3.0], 10, 1e-10);
+        let sy = B2bSystem::build(&p, &pos, Axis::Y, None).solve(&[7.0], 10, 1e-10);
+        assert!((sx[0] - 3.0).abs() < 1e-9);
+        assert!((sy[0] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn y_axis_solve_pulls_into_hull() {
+        let mut p = line_problem();
+        p.fixed = vec![(0.0, 0.0), (0.0, 9.0)];
+        let mut pos = vec![(0.0, -15.0), (0.0, 25.0)];
+        for _ in 0..30 {
+            let sys = B2bSystem::build(&p, &pos, Axis::Y, None);
+            let y = sys.solve(&[pos[0].1, pos[1].1], 100, 1e-10);
+            pos[0].1 = y[0];
+            pos[1].1 = y[1];
+        }
+        assert!(pos[0].1 > -0.5 && pos[0].1 < 9.5, "{pos:?}");
+        assert!(pos[1].1 > -0.5 && pos[1].1 < 9.5, "{pos:?}");
+    }
+}

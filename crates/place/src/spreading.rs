@@ -1,0 +1,250 @@
+//! Look-ahead spreading by recursive bisection (SimPL-style upper bound).
+//!
+//! Given overlap-heavy lower-bound positions, this pass recursively splits
+//! the core into two halves and partitions the cells by coordinate so each
+//! half receives cell area proportional to its capacity, terminating in
+//! small regions where cells are mapped linearly. The result respects the
+//! density target at bin granularity while roughly preserving relative
+//! order — exactly what anchor pseudo-nets need.
+
+use crate::problem::PlacementProblem;
+use cp_netlist::floorplan::Rect;
+
+/// Cells per leaf region before direct mapping.
+const LEAF_CELLS: usize = 10;
+/// Minimum region extent, µm.
+const MIN_EXTENT: f64 = 2.0;
+
+/// Spreads `positions` to meet the problem's density target.
+///
+/// Returns one position per movable, inside the core.
+pub fn spread(problem: &PlacementProblem, positions: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let m = problem.movable_count();
+    let mut out = positions.to_vec();
+    if m == 0 {
+        return out;
+    }
+    let items: Vec<usize> = (0..m).collect();
+    rec(problem, problem.core, items, positions, &mut out);
+    // Honor region constraints, core bounds and blockages.
+    for (i, p) in out.iter_mut().enumerate() {
+        let r = problem.region[i].unwrap_or(problem.core);
+        *p = r.clamp(p.0, p.1);
+        *p = problem.evict_from_blockages(p.0, p.1);
+    }
+    out
+}
+
+fn rec(
+    problem: &PlacementProblem,
+    region: Rect,
+    mut items: Vec<usize>,
+    positions: &[(f64, f64)],
+    out: &mut [(f64, f64)],
+) {
+    if items.len() <= LEAF_CELLS
+        || region.width() <= MIN_EXTENT
+        || region.height() <= MIN_EXTENT
+    {
+        map_into(region, &items, positions, out);
+        return;
+    }
+    // Split along the longer side.
+    let horizontal = region.width() >= region.height();
+    let coord = |i: usize| {
+        if horizontal {
+            positions[i].0
+        } else {
+            positions[i].1
+        }
+    };
+    items.sort_by(|&a, &b| coord(a).partial_cmp(&coord(b)).expect("finite coords"));
+    let total_area: f64 = items.iter().map(|&i| problem.movable[i].area()).sum();
+    // Split the cell list in proportion to the halves' free capacities
+    // (equal halves on an unobstructed core; blockage-aware otherwise).
+    let half_frac = {
+        let (h1, h2) = halves(region);
+        let c1 = problem.free_area_in(&h1);
+        let c2 = problem.free_area_in(&h2);
+        if c1 + c2 <= 0.0 {
+            0.5
+        } else {
+            c1 / (c1 + c2)
+        }
+    };
+    let mut acc = 0.0;
+    let mut split = items.len();
+    for (k, &i) in items.iter().enumerate() {
+        acc += problem.movable[i].area();
+        if acc >= total_area * half_frac {
+            split = k + 1;
+            break;
+        }
+    }
+    split = split.clamp(1, items.len().saturating_sub(1).max(1));
+    let right = items.split_off(split);
+    let (r1, r2) = halves(region);
+    rec(problem, r1, items, positions, out);
+    rec(problem, r2, right, positions, out);
+}
+
+/// Splits a region into two halves along its longer side.
+fn halves(region: Rect) -> (Rect, Rect) {
+    if region.width() >= region.height() {
+        (
+            Rect {
+                llx: region.llx,
+                lly: region.lly,
+                urx: region.llx + region.width() / 2.0,
+                ury: region.ury,
+            },
+            Rect {
+                llx: region.llx + region.width() / 2.0,
+                lly: region.lly,
+                urx: region.urx,
+                ury: region.ury,
+            },
+        )
+    } else {
+        (
+            Rect {
+                llx: region.llx,
+                lly: region.lly,
+                urx: region.urx,
+                ury: region.lly + region.height() / 2.0,
+            },
+            Rect {
+                llx: region.llx,
+                lly: region.lly + region.height() / 2.0,
+                urx: region.urx,
+                ury: region.ury,
+            },
+        )
+    }
+}
+
+/// Linearly maps the items' bounding box onto the region.
+fn map_into(region: Rect, items: &[usize], positions: &[(f64, f64)], out: &mut [(f64, f64)]) {
+    if items.is_empty() {
+        return;
+    }
+    let mut lo = (f64::INFINITY, f64::INFINITY);
+    let mut hi = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for &i in items {
+        lo = (lo.0.min(positions[i].0), lo.1.min(positions[i].1));
+        hi = (hi.0.max(positions[i].0), hi.1.max(positions[i].1));
+    }
+    let spanx = (hi.0 - lo.0).max(1e-9);
+    let spany = (hi.1 - lo.1).max(1e-9);
+    for &i in items {
+        let fx = (positions[i].0 - lo.0) / spanx;
+        let fy = (positions[i].1 - lo.1) / spany;
+        out[i] = (
+            region.llx + fx * region.width(),
+            region.lly + fy * region.height(),
+        );
+    }
+}
+
+/// Density overflow of a placement: the fraction of movable area exceeding
+/// per-bin capacity (`bin_area · density_target`), on a `bins × bins` grid
+/// sized to the problem.
+pub fn density_overflow(problem: &PlacementProblem, positions: &[(f64, f64)]) -> f64 {
+    let m = problem.movable_count();
+    if m == 0 {
+        return 0.0;
+    }
+    let bins = ((m as f64).sqrt() / 2.0).ceil().max(2.0) as usize;
+    let core = problem.core;
+    let (bw, bh) = (core.width() / bins as f64, core.height() / bins as f64);
+    let mut area = vec![0.0f64; bins * bins];
+    for (i, &(x, y)) in positions.iter().enumerate() {
+        let bx = (((x - core.llx) / bw) as usize).min(bins - 1);
+        let by = (((y - core.lly) / bh) as usize).min(bins - 1);
+        area[by * bins + bx] += problem.movable[i].area();
+    }
+    let total: f64 = problem.movable_area().max(1e-12);
+    let mut over = 0.0;
+    for by in 0..bins {
+        for bx in 0..bins {
+            let bin = Rect::new(
+                core.llx + bx as f64 * bw,
+                core.lly + by as f64 * bh,
+                bw,
+                bh,
+            );
+            let cap = problem.free_area_in(&bin) * problem.density_target;
+            over += (area[by * bins + bx] - cap).max(0.0);
+        }
+    }
+    over / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Object;
+    use cp_graph::Hypergraph;
+
+    fn uniform_problem(n: usize) -> PlacementProblem {
+        PlacementProblem {
+            movable: vec![Object { width: 1.0, height: 1.0 }; n],
+            fixed: vec![],
+            hypergraph: Hypergraph::new(n, vec![]),
+            net_weights: vec![],
+            core: Rect::new(0.0, 0.0, 100.0, 100.0),
+            region: vec![None; n],
+            seed_positions: None,
+            blockages: Vec::new(),
+            density_target: 0.5,
+        }
+    }
+
+    #[test]
+    fn spreading_reduces_overflow() {
+        let p = uniform_problem(400);
+        // All cells piled in one corner.
+        let piled = vec![(1.0, 1.0); 400];
+        let before = density_overflow(&p, &piled);
+        let spread_pos = spread(&p, &piled);
+        let after = density_overflow(&p, &spread_pos);
+        assert!(before > 0.5, "piled overflow {before}");
+        assert!(after < before / 4.0, "after {after} vs before {before}");
+        for &(x, y) in &spread_pos {
+            assert!(p.core.contains(x, y));
+        }
+    }
+
+    #[test]
+    fn spreading_preserves_relative_order_roughly() {
+        let p = uniform_problem(100);
+        // Cells on a diagonal line, crowded.
+        let pos: Vec<(f64, f64)> = (0..100)
+            .map(|i| (10.0 + i as f64 * 0.01, 10.0 + i as f64 * 0.01))
+            .collect();
+        let s = spread(&p, &pos);
+        // Cell 0 should stay left of cell 99.
+        assert!(s[0].0 < s[99].0);
+    }
+
+    #[test]
+    fn region_constraints_clamp() {
+        let mut p = uniform_problem(10);
+        let box_r = Rect::new(40.0, 40.0, 10.0, 10.0);
+        for i in 0..10 {
+            p.set_region(i, box_r);
+        }
+        let piled = vec![(1.0, 1.0); 10];
+        let s = spread(&p, &piled);
+        for &(x, y) in &s {
+            assert!(box_r.contains(x, y), "({x}, {y}) outside region");
+        }
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = uniform_problem(0);
+        assert!(spread(&p, &[]).is_empty());
+        assert_eq!(density_overflow(&p, &[]), 0.0);
+    }
+}

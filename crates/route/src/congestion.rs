@@ -1,0 +1,221 @@
+//! The GCell congestion map.
+
+/// Track demand/capacity over a `nx × ny` GCell grid.
+///
+/// Horizontal edges connect `(i, j)`–`(i+1, j)` (there are `(nx−1)·ny`);
+/// vertical edges connect `(i, j)`–`(i, j+1)` (`nx·(ny−1)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CongestionMap {
+    nx: usize,
+    ny: usize,
+    gcell: f64,
+    h_demand: Vec<f64>,
+    v_demand: Vec<f64>,
+    h_capacity: Vec<f64>,
+    v_capacity: Vec<f64>,
+}
+
+impl CongestionMap {
+    /// An empty map over a `nx × ny` grid with per-edge capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the grid is at least 1×1 and capacities are positive.
+    pub fn new(nx: usize, ny: usize, gcell: f64, h_capacity: f64, v_capacity: f64) -> Self {
+        assert!(nx >= 1 && ny >= 1, "grid must be at least 1x1");
+        assert!(h_capacity > 0.0 && v_capacity > 0.0, "capacities must be positive");
+        Self {
+            nx,
+            ny,
+            gcell,
+            h_demand: vec![0.0; (nx.saturating_sub(1)) * ny],
+            v_demand: vec![0.0; nx * (ny.saturating_sub(1))],
+            h_capacity: vec![h_capacity; (nx.saturating_sub(1)) * ny],
+            v_capacity: vec![v_capacity; nx * (ny.saturating_sub(1))],
+        }
+    }
+
+    /// Scales the capacity of every edge whose GCell index falls inside
+    /// `[i0, i1] × [j0, j1]` by `factor` (macro obstructions consume
+    /// routing resources on the lower layers).
+    pub fn derate(&mut self, i0: usize, j0: usize, i1: usize, j1: usize, factor: f64) {
+        for j in j0..=j1.min(self.ny - 1) {
+            for i in i0..=i1.min(self.nx.saturating_sub(2)) {
+                let idx = self.h_idx(i, j);
+                self.h_capacity[idx] = (self.h_capacity[idx] * factor).max(1.0);
+            }
+        }
+        for j in j0..=j1.min(self.ny.saturating_sub(2)) {
+            for i in i0..=i1.min(self.nx - 1) {
+                let idx = self.v_idx(i, j);
+                self.v_capacity[idx] = (self.v_capacity[idx] * factor).max(1.0);
+            }
+        }
+    }
+
+    /// Grid width in GCells.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height in GCells.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// GCell edge length, µm.
+    pub fn gcell_size(&self) -> f64 {
+        self.gcell
+    }
+
+    fn h_idx(&self, i: usize, j: usize) -> usize {
+        j * (self.nx - 1) + i
+    }
+
+    fn v_idx(&self, i: usize, j: usize) -> usize {
+        j * self.nx + i
+    }
+
+    /// Adds `amount` tracks of demand on the horizontal edge `(i,j)→(i+1,j)`.
+    pub fn add_h(&mut self, i: usize, j: usize, amount: f64) {
+        let idx = self.h_idx(i, j);
+        self.h_demand[idx] += amount;
+    }
+
+    /// Adds `amount` tracks of demand on the vertical edge `(i,j)→(i,j+1)`.
+    pub fn add_v(&mut self, i: usize, j: usize, amount: f64) {
+        let idx = self.v_idx(i, j);
+        self.v_demand[idx] += amount;
+    }
+
+    /// Utilization (demand/capacity) of a horizontal edge.
+    pub fn h_utilization(&self, i: usize, j: usize) -> f64 {
+        let idx = self.h_idx(i, j);
+        self.h_demand[idx] / self.h_capacity[idx]
+    }
+
+    /// Utilization of a vertical edge.
+    pub fn v_utilization(&self, i: usize, j: usize) -> f64 {
+        let idx = self.v_idx(i, j);
+        self.v_demand[idx] / self.v_capacity[idx]
+    }
+
+    /// Per-GCell congestion: the max utilization over the cell's incident
+    /// edges (the quantity Eq. 5 averages).
+    pub fn gcell_congestion(&self) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.nx * self.ny];
+        for j in 0..self.ny {
+            for i in 0..self.nx {
+                let mut c = 0.0f64;
+                if i > 0 {
+                    c = c.max(self.h_utilization(i - 1, j));
+                }
+                if i + 1 < self.nx {
+                    c = c.max(self.h_utilization(i, j));
+                }
+                if j > 0 {
+                    c = c.max(self.v_utilization(i, j - 1));
+                }
+                if j + 1 < self.ny {
+                    c = c.max(self.v_utilization(i, j));
+                }
+                out[j * self.nx + i] = c;
+            }
+        }
+        out
+    }
+
+    /// Eq. 5 of the paper: the average congestion over the top `x_percent`
+    /// most congested GCells (default 10 in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < x_percent <= 100`.
+    pub fn top_percent_average(&self, x_percent: f64) -> f64 {
+        assert!(
+            x_percent > 0.0 && x_percent <= 100.0,
+            "percentage out of (0, 100]"
+        );
+        let mut c = self.gcell_congestion();
+        c.sort_by(|a, b| b.partial_cmp(a).expect("finite congestion"));
+        let take = ((c.len() as f64 * x_percent / 100.0).ceil() as usize).max(1);
+        c.truncate(take);
+        c.iter().sum::<f64>() / take as f64
+    }
+
+    /// Maximum edge utilization anywhere.
+    pub fn max_utilization(&self) -> f64 {
+        let h = self
+            .h_demand
+            .iter()
+            .zip(&self.h_capacity)
+            .map(|(d, c)| d / c)
+            .fold(0.0f64, f64::max);
+        let v = self
+            .v_demand
+            .iter()
+            .zip(&self.v_capacity)
+            .map(|(d, c)| d / c)
+            .fold(0.0f64, f64::max);
+        h.max(v)
+    }
+
+    /// Number of edges with utilization above 1.
+    pub fn overflow_edges(&self) -> usize {
+        self.h_demand
+            .iter()
+            .zip(&self.h_capacity)
+            .filter(|&(&d, &c)| d > c)
+            .count()
+            + self
+                .v_demand
+                .iter()
+                .zip(&self.v_capacity)
+                .filter(|&(&d, &c)| d > c)
+                .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_and_utilization() {
+        let mut m = CongestionMap::new(3, 2, 5.0, 10.0, 20.0);
+        m.add_h(0, 0, 5.0);
+        m.add_v(1, 0, 10.0);
+        assert_eq!(m.h_utilization(0, 0), 0.5);
+        assert_eq!(m.v_utilization(1, 0), 0.5);
+        assert_eq!(m.h_utilization(1, 0), 0.0);
+        assert_eq!(m.max_utilization(), 0.5);
+        assert_eq!(m.overflow_edges(), 0);
+        m.add_h(0, 0, 6.0);
+        assert_eq!(m.overflow_edges(), 1);
+    }
+
+    #[test]
+    fn gcell_congestion_takes_incident_max() {
+        let mut m = CongestionMap::new(2, 1, 5.0, 10.0, 10.0);
+        m.add_h(0, 0, 8.0);
+        let c = m.gcell_congestion();
+        assert_eq!(c, vec![0.8, 0.8]);
+    }
+
+    #[test]
+    fn top_percent_average_matches_eq5() {
+        let mut m = CongestionMap::new(10, 10, 5.0, 10.0, 10.0);
+        // One very hot edge.
+        m.add_h(4, 4, 20.0);
+        let top1 = m.top_percent_average(1.0); // 1 cell
+        let top100 = m.top_percent_average(100.0);
+        assert!(top1 >= 2.0 - 1e-9);
+        assert!(top100 < top1);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentage")]
+    fn bad_percentage_panics() {
+        CongestionMap::new(2, 2, 5.0, 1.0, 1.0).top_percent_average(0.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Vectorless switching-activity propagation (`findClkedActivity`
+//! equivalent).
+//!
+//! Each net carries a static probability `p` (chance the signal is 1) and a
+//! transition density `d` (toggles per clock cycle). Primary inputs seed the
+//! analysis from [`cp_netlist::Constraints`]; combinational gates propagate
+//! with the exact Boolean-difference method over the masters' truth tables:
+//!
+//! `d_y = Σ_i P(∂f/∂x_i) · d_i`, with `P(∂f/∂x_i)` the probability the
+//! output is sensitized to input `i` (spatial independence assumed, the
+//! standard vectorless approximation). Flop outputs resample: `p_Q = p_D`,
+//! `d_Q = 2 · p_D · (1 − p_D)` (at most one toggle per cycle).
+//!
+//! Sequential feedback loops are handled by fixed-point iteration.
+
+use cp_netlist::library::CellClass;
+use cp_netlist::netlist::{Netlist, PinRef};
+use cp_netlist::{Constraints, NetId};
+
+/// Per-net switching activity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityReport {
+    /// Static probability of logic 1 per net.
+    pub probability: Vec<f64>,
+    /// Transition density per net, toggles per clock cycle.
+    pub density: Vec<f64>,
+    /// Fixed-point iterations performed.
+    pub iterations: usize,
+}
+
+impl ActivityReport {
+    /// Switching activity `θ_e` of a net (Eq. 2 of the paper uses this).
+    pub fn activity(&self, net: NetId) -> f64 {
+        self.density[net.index()]
+    }
+}
+
+/// Maximum fixed-point iterations over sequential feedback.
+const MAX_ITERS: usize = 8;
+/// Convergence tolerance on densities.
+const TOL: f64 = 1e-6;
+/// Combinational density cap, toggles per cycle. The Boolean-difference
+/// method counts glitching, which XOR trees amplify without bound;
+/// vectorless tools clip at the clock rate (two edges per cycle).
+const DENSITY_CAP: f64 = 2.0;
+
+/// Propagates vectorless activity through the design.
+///
+/// # Examples
+///
+/// ```
+/// use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+/// use cp_timing::activity::propagate_activity;
+///
+/// let (netlist, constraints) = GeneratorConfig::from_profile(DesignProfile::Aes)
+///     .scale(0.01)
+///     .generate_with_constraints();
+/// let act = propagate_activity(&netlist, &constraints);
+/// assert!(act.density.iter().all(|&d| d >= 0.0));
+/// assert!(act.probability.iter().all(|&p| (0.0..=1.0).contains(&p)));
+/// ```
+pub fn propagate_activity(netlist: &Netlist, constraints: &Constraints) -> ActivityReport {
+    let nn = netlist.net_count();
+    let mut prob = vec![0.5f64; nn];
+    let mut dens = vec![0.0f64; nn];
+
+    // Seed sources.
+    for (i, net) in netlist.nets().iter().enumerate() {
+        match net.driver {
+            Some(PinRef::Port(_)) => {
+                prob[i] = constraints.input_probability;
+                dens[i] = if net.is_clock {
+                    2.0 // the clock toggles twice per cycle
+                } else {
+                    constraints.input_activity
+                };
+            }
+            Some(PinRef::Cell { cell, .. })
+                if netlist.master(cell).class == CellClass::Sequential =>
+            {
+                prob[i] = 0.5;
+                dens[i] = 0.5; // refined by iteration
+            }
+            _ => {}
+        }
+    }
+
+    let mut iterations = 0;
+    for _ in 0..MAX_ITERS {
+        iterations += 1;
+        let mut delta = 0.0f64;
+        // One forward sweep in net-id order repeated until fixpoint; the
+        // sweep count is bounded by logic depth, which MAX_ITERS covers for
+        // the generated pipelines because ids are roughly topological.
+        for _ in 0..2 {
+            for (i, net) in netlist.nets().iter().enumerate() {
+                let Some(PinRef::Cell { cell, .. }) = net.driver else {
+                    continue;
+                };
+                let master = netlist.master(cell);
+                match master.class {
+                    CellClass::Sequential => {
+                        // Q resamples D once per cycle.
+                        let d_net = netlist.input_net(cell, 0);
+                        let p_d = d_net.map_or(0.5, |n| prob[n.index()]);
+                        let new_p = p_d;
+                        let new_d = 2.0 * p_d * (1.0 - p_d);
+                        delta = delta.max((prob[i] - new_p).abs() + (dens[i] - new_d).abs());
+                        prob[i] = new_p;
+                        dens[i] = new_d;
+                    }
+                    CellClass::Combinational | CellClass::ClockBuffer => {
+                        let Some(table) = master.function.truth_table() else {
+                            continue;
+                        };
+                        let k = master.function.input_count();
+                        let mut p_in = [0.5f64; 4];
+                        let mut d_in = [0.0f64; 4];
+                        for (pin, net_opt) in netlist.input_nets(cell).iter().enumerate() {
+                            if let Some(n) = net_opt {
+                                p_in[pin] = prob[n.index()];
+                                d_in[pin] = dens[n.index()];
+                            }
+                        }
+                        let new_p = output_probability(table, k, &p_in);
+                        let mut new_d = 0.0;
+                        for i_pin in 0..k {
+                            new_d += boolean_difference(table, k, i_pin, &p_in) * d_in[i_pin];
+                        }
+                        let new_d = new_d.min(DENSITY_CAP);
+                        delta = delta.max((prob[i] - new_p).abs() + (dens[i] - new_d).abs());
+                        prob[i] = new_p;
+                        dens[i] = new_d;
+                    }
+                    CellClass::Macro => {}
+                }
+            }
+        }
+        if delta < TOL {
+            break;
+        }
+    }
+    ActivityReport {
+        probability: prob,
+        density: dens,
+        iterations,
+    }
+}
+
+/// `P(f = 1)` given independent input probabilities.
+fn output_probability(table: u16, k: usize, p: &[f64; 4]) -> f64 {
+    let mut total = 0.0;
+    for m in 0..(1u16 << k) {
+        if (table >> m) & 1 == 0 {
+            continue;
+        }
+        let mut pm = 1.0;
+        for (j, &pj) in p.iter().enumerate().take(k) {
+            pm *= if (m >> j) & 1 == 1 { pj } else { 1.0 - pj };
+        }
+        total += pm;
+    }
+    total
+}
+
+/// `P(∂f/∂x_i)`: probability the output differs when input `i` flips.
+fn boolean_difference(table: u16, k: usize, i: usize, p: &[f64; 4]) -> f64 {
+    let mut total = 0.0;
+    for m in 0..(1u16 << k) {
+        // Only count minterms with x_i = 0; the pair (m, m | 1<<i) is
+        // sensitized iff the outputs differ.
+        if (m >> i) & 1 == 1 {
+            continue;
+        }
+        let m1 = m | (1 << i);
+        if ((table >> m) & 1) == ((table >> m1) & 1) {
+            continue;
+        }
+        // Probability of the other inputs taking this assignment.
+        let mut pm = 1.0;
+        for (j, &pj) in p.iter().enumerate().take(k) {
+            if j == i {
+                continue;
+            }
+            pm *= if (m >> j) & 1 == 1 { pj } else { 1.0 - pj };
+        }
+        total += pm;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+    use cp_netlist::library::LogicFunction;
+    use cp_netlist::{HierTree, Library, NetlistBuilder, PortDir};
+
+    #[test]
+    fn and_gate_probability() {
+        let table = LogicFunction::And2.truth_table().unwrap();
+        let p = [0.5, 0.5, 0.0, 0.0];
+        assert!((output_probability(table, 2, &p) - 0.25).abs() < 1e-12);
+        // Sensitization to input 0 requires input 1 = 1.
+        assert!((boolean_difference(table, 2, 0, &p) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xor_gate_is_always_sensitized() {
+        let table = LogicFunction::Xor2.truth_table().unwrap();
+        let p = [0.3, 0.8, 0.0, 0.0];
+        assert!((boolean_difference(table, 2, 0, &p) - 1.0).abs() < 1e-12);
+        assert!((boolean_difference(table, 2, 1, &p) - 1.0).abs() < 1e-12);
+        // P(xor) = p0(1-p1) + p1(1-p0)
+        let expect = 0.3 * 0.2 + 0.8 * 0.7;
+        assert!((output_probability(table, 2, &p) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverter_preserves_density() {
+        let lib = Library::nangate45ish();
+        let inv = lib.find("INV_X1").unwrap();
+        let mut b = NetlistBuilder::new("t", lib);
+        let a = b.add_port("a", PortDir::Input);
+        let y = b.add_port("y", PortDir::Output);
+        let u0 = b.add_cell("u0", inv, HierTree::ROOT);
+        let na = b.add_net("na", Some(cp_netlist::PinRef::Port(a)), vec![
+            cp_netlist::PinRef::Cell { cell: u0, pin: 0 },
+        ]);
+        let ny = b.add_net(
+            "ny",
+            Some(cp_netlist::PinRef::Cell { cell: u0, pin: 0 }),
+            vec![cp_netlist::PinRef::Port(y)],
+        );
+        let n = b.finish().unwrap();
+        let c = Constraints::with_period(1000.0);
+        let act = propagate_activity(&n, &c);
+        assert!((act.density[ny.index()] - act.density[na.index()]).abs() < 1e-12);
+        assert!((act.probability[ny.index()] - (1.0 - c.input_probability)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activity_attenuates_through_and_chain() {
+        // AND gates with random inputs attenuate switching activity.
+        let lib = Library::nangate45ish();
+        let and2 = lib.find("AND2_X1").unwrap();
+        let mut b = NetlistBuilder::new("t", lib);
+        let a = b.add_port("a", PortDir::Input);
+        let c2 = b.add_port("b", PortDir::Input);
+        let u0 = b.add_cell("u0", and2, HierTree::ROOT);
+        let na = b.add_net("na", Some(cp_netlist::PinRef::Port(a)), vec![
+            cp_netlist::PinRef::Cell { cell: u0, pin: 0 },
+        ]);
+        b.add_net("nb", Some(cp_netlist::PinRef::Port(c2)), vec![
+            cp_netlist::PinRef::Cell { cell: u0, pin: 1 },
+        ]);
+        let ny = b.add_net(
+            "ny",
+            Some(cp_netlist::PinRef::Cell { cell: u0, pin: 0 }),
+            vec![],
+        );
+        let n = b.finish().unwrap();
+        let c = Constraints::with_period(1000.0);
+        let act = propagate_activity(&n, &c);
+        // d_y = P(b=1)·d_a + P(a=1)·d_b = p·(d_a + d_b) with p = 0.5.
+        let expect = c.input_probability * 2.0 * c.input_activity;
+        assert!((act.density[ny.index()] - expect).abs() < 1e-12);
+        // P(y=1) = p_a · p_b.
+        let p_expect = c.input_probability * c.input_probability;
+        assert!((act.probability[ny.index()] - p_expect).abs() < 1e-12);
+        assert!(act.density[na.index()] > 0.0);
+    }
+
+    #[test]
+    fn full_design_converges_and_is_bounded() {
+        let (n, c) = GeneratorConfig::from_profile(DesignProfile::Jpeg)
+            .scale(0.005)
+            .seed(3)
+            .generate_with_constraints();
+        let act = propagate_activity(&n, &c);
+        assert!(act.iterations <= MAX_ITERS);
+        for (i, (&p, &d)) in act.probability.iter().zip(&act.density).enumerate() {
+            assert!((0.0..=1.0).contains(&p), "net {i} p={p}");
+            assert!((0.0..=4.0).contains(&d), "net {i} d={d}");
+        }
+        // The clock is the most active net.
+        let clock = n.nets().iter().position(|x| x.is_clock).unwrap();
+        assert_eq!(act.density[clock], 2.0);
+    }
+}

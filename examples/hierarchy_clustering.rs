@@ -1,0 +1,63 @@
+//! Hierarchy-based clustering walkthrough (Algorithm 2 / Figure 2).
+//!
+//! Shows the dendrogram levels of a design's logical hierarchy, the
+//! weighted-average Rent exponent of each cut (Eq. 1), and the selected
+//! clustering.
+//!
+//! ```text
+//! cargo run --release -p cp-bench --example hierarchy_clustering
+//! ```
+
+use cp_core::cluster::dendrogram::cluster_by_hierarchy;
+use cp_core::cluster::rent::rent_stats;
+use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+
+fn main() {
+    let netlist = GeneratorConfig::from_profile(DesignProfile::Ariane)
+        .scale(1.0 / 64.0)
+        .seed(3)
+        .generate();
+    println!(
+        "design `{}`: {} cells, hierarchy of {} modules, depth {}",
+        netlist.name(),
+        netlist.cell_count(),
+        netlist.hierarchy().len(),
+        netlist.hierarchy().max_depth()
+    );
+
+    let result = cluster_by_hierarchy(&netlist);
+    println!("\nlevel   R_avg (Eq. 1)");
+    for &(level, rent) in &result.candidates {
+        let marker = if level == result.level { "  <== selected" } else { "" };
+        println!("{level:>5}   {rent:.4}{marker}");
+    }
+    println!(
+        "\nchosen clustering: {} clusters at level {}, R_avg = {:.4}",
+        result.cluster_count, result.level, result.rent
+    );
+
+    // Cluster size distribution and Rent detail for the chosen cut.
+    let hg = netlist.to_hypergraph();
+    let stats = rent_stats(&hg, &result.assignment, result.cluster_count);
+    let mut sizes: Vec<usize> = stats.iter().map(|s| s.size).collect();
+    sizes.sort_unstable();
+    println!(
+        "cluster sizes: min {}, median {}, max {}",
+        sizes.first().copied().unwrap_or(0),
+        sizes.get(sizes.len() / 2).copied().unwrap_or(0),
+        sizes.last().copied().unwrap_or(0)
+    );
+    let most_external = stats
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1.exponent
+                .partial_cmp(&b.1.exponent)
+                .expect("finite exponents")
+        })
+        .expect("clusters exist");
+    println!(
+        "most external cluster: #{} with {} cells, {} external edges, R_c = {:.3}",
+        most_external.0, most_external.1.size, most_external.1.external_edges, most_external.1.exponent
+    );
+}

@@ -1,0 +1,61 @@
+//! The Innovus-like seeded placement recipe (Algorithm 1, lines 16–20).
+//!
+//! Demonstrates the three-step seeded placement: cluster placement, cells
+//! dropped at cluster centers, and incremental placement with region
+//! constraints around V-P&R-shaped clusters; then compares post-route PPA
+//! against the flat flow.
+//!
+//! ```text
+//! cargo run --release -p cp-bench --example innovus_regions
+//! ```
+
+use cp_core::flow::{run_default_flow, run_flow, FlowOptions, ShapeMode, Tool};
+use cp_core::ClusteringOptions;
+use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+
+fn main() {
+    let (netlist, constraints) = GeneratorConfig::from_profile(DesignProfile::Ariane)
+        .scale(1.0 / 64.0)
+        .seed(17)
+        .generate_with_constraints();
+    println!(
+        "design `{}`: {} cells, {} nets",
+        netlist.name(),
+        netlist.cell_count(),
+        netlist.net_count()
+    );
+
+    let options = FlowOptions {
+        tool: Tool::InnovusLike,
+        shape_mode: ShapeMode::Vpr,
+        clustering: ClusteringOptions {
+            avg_cluster_size: 100,
+            ..Default::default()
+        },
+        vpr_min_instances: 60,
+        ..Default::default()
+    };
+    println!("\nflat (default) flow…");
+    let flat = run_default_flow(&netlist, &constraints, &options);
+    println!("clustered flow with region constraints…");
+    let ours = run_flow(&netlist, &constraints, &options);
+
+    println!("\n                      default        ours");
+    println!("HPWL (µm)          {:>10.0} {:>10.0}", flat.hpwl, ours.hpwl);
+    println!("rWL (µm)           {:>10.0} {:>10.0}", flat.ppa.rwl, ours.ppa.rwl);
+    println!("WNS (ps)           {:>10.0} {:>10.0}", flat.ppa.wns, ours.ppa.wns);
+    println!(
+        "TNS (ns)           {:>10.2} {:>10.2}",
+        flat.ppa.tns / 1000.0,
+        ours.ppa.tns / 1000.0
+    );
+    println!(
+        "power (W)          {:>10.4} {:>10.4}",
+        flat.ppa.power, ours.ppa.power
+    );
+    println!(
+        "clock skew (ps)    {:>10.1} {:>10.1}",
+        flat.ppa.skew, ours.ppa.skew
+    );
+    println!("\nclusters: {} (shaped with exact V-P&R)", ours.cluster_count);
+}

@@ -1,0 +1,91 @@
+//! ML-accelerated V-P&R walkthrough (Figure 4 / Section 4.4).
+//!
+//! Generates a labeled dataset by perturbing clustering hyperparameters,
+//! trains the Total-Cost GNN, reports MAE/R², and compares the exact
+//! 20-run V-P&R sweep against one batch of GNN inference.
+//!
+//! ```text
+//! cargo run --release -p cp-bench --example ml_acceleration
+//! ```
+
+use cp_core::cluster::{ppa_aware_clustering, ClusteringOptions};
+use cp_core::flow::cluster_members;
+use cp_core::vpr::ml::{generate_dataset, DatasetConfig, MlShapeSelector};
+use cp_core::vpr::{best_shape, extract_subnetlist, VprOptions};
+use cp_gnn::train::TrainOptions;
+use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+use std::time::Instant;
+
+fn main() {
+    let (netlist, constraints) = GeneratorConfig::from_profile(DesignProfile::Aes)
+        .scale(1.0 / 32.0)
+        .seed(9)
+        .generate_with_constraints();
+
+    println!("generating labeled (cluster, shape) → Total Cost dataset…");
+    let dataset = generate_dataset(
+        &netlist,
+        &constraints,
+        &DatasetConfig {
+            configs: 3,
+            min_cells: 40,
+            max_clusters_per_config: 5,
+            base: ClusteringOptions {
+                avg_cluster_size: 100,
+                ..Default::default()
+            },
+            vpr: VprOptions::default(),
+            seed: 23,
+        },
+    );
+    let split = dataset.len() * 4 / 5;
+    let (train_set, test_set) = dataset.split_at(split);
+    println!("dataset: {} train / {} test samples", train_set.len(), test_set.len());
+
+    let (selector, stats) = MlShapeSelector::train(
+        train_set,
+        &TrainOptions {
+            epochs: 50,
+            ..Default::default()
+        },
+        13,
+    );
+    let (test_mae, test_r2) = selector.evaluate(test_set);
+    println!(
+        "trained: train MAE {:.3} / R2 {:.3}; test MAE {:.3} / R2 {:.3}",
+        stats.train_mae, stats.train_r2, test_mae, test_r2
+    );
+
+    // Acceleration measurement on a fresh cluster.
+    let clustering = ppa_aware_clustering(
+        &netlist,
+        &constraints,
+        &ClusteringOptions {
+            avg_cluster_size: 150,
+            seed: 99,
+            ..Default::default()
+        },
+    );
+    let cluster = cluster_members(&clustering.assignment, clustering.cluster_count)
+        .into_iter()
+        .max_by_key(|m| m.len())
+        .expect("clusters exist");
+    let sub = extract_subnetlist(&netlist, &cluster);
+    let t0 = Instant::now();
+    let (exact, _) = best_shape(&sub, &VprOptions::default());
+    let t_exact = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let ml = selector.select_shape(&sub);
+    let t_ml = t1.elapsed().as_secs_f64();
+    println!(
+        "\n{}-cell cluster: exact sweep {:.3}s → (AR {:.2}, util {:.2}); ML {:.3}s → (AR {:.2}, util {:.2})",
+        sub.cell_count(),
+        t_exact,
+        exact.aspect_ratio,
+        exact.utilization,
+        t_ml,
+        ml.aspect_ratio,
+        ml.utilization
+    );
+    println!("speedup: {:.1}x (paper reports ~30x)", t_exact / t_ml.max(1e-9));
+}

@@ -1,0 +1,69 @@
+//! Quickstart: generate a design, run the default flat flow and the
+//! PPA-aware clustered flow, and compare turnaround time and PPA.
+//!
+//! ```text
+//! cargo run --release -p cp-bench --example quickstart
+//! ```
+
+use cp_core::flow::{run_default_flow, run_flow, FlowOptions, ShapeMode, Tool};
+use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+
+fn main() {
+    // A scaled-down `jpeg` benchmark (Table 1 profile at 1/64 of the
+    // paper's instance count — crank the scale up on a bigger machine).
+    let (netlist, constraints) = GeneratorConfig::from_profile(DesignProfile::Jpeg)
+        .scale(1.0 / 64.0)
+        .seed(7)
+        .generate_with_constraints();
+    let stats = netlist.stats();
+    println!(
+        "design `{}`: {} cells, {} nets, {} flops, hierarchy depth {}",
+        netlist.name(),
+        stats.cells,
+        stats.nets,
+        stats.flops,
+        stats.hier_depth
+    );
+
+    let options = FlowOptions::fast()
+        .tool(Tool::OpenRoadLike)
+        .shape_mode(ShapeMode::Vpr);
+
+    println!("\nrunning the default (flat) flow…");
+    let flat = run_default_flow(&netlist, &constraints, &options);
+
+    println!("running the clustered flow (Algorithm 1)…");
+    let ours = run_flow(&netlist, &constraints, &options);
+
+    println!("\n                         default      ours");
+    println!(
+        "post-place HPWL (µm)   {:>9.0} {:>9.0}  ({:+.1}%)",
+        flat.hpwl,
+        ours.hpwl,
+        (ours.hpwl / flat.hpwl - 1.0) * 100.0
+    );
+    println!(
+        "placement CPU (s)      {:>9.2} {:>9.2}  (clustering {:.2}s, {} clusters)",
+        flat.placement_runtime,
+        ours.placement_runtime + ours.clustering_runtime,
+        ours.clustering_runtime,
+        ours.cluster_count
+    );
+    println!(
+        "routed WL (µm)         {:>9.0} {:>9.0}",
+        flat.ppa.rwl, ours.ppa.rwl
+    );
+    println!(
+        "WNS (ps)               {:>9.0} {:>9.0}",
+        flat.ppa.wns, ours.ppa.wns
+    );
+    println!(
+        "TNS (ns)               {:>9.2} {:>9.2}",
+        flat.ppa.tns / 1000.0,
+        ours.ppa.tns / 1000.0
+    );
+    println!(
+        "power (W)              {:>9.4} {:>9.4}",
+        flat.ppa.power, ours.ppa.power
+    );
+}

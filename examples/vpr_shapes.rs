@@ -1,0 +1,65 @@
+//! Virtualized P&R walkthrough (Figure 3).
+//!
+//! Takes the largest cluster of a PPA-aware clustering, induces its
+//! sub-netlist, and sweeps the paper's 20 (aspect ratio, utilization)
+//! candidates through place + global route, printing the HPWL cost
+//! (Eq. 4), congestion cost (Eq. 5) and Total Cost of each.
+//!
+//! ```text
+//! cargo run --release -p cp-bench --example vpr_shapes
+//! ```
+
+use cp_core::cluster::{ppa_aware_clustering, ClusteringOptions};
+use cp_core::flow::cluster_members;
+use cp_core::vpr::{best_shape, extract_subnetlist, VprOptions};
+use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+
+fn main() {
+    let (netlist, constraints) = GeneratorConfig::from_profile(DesignProfile::Aes)
+        .scale(1.0 / 32.0)
+        .seed(5)
+        .generate_with_constraints();
+    let clustering = ppa_aware_clustering(
+        &netlist,
+        &constraints,
+        &ClusteringOptions {
+            avg_cluster_size: 120,
+            ..Default::default()
+        },
+    );
+    let members = cluster_members(&clustering.assignment, clustering.cluster_count);
+    let cluster = members
+        .into_iter()
+        .max_by_key(|m| m.len())
+        .expect("clusters exist");
+    let sub = extract_subnetlist(&netlist, &cluster);
+    println!(
+        "largest cluster: {} cells, {} boundary ports, {} nets",
+        sub.cell_count(),
+        sub.port_count(),
+        sub.net_count()
+    );
+
+    let (best, costs) = best_shape(&sub, &VprOptions::default());
+    println!("\n  AR    util   Cost_HPWL  Cost_Cong   Total");
+    for c in &costs {
+        let marker = if c.shape == best { "  <== best" } else { "" };
+        println!(
+            "{:>5.2} {:>6.2}   {:>9.4} {:>9.4} {:>9.4}{marker}",
+            c.shape.aspect_ratio,
+            c.shape.utilization,
+            c.hpwl_cost,
+            c.congestion_cost,
+            c.total
+        );
+    }
+    let uniform = costs
+        .iter()
+        .find(|c| c.shape == cp_netlist::ClusterShape::UNIFORM)
+        .expect("uniform candidate");
+    let best_cost = costs.iter().find(|c| c.shape == best).expect("best candidate");
+    println!(
+        "\nV-P&R improves Total Cost by {:.1}% over the Uniform shape",
+        (1.0 - best_cost.total / uniform.total) * 100.0
+    );
+}

@@ -1,0 +1,83 @@
+//! Whole-pipeline determinism: identical seeds must reproduce identical
+//! netlists, clusterings, placements and PPA reports across runs.
+
+use cp_core::baselines::leiden_assignment;
+use cp_core::cluster::{ppa_aware_clustering, ClusteringOptions};
+use cp_core::flow::{run_flow, FlowOptions};
+use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+use cp_netlist::verilog;
+
+fn opts() -> FlowOptions {
+    FlowOptions {
+        clustering: ClusteringOptions {
+            avg_cluster_size: 50,
+            path_count: 1000,
+            ..Default::default()
+        },
+        vpr_min_instances: 60,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn generator_is_bit_identical() {
+    let make = || {
+        GeneratorConfig::from_profile(DesignProfile::Ariane)
+            .scale(1.0 / 256.0)
+            .seed(5)
+            .generate()
+    };
+    let (a, b) = (make(), make());
+    assert_eq!(verilog::write(&a), verilog::write(&b));
+}
+
+#[test]
+fn clustering_is_reproducible() {
+    let (n, c) = GeneratorConfig::from_profile(DesignProfile::Aes)
+        .scale(1.0 / 128.0)
+        .seed(6)
+        .generate_with_constraints();
+    let o = ClusteringOptions {
+        avg_cluster_size: 40,
+        ..Default::default()
+    };
+    assert_eq!(
+        ppa_aware_clustering(&n, &c, &o).assignment,
+        ppa_aware_clustering(&n, &c, &o).assignment
+    );
+}
+
+#[test]
+fn community_baselines_are_reproducible() {
+    let n = GeneratorConfig::from_profile(DesignProfile::Aes)
+        .scale(1.0 / 128.0)
+        .seed(6)
+        .generate();
+    assert_eq!(leiden_assignment(&n, 9).0, leiden_assignment(&n, 9).0);
+}
+
+#[test]
+fn full_flow_ppa_is_reproducible() {
+    let (n, c) = GeneratorConfig::from_profile(DesignProfile::Aes)
+        .scale(1.0 / 128.0)
+        .seed(8)
+        .generate_with_constraints();
+    let a = run_flow(&n, &c, &opts());
+    let b = run_flow(&n, &c, &opts());
+    assert_eq!(a.hpwl, b.hpwl);
+    assert_eq!(a.cluster_count, b.cluster_count);
+    assert_eq!(a.ppa, b.ppa);
+}
+
+#[test]
+fn different_seeds_change_the_design() {
+    let a = GeneratorConfig::from_profile(DesignProfile::Aes)
+        .scale(1.0 / 128.0)
+        .seed(1)
+        .generate();
+    let b = GeneratorConfig::from_profile(DesignProfile::Aes)
+        .scale(1.0 / 128.0)
+        .seed(2)
+        .generate();
+    assert_ne!(verilog::write(&a), verilog::write(&b));
+}
