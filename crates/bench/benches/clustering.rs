@@ -1,12 +1,12 @@
 //! Criterion bench for the clustering stages: dendrogram (Alg. 2),
 //! enhanced multilevel FC, and the Louvain/Leiden baselines.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cp_bench::{flow_options, Bench};
 use cp_core::baselines::{leiden_assignment, louvain_assignment, mfc_assignment};
 use cp_core::cluster::dendrogram::cluster_by_hierarchy;
 use cp_core::cluster::ppa_aware_clustering;
 use cp_netlist::generator::DesignProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_clustering(c: &mut Criterion) {
@@ -20,7 +20,9 @@ fn bench_clustering(c: &mut Criterion) {
     group.bench_function("ppa_aware", |bench| {
         bench.iter(|| {
             black_box(
-                ppa_aware_clustering(&b.netlist, &b.constraints, &opts.clustering).cluster_count,
+                ppa_aware_clustering(&b.netlist, &b.constraints, &opts.clustering)
+                    .expect("clustering runs")
+                    .cluster_count,
             )
         })
     });

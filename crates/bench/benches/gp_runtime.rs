@@ -1,11 +1,11 @@
 //! Criterion bench behind Table 2: global placement runtime, flat vs
 //! clustered+seeded (the paper's headline 36% average speedup).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cp_bench::{flow_options, Bench};
 use cp_core::cluster::ppa_aware_clustering;
 use cp_core::flow::{run_default_flow, run_flow_with_assignment, Tool};
 use cp_netlist::generator::DesignProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_placement(c: &mut Criterion) {
@@ -15,9 +15,16 @@ fn bench_placement(c: &mut Criterion) {
         let b = Bench::generate_at(profile, 1.0 / 64.0);
         let opts = flow_options().tool(Tool::OpenRoadLike);
         // Clustering runs once; the bench isolates the placement phases.
-        let clustering = ppa_aware_clustering(&b.netlist, &b.constraints, &opts.clustering);
+        let clustering = ppa_aware_clustering(&b.netlist, &b.constraints, &opts.clustering)
+            .expect("clustering runs");
         group.bench_function(format!("flat/{}", b.name()), |bench| {
-            bench.iter(|| black_box(run_default_flow(&b.netlist, &b.constraints, &opts).hpwl))
+            bench.iter(|| {
+                black_box(
+                    run_default_flow(&b.netlist, &b.constraints, &opts)
+                        .expect("flow runs")
+                        .hpwl,
+                )
+            })
         });
         group.bench_function(format!("seeded/{}", b.name()), |bench| {
             bench.iter(|| {
@@ -29,6 +36,7 @@ fn bench_placement(c: &mut Criterion) {
                         0.0,
                         &opts,
                     )
+                    .expect("flow runs")
                     .hpwl,
                 )
             })

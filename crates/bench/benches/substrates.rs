@@ -1,7 +1,6 @@
 //! Criterion bench for the substrates: STA, activity propagation, power,
 //! global routing, CTS and a GNN training step.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cp_bench::Bench;
 use cp_gnn::model::{ModelConfig, TotalCostModel};
 use cp_gnn::optim::AdamOptions;
@@ -17,24 +16,27 @@ use cp_timing::activity::propagate_activity;
 use cp_timing::power::power_report;
 use cp_timing::sta::Sta;
 use cp_timing::wire::WireModel;
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_substrates(c: &mut Criterion) {
     let b = Bench::generate_at(DesignProfile::Jpeg, 1.0 / 64.0);
     let fp = Floorplan::for_netlist(&b.netlist, 0.6, 1.0);
     let problem = PlacementProblem::from_netlist(&b.netlist, &fp);
-    let placed = GlobalPlacer::new(PlacerOptions::default()).place(&problem);
+    let placed = GlobalPlacer::new(PlacerOptions::default())
+        .place(&problem)
+        .expect("placement runs");
     let mut positions = placed.positions.clone();
     positions.extend_from_slice(&fp.port_positions);
 
     let mut group = c.benchmark_group("substrates");
     group.sample_size(10);
     group.bench_function("sta_full", |bench| {
-        let sta = Sta::new(&b.netlist, &b.constraints);
+        let sta = Sta::new(&b.netlist, &b.constraints).expect("acyclic netlist");
         bench.iter(|| black_box(sta.run(&WireModel::Placed(&positions)).tns))
     });
     group.bench_function("sta_paths_1k", |bench| {
-        let sta = Sta::new(&b.netlist, &b.constraints);
+        let sta = Sta::new(&b.netlist, &b.constraints).expect("acyclic netlist");
         let report = sta.run(&WireModel::Placed(&positions));
         bench.iter(|| black_box(sta.extract_paths(&report, 1000).len()))
     });
@@ -45,8 +47,13 @@ fn bench_substrates(c: &mut Criterion) {
         let act = propagate_activity(&b.netlist, &b.constraints);
         bench.iter(|| {
             black_box(
-                power_report(&b.netlist, &b.constraints, &act, &WireModel::Placed(&positions))
-                    .total(),
+                power_report(
+                    &b.netlist,
+                    &b.constraints,
+                    &act,
+                    &WireModel::Placed(&positions),
+                )
+                .total(),
             )
         })
     });
@@ -54,13 +61,18 @@ fn bench_substrates(c: &mut Criterion) {
         bench.iter(|| {
             black_box(
                 route_placed_netlist(&b.netlist, &positions, &fp, &RouterOptions::default())
+                    .expect("routing runs")
                     .wirelength,
             )
         })
     });
     group.bench_function("cts", |bench| {
         bench.iter(|| {
-            black_box(synthesize_clock_tree(&b.netlist, &positions, &CtsOptions::default()).skew)
+            black_box(
+                synthesize_clock_tree(&b.netlist, &positions, &CtsOptions::default())
+                    .expect("CTS runs")
+                    .skew,
+            )
         })
     });
     group.bench_function("gnn_train_batch", |bench| {
@@ -69,8 +81,7 @@ fn bench_substrates(c: &mut Criterion) {
         let samples: Vec<(GraphSample, f64)> = (0..8)
             .map(|i| {
                 let n = 40 + i * 5;
-                let edges: Vec<(u32, u32, f64)> =
-                    (1..n as u32).map(|k| (k - 1, k, 1.0)).collect();
+                let edges: Vec<(u32, u32, f64)> = (1..n as u32).map(|k| (k - 1, k, 1.0)).collect();
                 (
                     GraphSample {
                         adj: SparseSym::normalized_from_edges(n, &edges),

@@ -2,7 +2,6 @@
 //! sweep, feature extraction, and GNN inference (the 30× claim of
 //! Section 3.2 is the sweep/inference ratio).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cp_bench::{flow_options, Bench};
 use cp_core::cluster::ppa_aware_clustering;
 use cp_core::flow::cluster_members;
@@ -12,27 +11,35 @@ use cp_gnn::model::{ModelConfig, TotalCostModel};
 use cp_gnn::GraphSample;
 use cp_netlist::generator::DesignProfile;
 use cp_netlist::ClusterShape;
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_vpr(c: &mut Criterion) {
     let b = Bench::generate_at(DesignProfile::Aes, 1.0 / 32.0);
     let opts = flow_options();
-    let clustering = ppa_aware_clustering(&b.netlist, &b.constraints, &opts.clustering);
+    let clustering = ppa_aware_clustering(&b.netlist, &b.constraints, &opts.clustering)
+        .expect("clustering runs");
     let cluster = cluster_members(&clustering.assignment, clustering.cluster_count)
         .into_iter()
         .max_by_key(|m| m.len())
         .expect("clusters exist");
-    let sub = extract_subnetlist(&b.netlist, &cluster);
+    let sub = extract_subnetlist(&b.netlist, &cluster).expect("valid sub-netlist");
     // Untrained weights are fine for timing inference.
     let selector = MlShapeSelector::from_model(TotalCostModel::new(&ModelConfig::default(), 3));
 
     let mut group = c.benchmark_group("vpr");
     group.sample_size(10);
     group.bench_function("evaluate_one_shape", |bench| {
-        bench.iter(|| black_box(evaluate_shape(&sub, ClusterShape::UNIFORM, &opts.vpr).total))
+        bench.iter(|| {
+            black_box(
+                evaluate_shape(&sub, ClusterShape::UNIFORM, &opts.vpr)
+                    .expect("shape evaluates")
+                    .total,
+            )
+        })
     });
     group.bench_function("exact_sweep_20", |bench| {
-        bench.iter(|| black_box(best_shape(&sub, &opts.vpr).0))
+        bench.iter(|| black_box(best_shape(&sub, &opts.vpr).expect("sweep runs").0))
     });
     group.bench_function("feature_extraction", |bench| {
         bench.iter(|| black_box(cluster_features(&sub)))

@@ -5,11 +5,13 @@
 //! hierarchy, timing-path criticality, switching activity — and reports
 //! post-route PPA with the OpenROAD-like flow.
 
-use cp_bench::{flow_options, fmt_norm, fmt_power, fmt_tns, fmt_wns, print_table, scale, small_profiles, Bench};
+use cp_bench::{
+    flow_options, fmt_norm, fmt_power, fmt_tns, fmt_wns, print_table, scale, small_profiles, Bench,
+};
 use cp_core::flow::{run_default_flow, run_flow, Tool};
 use cp_core::ClusteringOptions;
 
-fn main() {
+fn main() -> Result<(), cp_core::FlowError> {
     println!("# Ablation — PPA-awareness ingredients (scale {})", scale());
     let base = flow_options().tool(Tool::OpenRoadLike);
     let variants: Vec<(&str, Box<dyn Fn(ClusteringOptions) -> ClusteringOptions>)> = vec![
@@ -48,11 +50,11 @@ fn main() {
     let mut rows = Vec::new();
     for p in small_profiles() {
         let b = Bench::generate(p);
-        let default = run_default_flow(&b.netlist, &b.constraints, &base);
+        let default = run_default_flow(&b.netlist, &b.constraints, &base)?;
         for (name, f) in &variants {
             let mut opts = base.clone();
             opts.clustering = f(base.clustering);
-            let r = run_flow(&b.netlist, &b.constraints, &opts);
+            let r = run_flow(&b.netlist, &b.constraints, &opts)?;
             rows.push(vec![
                 b.name().to_string(),
                 name.to_string(),
@@ -67,7 +69,16 @@ fn main() {
     }
     print_table(
         "Post-route PPA by ablated signal (normalized to the default flat flow)",
-        &["Design", "Variant", "HPWL", "rWL", "WNS (ps)", "TNS (ns)", "Power (W)"],
+        &[
+            "Design",
+            "Variant",
+            "HPWL",
+            "rWL",
+            "WNS (ps)",
+            "TNS (ns)",
+            "Power (W)",
+        ],
         &rows,
     );
+    Ok(())
 }

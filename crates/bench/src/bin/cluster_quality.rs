@@ -10,7 +10,7 @@ use cp_core::baselines::{leiden_assignment, mfc_assignment};
 use cp_core::cluster::ppa_aware_clustering;
 use cp_core::cluster::quality::clustering_quality;
 
-fn main() {
+fn main() -> Result<(), cp_core::FlowError> {
     println!("# Clustering quality metrics (scale {})", scale());
     let opts = flow_options();
     let mut rows = Vec::new();
@@ -19,7 +19,7 @@ fn main() {
         let hg = b.netlist.to_hypergraph();
         let (leiden, _) = leiden_assignment(&b.netlist, opts.clustering.seed);
         let (mfc, _) = mfc_assignment(&b.netlist, &opts.clustering);
-        let ours = ppa_aware_clustering(&b.netlist, &b.constraints, &opts.clustering);
+        let ours = ppa_aware_clustering(&b.netlist, &b.constraints, &opts.clustering)?;
         for (name, labels) in [
             ("Leiden", &leiden),
             ("MFC", &mfc),
@@ -44,4 +44,5 @@ fn main() {
         &["Design", "Method", "#Clusters", "Cutsize", "K−1", "Modularity", "Balance", "Rent"],
         &rows,
     );
+    Ok(())
 }

@@ -9,16 +9,16 @@ use cp_bench::{flow_options, print_table, scale, small_profiles, Bench};
 use cp_core::flow::{run_flow, Tool};
 use cp_core::ClusteringOptions;
 
-fn main() {
+fn main() -> Result<(), cp_core::FlowError> {
     println!("# Figure 5 — hyperparameter validation (scale {})", scale());
     let base = flow_options().tool(Tool::OpenRoadLike);
     let benches: Vec<Bench> = small_profiles().into_iter().map(Bench::generate).collect();
 
     // HPWL at the default hyperparameters, per design.
-    let baseline: Vec<f64> = benches
-        .iter()
-        .map(|b| run_flow(&b.netlist, &b.constraints, &base).hpwl)
-        .collect();
+    let mut baseline = Vec::with_capacity(benches.len());
+    for b in &benches {
+        baseline.push(run_flow(&b.netlist, &b.constraints, &base)?.hpwl);
+    }
 
     let mut rows = Vec::new();
     for param in ["alpha", "beta", "gamma", "mu"] {
@@ -26,16 +26,25 @@ fn main() {
             let m = mult as f64;
             let c = base.clustering;
             let clustering = match param {
-                "alpha" => ClusteringOptions { alpha: c.alpha * m, ..c },
-                "beta" => ClusteringOptions { beta: c.beta * m, ..c },
-                "gamma" => ClusteringOptions { gamma: c.gamma * m, ..c },
+                "alpha" => ClusteringOptions {
+                    alpha: c.alpha * m,
+                    ..c
+                },
+                "beta" => ClusteringOptions {
+                    beta: c.beta * m,
+                    ..c
+                },
+                "gamma" => ClusteringOptions {
+                    gamma: c.gamma * m,
+                    ..c
+                },
                 _ => ClusteringOptions { mu: c.mu * m, ..c },
             };
             let mut opts = base.clone();
             opts.clustering = clustering;
             let mut score = 0.0;
             for (b, &base_hpwl) in benches.iter().zip(&baseline) {
-                let r = run_flow(&b.netlist, &b.constraints, &opts);
+                let r = run_flow(&b.netlist, &b.constraints, &opts)?;
                 score += r.hpwl / base_hpwl;
             }
             score /= benches.len() as f64;
@@ -52,4 +61,5 @@ fn main() {
         &["Parameter", "Multiplier", "Score (avg normalized HPWL)"],
         &rows,
     );
+    Ok(())
 }

@@ -19,7 +19,7 @@ use cp_netlist::generator::DesignProfile;
 use cp_netlist::CellId;
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), cp_core::FlowError> {
     println!("# Section 4.4 — GNN model evaluation (scale {})", scale());
     let configs: usize = std::env::var("CP_GNN_CONFIGS")
         .ok()
@@ -43,7 +43,7 @@ fn main() {
                 vpr: base.vpr,
                 seed: 31,
             },
-        );
+        )?;
         eprintln!("{}: {} samples", b.name(), d.len());
         data.extend(d);
     }
@@ -64,9 +64,8 @@ fn main() {
 
     let labels: Vec<f64> = data.iter().map(|(_, l)| *l).collect();
     let mean = labels.iter().sum::<f64>() / labels.len() as f64;
-    let std = (labels.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>()
-        / labels.len() as f64)
-        .sqrt();
+    let std =
+        (labels.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / labels.len() as f64).sqrt();
     let (lo, hi) = labels
         .iter()
         .fold((f64::MAX, f64::MIN), |acc, &l| (acc.0.min(l), acc.1.max(l)));
@@ -92,25 +91,37 @@ fn main() {
         "Model accuracy (paper: MAE 0.105/0.113/0.131, R2 0.788/0.753/0.638)",
         &["Split", "MAE", "R2"],
         &[
-            vec!["train".into(), format!("{:.3}", stats.train_mae), format!("{:.3}", stats.train_r2)],
-            vec!["validation".into(), format!("{val_mae:.3}"), format!("{val_r2:.3}")],
-            vec!["test".into(), format!("{test_mae:.3}"), format!("{test_r2:.3}")],
+            vec![
+                "train".into(),
+                format!("{:.3}", stats.train_mae),
+                format!("{:.3}", stats.train_r2),
+            ],
+            vec![
+                "validation".into(),
+                format!("{val_mae:.3}"),
+                format!("{val_r2:.3}"),
+            ],
+            vec![
+                "test".into(),
+                format!("{test_mae:.3}"),
+                format!("{test_r2:.3}"),
+            ],
         ],
     );
 
     // Acceleration: exact 20-shape V-P&R vs ML inference on one cluster.
     let b = Bench::generate(DesignProfile::Ariane);
     let clustering =
-        cp_core::cluster::ppa_aware_clustering(&b.netlist, &b.constraints, &base.clustering);
+        cp_core::cluster::ppa_aware_clustering(&b.netlist, &b.constraints, &base.clustering)?;
     let members = cp_core::flow::cluster_members(&clustering.assignment, clustering.cluster_count);
     let cluster: Vec<CellId> = members
         .into_iter()
         .filter(|m| m.len() >= base.vpr_min_instances)
         .max_by_key(|m| m.len())
         .expect("a shapeable cluster exists");
-    let sub = extract_subnetlist(&b.netlist, &cluster);
+    let sub = extract_subnetlist(&b.netlist, &cluster)?;
     let t0 = Instant::now();
-    let (exact_shape, _) = best_shape(&sub, &base.vpr);
+    let (exact_shape, _) = best_shape(&sub, &base.vpr)?;
     let exact_time = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
     let feats = cluster_features(&sub);
@@ -134,6 +145,10 @@ fn main() {
     );
     println!(
         "exact shape: AR {:.2} util {:.2}; ML shape: AR {:.2} util {:.2}",
-        exact_shape.aspect_ratio, exact_shape.utilization, ml_shape.aspect_ratio, ml_shape.utilization
+        exact_shape.aspect_ratio,
+        exact_shape.utilization,
+        ml_shape.aspect_ratio,
+        ml_shape.utilization
     );
+    Ok(())
 }

@@ -27,18 +27,22 @@ fn main() {
         let b = Bench::generate(p);
         let (_, t_dendro) = secs(|| cluster_by_hierarchy(&b.netlist));
         let (_, t_sta) = secs(|| {
-            let sta = Sta::new(&b.netlist, &b.constraints);
+            let sta = Sta::new(&b.netlist, &b.constraints).expect("generated netlists are acyclic");
             let r = sta.run(&WireModel::Estimate);
             sta.extract_paths(&r, opts.clustering.path_count).len()
         });
         let (_, t_act) = secs(|| propagate_activity(&b.netlist, &b.constraints).iterations);
-        let (clustering, t_cluster_total) =
-            secs(|| ppa_aware_clustering(&b.netlist, &b.constraints, &opts.clustering));
+        let (clustering, t_cluster_total) = secs(|| {
+            ppa_aware_clustering(&b.netlist, &b.constraints, &opts.clustering)
+                .expect("clustering runs")
+        });
         let fp = Floorplan::for_netlist(&b.netlist, opts.utilization, opts.aspect_ratio);
         let (clustered, t_collapse) =
             secs(|| ClusteredNetlist::from_assignment(&b.netlist, &clustering.assignment));
         let (cluster_pl, t_cluster_place) = secs(|| {
-            GlobalPlacer::new(opts.placer).place(&PlacementProblem::from_clustered(&clustered, &fp))
+            GlobalPlacer::new(opts.placer)
+                .place(&PlacementProblem::from_clustered(&clustered, &fp))
+                .expect("cluster placement runs")
         });
         let seeds: Vec<(f64, f64)> = clustered
             .cluster_of_cell()
@@ -47,7 +51,10 @@ fn main() {
             .collect();
         let (_, t_incremental) = secs(|| {
             let problem = PlacementProblem::from_netlist(&b.netlist, &fp).with_seeds(seeds.clone());
-            GlobalPlacer::new(opts.placer).place(&problem).hpwl
+            GlobalPlacer::new(opts.placer)
+                .place(&problem)
+                .expect("incremental placement runs")
+                .hpwl
         });
         rows.push(vec![
             b.name().to_string(),

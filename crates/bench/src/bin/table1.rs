@@ -27,8 +27,15 @@ fn main() {
     print_table(
         "Benchmark statistics (paper vs generated)",
         &[
-            "Design", "#Insts (paper)", "#Nets (paper)", "#Insts (gen)", "#Nets (gen)",
-            "#FFs", "HierDepth", "AvgFanout", "TCP_OR (ns)",
+            "Design",
+            "#Insts (paper)",
+            "#Nets (paper)",
+            "#Insts (gen)",
+            "#Nets (gen)",
+            "#FFs",
+            "HierDepth",
+            "AvgFanout",
+            "TCP_OR (ns)",
         ],
         &rows,
     );

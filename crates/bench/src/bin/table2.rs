@@ -12,30 +12,28 @@ use cp_core::baselines::run_blob_flow;
 use cp_core::flow::{run_default_flow, run_flow, Tool};
 use cp_netlist::generator::DesignProfile;
 
-fn main() {
+fn main() -> Result<(), cp_core::FlowError> {
     println!("# Table 2 — post-place HPWL / CPU (scale {})", scale());
     let opts = flow_options().tool(Tool::OpenRoadLike);
     let mut rows = Vec::new();
     for p in all_profiles() {
         let b = Bench::generate(p);
-        let default = run_default_flow(&b.netlist, &b.constraints, &opts);
-        let ours = run_flow(&b.netlist, &b.constraints, &opts);
+        let default = run_default_flow(&b.netlist, &b.constraints, &opts)?;
+        let ours = run_flow(&b.netlist, &b.constraints, &opts)?;
         let ours_cpu = ours.clustering_runtime + ours.placement_runtime;
-        let (blob_hpwl, blob_cpu) = if matches!(
-            p,
-            DesignProfile::MegaBoom | DesignProfile::MemPoolGroup
-        ) {
-            ("NA".to_string(), "NA".to_string())
-        } else {
-            let blob = run_blob_flow(&b.netlist, &b.constraints, &opts);
-            (
-                fmt_norm(blob.hpwl, default.hpwl),
-                fmt_norm(
-                    blob.clustering_runtime + blob.placement_runtime,
-                    default.placement_runtime,
-                ),
-            )
-        };
+        let (blob_hpwl, blob_cpu) =
+            if matches!(p, DesignProfile::MegaBoom | DesignProfile::MemPoolGroup) {
+                ("NA".to_string(), "NA".to_string())
+            } else {
+                let blob = run_blob_flow(&b.netlist, &b.constraints, &opts)?;
+                (
+                    fmt_norm(blob.hpwl, default.hpwl),
+                    fmt_norm(
+                        blob.clustering_runtime + blob.placement_runtime,
+                        default.placement_runtime,
+                    ),
+                )
+            };
         rows.push(vec![
             b.name().to_string(),
             blob_hpwl,
@@ -54,7 +52,15 @@ fn main() {
     }
     print_table(
         "Post-place results, normalized to the default flow",
-        &["Design", "[9] HPWL", "[9] CPU", "Ours HPWL", "Ours CPU", "#Clusters"],
+        &[
+            "Design",
+            "[9] HPWL",
+            "[9] CPU",
+            "Ours HPWL",
+            "Ours CPU",
+            "#Clusters",
+        ],
         &rows,
     );
+    Ok(())
 }

@@ -8,8 +8,11 @@ use cp_bench::{flow_options, fmt_norm, fmt_power, fmt_tns, fmt_wns, print_table,
 use cp_core::flow::{run_default_flow, run_flow, ShapeMode, Tool};
 use cp_netlist::generator::DesignProfile;
 
-fn main() {
-    println!("# Table 3 — post-route PPA, OpenROAD-like (scale {})", scale());
+fn main() -> Result<(), cp_core::FlowError> {
+    println!(
+        "# Table 3 — post-route PPA, OpenROAD-like (scale {})",
+        scale()
+    );
     let opts = flow_options()
         .tool(Tool::OpenRoadLike)
         .shape_mode(ShapeMode::Vpr);
@@ -21,8 +24,8 @@ fn main() {
         DesignProfile::BlackParrot,
     ] {
         let b = Bench::generate(p);
-        let default = run_default_flow(&b.netlist, &b.constraints, &opts);
-        let ours = run_flow(&b.netlist, &b.constraints, &opts);
+        let default = run_default_flow(&b.netlist, &b.constraints, &opts)?;
+        let ours = run_flow(&b.netlist, &b.constraints, &opts)?;
         for (flow, r) in [("Default", &default), ("Ours", &ours)] {
             rows.push(vec![
                 b.name().to_string(),
@@ -39,4 +42,5 @@ fn main() {
         &["Design", "Flow", "rWL", "WNS (ps)", "TNS (ns)", "Power (W)"],
         &rows,
     );
+    Ok(())
 }

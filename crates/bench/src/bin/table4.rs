@@ -3,19 +3,24 @@
 //! Default (flat) vs ours (PPA-aware clustering + V-P&R shapes + region
 //! constraints during incremental placement) on all six designs.
 
-use cp_bench::{all_profiles, flow_options, fmt_norm, fmt_power, fmt_tns, fmt_wns, print_table, scale, Bench};
+use cp_bench::{
+    all_profiles, flow_options, fmt_norm, fmt_power, fmt_tns, fmt_wns, print_table, scale, Bench,
+};
 use cp_core::flow::{run_default_flow, run_flow, ShapeMode, Tool};
 
-fn main() {
-    println!("# Table 4 — post-route PPA, Innovus-like (scale {})", scale());
+fn main() -> Result<(), cp_core::FlowError> {
+    println!(
+        "# Table 4 — post-route PPA, Innovus-like (scale {})",
+        scale()
+    );
     let opts = flow_options()
         .tool(Tool::InnovusLike)
         .shape_mode(ShapeMode::Vpr);
     let mut rows = Vec::new();
     for p in all_profiles() {
         let b = Bench::generate(p);
-        let default = run_default_flow(&b.netlist, &b.constraints, &opts);
-        let ours = run_flow(&b.netlist, &b.constraints, &opts);
+        let default = run_default_flow(&b.netlist, &b.constraints, &opts)?;
+        let ours = run_flow(&b.netlist, &b.constraints, &opts)?;
         for (flow, r) in [("Default", &default), ("Ours", &ours)] {
             rows.push(vec![
                 b.name().to_string(),
@@ -33,4 +38,5 @@ fn main() {
         &["Design", "Flow", "rWL", "WNS (ps)", "TNS (ns)", "Power (W)"],
         &rows,
     );
+    Ok(())
 }

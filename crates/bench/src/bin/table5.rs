@@ -4,11 +4,13 @@
 //! dropped into the same overall flow (OpenROAD-like), post-route PPA.
 //! rWL is normalized to the default flat flow as in the paper.
 
-use cp_bench::{flow_options, fmt_norm, fmt_power, fmt_tns, fmt_wns, print_table, scale, small_profiles, Bench};
+use cp_bench::{
+    flow_options, fmt_norm, fmt_power, fmt_tns, fmt_wns, print_table, scale, small_profiles, Bench,
+};
 use cp_core::baselines::{run_leiden_flow, run_mfc_flow};
 use cp_core::flow::{run_default_flow, run_flow, ShapeMode, Tool};
 
-fn main() {
+fn main() -> Result<(), cp_core::FlowError> {
     println!("# Table 5 — clustering comparison (scale {})", scale());
     let opts = flow_options()
         .tool(Tool::OpenRoadLike)
@@ -16,10 +18,10 @@ fn main() {
     let mut rows = Vec::new();
     for p in small_profiles() {
         let b = Bench::generate(p);
-        let default = run_default_flow(&b.netlist, &b.constraints, &opts);
-        let leiden = run_leiden_flow(&b.netlist, &b.constraints, &opts);
-        let mfc = run_mfc_flow(&b.netlist, &b.constraints, &opts);
-        let ours = run_flow(&b.netlist, &b.constraints, &opts);
+        let default = run_default_flow(&b.netlist, &b.constraints, &opts)?;
+        let leiden = run_leiden_flow(&b.netlist, &b.constraints, &opts)?;
+        let mfc = run_mfc_flow(&b.netlist, &b.constraints, &opts)?;
+        let ours = run_flow(&b.netlist, &b.constraints, &opts)?;
         for (method, r) in [("Leiden", &leiden), ("MFC", &mfc), ("Ours", &ours)] {
             rows.push(vec![
                 b.name().to_string(),
@@ -34,7 +36,15 @@ fn main() {
     }
     print_table(
         "Post-route PPA by clustering method (rWL normalized to the default flow)",
-        &["Design", "Method", "rWL", "WNS (ps)", "TNS (ns)", "Power (W)"],
+        &[
+            "Design",
+            "Method",
+            "rWL",
+            "WNS (ps)",
+            "TNS (ns)",
+            "Power (W)",
+        ],
         &rows,
     );
+    Ok(())
 }

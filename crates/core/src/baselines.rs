@@ -9,6 +9,7 @@
 use crate::cluster::costs::EdgeCosts;
 use crate::cluster::fc::{multilevel_fc, FcOptions};
 use crate::cluster::ClusteringOptions;
+use crate::error::FlowError;
 use crate::flow::{run_flow_with_assignment, FlowOptions, FlowReport};
 use cp_graph::community::{leiden, louvain, CommunityOptions};
 use cp_netlist::netlist::Netlist;
@@ -55,10 +56,7 @@ pub fn leiden_assignment(netlist: &Netlist, seed: u64) -> (Vec<u32>, f64) {
 
 /// Plain multilevel FC (no hierarchy, no timing, no switching — Table 5's
 /// MFC baseline).
-pub fn mfc_assignment(
-    netlist: &Netlist,
-    clustering: &ClusteringOptions,
-) -> (Vec<u32>, f64) {
+pub fn mfc_assignment(netlist: &Netlist, clustering: &ClusteringOptions) -> (Vec<u32>, f64) {
     let t0 = Instant::now();
     let hg = netlist.to_hypergraph();
     let costs = EdgeCosts::uniform(hg.edge_count());
@@ -83,32 +81,44 @@ pub fn mfc_assignment(
 
 /// The blob-placement flow of [9]: Louvain clusters, uniform shapes,
 /// OpenROAD-like seeded placement.
+///
+/// # Errors
+///
+/// See [`run_flow_with_assignment`].
 pub fn run_blob_flow(
     netlist: &Netlist,
     constraints: &Constraints,
     options: &FlowOptions,
-) -> FlowReport {
+) -> Result<FlowReport, FlowError> {
     let (assignment, runtime) = louvain_assignment(netlist, options.clustering.seed);
     run_flow_with_assignment(netlist, constraints, &assignment, runtime, options)
 }
 
 /// Our overall flow with Leiden standing in for the PPA-aware clustering
 /// (Table 5's "Leiden" row).
+///
+/// # Errors
+///
+/// See [`run_flow_with_assignment`].
 pub fn run_leiden_flow(
     netlist: &Netlist,
     constraints: &Constraints,
     options: &FlowOptions,
-) -> FlowReport {
+) -> Result<FlowReport, FlowError> {
     let (assignment, runtime) = leiden_assignment(netlist, options.clustering.seed);
     run_flow_with_assignment(netlist, constraints, &assignment, runtime, options)
 }
 
 /// Our overall flow with plain multilevel FC (Table 5's "MFC" row).
+///
+/// # Errors
+///
+/// See [`run_flow_with_assignment`].
 pub fn run_mfc_flow(
     netlist: &Netlist,
     constraints: &Constraints,
     options: &FlowOptions,
-) -> FlowReport {
+) -> Result<FlowReport, FlowError> {
     let (assignment, runtime) = mfc_assignment(netlist, &options.clustering);
     run_flow_with_assignment(netlist, constraints, &assignment, runtime, options)
 }
@@ -148,7 +158,10 @@ mod tests {
         let (labels, _) = mfc_assignment(&n, &opts);
         let k = labels.iter().copied().max().unwrap() as usize + 1;
         let target = opts.target_clusters(n.cell_count());
-        assert!(k >= target && k <= n.cell_count() / 4, "k = {k}, target {target}");
+        assert!(
+            k >= target && k <= n.cell_count() / 4,
+            "k = {k}, target {target}"
+        );
     }
 
     #[test]
@@ -156,9 +169,9 @@ mod tests {
         let (n, c) = setup();
         let opts = FlowOptions::fast();
         for r in [
-            run_blob_flow(&n, &c, &opts),
-            run_leiden_flow(&n, &c, &opts),
-            run_mfc_flow(&n, &c, &opts),
+            run_blob_flow(&n, &c, &opts).expect("blob flow runs"),
+            run_leiden_flow(&n, &c, &opts).expect("leiden flow runs"),
+            run_mfc_flow(&n, &c, &opts).expect("mfc flow runs"),
         ] {
             assert!(r.hpwl > 0.0);
             assert!(r.ppa.rwl > 0.0);

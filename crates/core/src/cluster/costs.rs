@@ -117,7 +117,7 @@ mod tests {
             .seed(1)
             .generate_with_constraints();
         let (hg, map) = n.to_hypergraph_with_map();
-        let sta = Sta::new(&n, &c);
+        let sta = Sta::new(&n, &c).expect("acyclic netlist");
         let report = sta.run(&WireModel::Estimate);
         let paths = sta.extract_paths(&report, 500);
         let act = propagate_activity(&n, &c);
@@ -125,7 +125,10 @@ mod tests {
         assert_eq!(costs.timing.len(), hg.edge_count());
         // Normalization holds.
         assert!(costs.timing.iter().all(|&t| (0.0..=1.0).contains(&t)));
-        assert!(costs.timing.iter().any(|&t| t > 0.0), "some nets are critical");
+        assert!(
+            costs.timing.iter().any(|&t| t > 0.0),
+            "some nets are critical"
+        );
         // Eq. 2 lower bound.
         assert!(costs.switching.iter().all(|&s| s >= 1.0));
         assert!(costs.switching.iter().any(|&s| s > 1.0));

@@ -95,9 +95,18 @@ pub fn cluster_by_hierarchy_with_min(
             best = Some(entry);
         }
     }
-    let mut out = best
-        .or(finest)
-        .expect("at least one level evaluated");
+    // The loop above runs at least once, so `finest` is always set; the
+    // degenerate arm only guards a netlist with no cells at all.
+    let mut out = match best.or(finest) {
+        Some(c) => c,
+        None => DendrogramClustering {
+            assignment: vec![0; netlist.cell_count()],
+            cluster_count: usize::from(netlist.cell_count() > 0),
+            level: 1,
+            rent: 1.0,
+            candidates: Vec::new(),
+        },
+    };
     out.candidates = candidates;
     out
 }
@@ -175,7 +184,11 @@ mod tests {
         let a = b.add_port("a", PortDir::Input);
         let u0 = b.add_cell("u0", inv, HierTree::ROOT);
         let u1 = b.add_cell("u1", inv, HierTree::ROOT);
-        b.add_net("na", Some(PinRef::Port(a)), vec![PinRef::Cell { cell: u0, pin: 0 }]);
+        b.add_net(
+            "na",
+            Some(PinRef::Port(a)),
+            vec![PinRef::Cell { cell: u0, pin: 0 }],
+        );
         b.add_net(
             "n1",
             Some(PinRef::Cell { cell: u0, pin: 0 }),

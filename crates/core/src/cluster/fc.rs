@@ -85,15 +85,7 @@ pub fn multilevel_fc(
         if count <= opts.target_clusters {
             break;
         }
-        let merges = fc_pass(
-            hg,
-            n_cells,
-            costs,
-            &mut assignment,
-            count,
-            opts,
-            &mut rng,
-        );
+        let merges = fc_pass(hg, n_cells, costs, &mut assignment, count, opts, &mut rng);
         let new_count = cp_graph::community::compact_labels(&mut assignment);
         if merges == 0 || new_count == count {
             break;
@@ -190,9 +182,17 @@ fn fc_pass(
         neighbors[a as usize].push((b, s));
         neighbors[b as usize].push((a, s));
     }
-    // FC visit in random order.
+    // FC visit: highest best-neighbor rating first so a budget-limited pass
+    // (remaining close to target) spends its merges on the most critical
+    // pairs; the shuffle randomizes only ties, which keeps uniform regions
+    // seed-dependent without letting the seed pick over a critical edge.
     let mut order: Vec<u32> = (0..count as u32).collect();
     order.shuffle(rng);
+    let best_rating: Vec<f64> = neighbors
+        .iter()
+        .map(|ns| ns.iter().map(|&(_, s)| s).fold(0.0, f64::max))
+        .collect();
+    order.sort_by(|&a, &b| best_rating[b as usize].total_cmp(&best_rating[a as usize]));
     let mut merges = 0usize;
     let mut remaining = count;
     for &u in &order {

@@ -1,14 +1,15 @@
 //! PPA-aware netlist clustering (Section 3.1 of the paper).
 
 pub mod costs;
-pub mod quality;
 pub mod dendrogram;
 pub mod fc;
+pub mod quality;
 pub mod rent;
 
 use crate::cluster::costs::{build_edge_costs, EdgeCosts};
 use crate::cluster::dendrogram::cluster_by_hierarchy_with_min;
 use crate::cluster::fc::{multilevel_fc, FcOptions};
+use crate::error::FlowError;
 use cp_netlist::netlist::Netlist;
 use cp_netlist::Constraints;
 use cp_timing::activity::propagate_activity;
@@ -92,11 +93,19 @@ pub struct ClusteringResult {
 /// logical-hierarchy dendrogram clustering → grouping constraints, STA
 /// path/net slacks → `t_e`, vectorless activity → `s_e`, then enhanced
 /// multilevel FC.
+///
+/// # Errors
+///
+/// [`FlowError::Validation`] when the netlist or constraints are
+/// degenerate; [`FlowError::Timing`] when the timing-cost STA finds a
+/// combinational cycle.
 pub fn ppa_aware_clustering(
     netlist: &Netlist,
     constraints: &Constraints,
     options: &ClusteringOptions,
-) -> ClusteringResult {
+) -> Result<ClusteringResult, FlowError> {
+    netlist.validate()?;
+    constraints.validate()?;
     let start = Instant::now();
     let (hg, net_to_edge) = netlist.to_hypergraph_with_map();
     let n_cells = netlist.cell_count();
@@ -116,7 +125,7 @@ pub fn ppa_aware_clustering(
     let mut costs = if options.use_timing || options.use_switching {
         let act = propagate_activity(netlist, constraints);
         let paths = if options.use_timing {
-            let sta = Sta::new(netlist, constraints);
+            let sta = Sta::new(netlist, constraints)?;
             let report = sta.run(&WireModel::Estimate);
             sta.extract_paths(&report, options.path_count)
         } else {
@@ -141,7 +150,11 @@ pub fn ppa_aware_clustering(
     // Line 9: enhanced multilevel FC.
     let fc_opts = FcOptions {
         alpha: options.alpha,
-        beta: if options.use_timing { options.beta } else { 0.0 },
+        beta: if options.use_timing {
+            options.beta
+        } else {
+            0.0
+        },
         gamma: if options.use_switching {
             options.gamma
         } else {
@@ -155,13 +168,13 @@ pub fn ppa_aware_clustering(
     let groups = dendro.as_ref().map(|d| d.assignment.as_slice());
     let mut assignment = multilevel_fc(&hg, n_cells, &costs, groups, &fc_opts);
     let cluster_count = cp_graph::community::compact_labels(&mut assignment);
-    ClusteringResult {
+    Ok(ClusteringResult {
         assignment,
         cluster_count,
         dendrogram_level: dendro.as_ref().map(|d| d.level),
         dendrogram_rent: dendro.as_ref().map(|d| d.rent),
         runtime: start.elapsed().as_secs_f64(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -169,10 +182,13 @@ mod tests {
     use super::*;
     use cp_netlist::generator::{DesignProfile, GeneratorConfig};
 
+    // Seed chosen so the generated hierarchy is deep enough for dendrogram
+    // grouping to engage (some seeds yield a 3-module top level, which the
+    // `2 * count >= target` filter rightly rejects).
     fn setup() -> (Netlist, Constraints) {
         GeneratorConfig::from_profile(DesignProfile::Aes)
             .scale(0.02)
-            .seed(4)
+            .seed(6)
             .generate_with_constraints()
     }
 
@@ -183,7 +199,7 @@ mod tests {
             avg_cluster_size: 40,
             ..Default::default()
         };
-        let r = ppa_aware_clustering(&n, &c, &opts);
+        let r = ppa_aware_clustering(&n, &c, &opts).expect("clustering runs");
         assert_eq!(r.assignment.len(), n.cell_count());
         let target = opts.target_clusters(n.cell_count());
         assert!(
@@ -201,7 +217,7 @@ mod tests {
             avg_cluster_size: 40,
             ..Default::default()
         };
-        let ours = ppa_aware_clustering(&n, &c, &base);
+        let ours = ppa_aware_clustering(&n, &c, &base).expect("clustering runs");
         let no_hier = ppa_aware_clustering(
             &n,
             &c,
@@ -209,7 +225,8 @@ mod tests {
                 use_hierarchy: false,
                 ..base
             },
-        );
+        )
+        .expect("clustering runs");
         assert_ne!(ours.assignment, no_hier.assignment);
         assert!(no_hier.dendrogram_level.is_none());
     }
@@ -221,8 +238,8 @@ mod tests {
             avg_cluster_size: 40,
             ..Default::default()
         };
-        let a = ppa_aware_clustering(&n, &c, &opts);
-        let b = ppa_aware_clustering(&n, &c, &opts);
+        let a = ppa_aware_clustering(&n, &c, &opts).expect("clustering runs");
+        let b = ppa_aware_clustering(&n, &c, &opts).expect("clustering runs");
         assert_eq!(a.assignment, b.assignment);
     }
 
@@ -234,7 +251,7 @@ mod tests {
             max_cluster_factor: 2.0,
             ..Default::default()
         };
-        let r = ppa_aware_clustering(&n, &c, &opts);
+        let r = ppa_aware_clustering(&n, &c, &opts).expect("clustering runs");
         let mut sizes = vec![0usize; r.cluster_count];
         for &a in &r.assignment {
             sizes[a as usize] += 1;

@@ -35,7 +35,7 @@ pub struct ClusteringQuality {
 /// Panics if `labels` is empty.
 pub fn clustering_quality(hg: &Hypergraph, labels: &[u32]) -> ClusteringQuality {
     assert!(!labels.is_empty(), "empty assignment");
-    let cluster_count = labels.iter().copied().max().unwrap() as usize + 1;
+    let cluster_count = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
     let mut cutsize = 0usize;
     let mut k_minus_one = 0usize;
     let mut spanned: Vec<u32> = Vec::new();

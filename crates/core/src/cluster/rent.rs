@@ -133,10 +133,7 @@ mod tests {
         let bad = vec![0, 1, 0, 1, 0, 1, 0, 1]; // interleaved
         let r_good = weighted_average_rent(&hg, &good, 2);
         let r_bad = weighted_average_rent(&hg, &bad, 2);
-        assert!(
-            r_good < r_bad,
-            "good {r_good} should beat bad {r_bad}"
-        );
+        assert!(r_good < r_bad, "good {r_good} should beat bad {r_bad}");
     }
 
     #[test]

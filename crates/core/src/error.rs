@@ -1,0 +1,194 @@
+//! Typed errors and recovery diagnostics for the end-to-end flow.
+//!
+//! [`FlowError`] is the single error type every public flow entry point
+//! returns: it wraps the per-stage errors of the lower crates so a caller
+//! can match on *which* stage rejected the input without stringly-typed
+//! inspection. [`FlowDiagnostics`] is the other half of the story — events
+//! the flow recovered from on its own (divergence reverts, shape
+//! fallbacks, dropped regions) without failing the run.
+
+use cp_netlist::netlist::BuildNetlistError;
+use cp_netlist::ValidationError;
+use cp_place::PlaceError;
+use cp_route::RouteError;
+use cp_timing::TimingError;
+use std::fmt;
+
+/// Why the flow could not produce a [`crate::flow::FlowReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// Pre-flight validation rejected the netlist, floorplan request or
+    /// constraints before any stage ran.
+    Validation(ValidationError),
+    /// A sub-netlist induction produced a structurally invalid netlist.
+    Subnetlist(BuildNetlistError),
+    /// Global placement, legalization or CTS failed.
+    Place(PlaceError),
+    /// Static timing analysis failed (e.g. a combinational cycle).
+    Timing(TimingError),
+    /// Global routing failed.
+    Route(RouteError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Validation(e) => write!(f, "input validation failed: {e}"),
+            Self::Subnetlist(e) => write!(f, "sub-netlist induction failed: {e}"),
+            Self::Place(e) => write!(f, "placement failed: {e}"),
+            Self::Timing(e) => write!(f, "timing analysis failed: {e}"),
+            Self::Route(e) => write!(f, "routing failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Validation(e) => Some(e),
+            Self::Subnetlist(e) => Some(e),
+            Self::Place(e) => Some(e),
+            Self::Timing(e) => Some(e),
+            Self::Route(e) => Some(e),
+        }
+    }
+}
+
+impl From<ValidationError> for FlowError {
+    fn from(e: ValidationError) -> Self {
+        Self::Validation(e)
+    }
+}
+
+impl From<BuildNetlistError> for FlowError {
+    fn from(e: BuildNetlistError) -> Self {
+        Self::Subnetlist(e)
+    }
+}
+
+impl From<PlaceError> for FlowError {
+    fn from(e: PlaceError) -> Self {
+        Self::Place(e)
+    }
+}
+
+impl From<TimingError> for FlowError {
+    fn from(e: TimingError) -> Self {
+        Self::Timing(e)
+    }
+}
+
+impl From<RouteError> for FlowError {
+    fn from(e: RouteError) -> Self {
+        Self::Route(e)
+    }
+}
+
+/// One recovery the flow performed instead of failing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// The global placer diverged and its best finite snapshot was
+    /// restored (`revert_if_diverge`).
+    PlacerReverted {
+        /// Which placement this was ("flat placement", "cluster
+        /// placement", "congestion refinement").
+        stage: &'static str,
+    },
+    /// V-P&R could not evaluate a cluster's sub-netlist; the cluster kept
+    /// the uniform default shape.
+    ShapeFallback {
+        /// The cluster that fell back.
+        cluster: u32,
+    },
+    /// An Innovus-style region constraint was infeasible (too small for
+    /// its cluster's cell area after clamping to the core) and was
+    /// dropped.
+    RegionDropped {
+        /// The cluster whose region was dropped.
+        cluster: u32,
+    },
+}
+
+impl fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::PlacerReverted { stage } => {
+                write!(f, "{stage} diverged; reverted to the best snapshot")
+            }
+            Self::ShapeFallback { cluster } => {
+                write!(f, "cluster {cluster}: V-P&R failed, kept the uniform shape")
+            }
+            Self::RegionDropped { cluster } => {
+                write!(f, "cluster {cluster}: infeasible region constraint dropped")
+            }
+        }
+    }
+}
+
+/// Recovery events collected over one flow run, reported on
+/// [`crate::flow::FlowReport::diagnostics`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlowDiagnostics {
+    /// Every recovery, in pipeline order.
+    pub events: Vec<RecoveryEvent>,
+}
+
+impl FlowDiagnostics {
+    /// `true` when the flow ran without any recovery.
+    pub fn is_clean(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Records one recovery event.
+    pub fn record(&mut self, event: RecoveryEvent) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_impls_tag_the_stage() {
+        let e: FlowError = ValidationError::EmptyNetlist.into();
+        assert!(matches!(e, FlowError::Validation(_)));
+        let e: FlowError = PlaceError::NonFinite { stage: "legalize" }.into();
+        assert!(matches!(e, FlowError::Place(_)));
+        let e: FlowError = TimingError::CombinationalCycle { unresolved_nets: 2 }.into();
+        assert!(matches!(e, FlowError::Timing(_)));
+        let e: FlowError = RouteError::NonFinitePin { net: 7 }.into();
+        assert!(matches!(e, FlowError::Route(_)));
+    }
+
+    #[test]
+    fn display_names_the_stage() {
+        let e = FlowError::from(ValidationError::EmptyNetlist);
+        assert!(e.to_string().contains("validation"));
+        let e = FlowError::from(RouteError::NonFinitePin { net: 0 });
+        assert!(e.to_string().contains("routing"));
+    }
+
+    #[test]
+    fn error_sources_chain() {
+        use std::error::Error;
+        let e = FlowError::from(PlaceError::Diverged {
+            iteration: 3,
+            best_hpwl: 10.0,
+        });
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn diagnostics_collect_events() {
+        let mut d = FlowDiagnostics::default();
+        assert!(d.is_clean());
+        d.record(RecoveryEvent::PlacerReverted {
+            stage: "flat placement",
+        });
+        d.record(RecoveryEvent::ShapeFallback { cluster: 3 });
+        assert!(!d.is_clean());
+        assert_eq!(d.events.len(), 2);
+        assert!(d.events[0].to_string().contains("diverged"));
+    }
+}

@@ -6,24 +6,31 @@
 //! Innovus-like with region constraints) → legalization → CTS → global
 //! routing → post-route STA and power. `run_default_flow` is the flat
 //! baseline every table normalizes against.
+//!
+//! Every entry point is fallible: degenerate inputs are rejected up front
+//! with a [`FlowError`] instead of panicking stages later, and recoveries
+//! the flow performed on its own (divergence reverts, shape fallbacks,
+//! dropped regions) are reported on [`FlowReport::diagnostics`].
 
 use crate::cluster::costs::build_edge_costs;
 use crate::cluster::{ppa_aware_clustering, ClusteringOptions};
+use crate::error::{FlowDiagnostics, FlowError, RecoveryEvent};
 use crate::vpr::ml::MlShapeSelector;
 use crate::vpr::{best_shape, extract_subnetlist, VprOptions};
 use cp_netlist::clustered::ClusteredNetlist;
 use cp_netlist::floorplan::Rect;
 use cp_netlist::netlist::Netlist;
-use cp_netlist::{CellId, ClusterShape, Constraints, Floorplan};
+use cp_netlist::{CellId, ClusterShape, Constraints, Floorplan, ValidationError};
 use cp_place::cts::{synthesize_clock_tree, CtsOptions};
-use cp_place::hpwl::raw_hpwl;
 use cp_place::detailed::{refine, DetailedOptions};
+use cp_place::hpwl::raw_hpwl;
 use cp_place::{legalize, GlobalPlacer, PlacementProblem, PlacerOptions};
 use cp_route::{route_placed_netlist, RouterOptions};
 use cp_timing::activity::propagate_activity;
 use cp_timing::power::power_report;
 use cp_timing::sta::Sta;
 use cp_timing::wire::WireModel;
+use cp_timing::TimingError;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::time::Instant;
@@ -175,48 +182,94 @@ pub struct FlowReport {
     pub placement_runtime: f64,
     /// Post-route PPA.
     pub ppa: PpaReport,
+    /// Recoveries the flow performed instead of failing (empty on a clean
+    /// run).
+    pub diagnostics: FlowDiagnostics,
+}
+
+/// Pre-flight validation shared by every flow entry point: reject the
+/// netlist, constraints and floorplan request before any stage runs.
+fn validated_floorplan(
+    netlist: &Netlist,
+    constraints: &Constraints,
+    options: &FlowOptions,
+) -> Result<Floorplan, FlowError> {
+    netlist.validate()?;
+    constraints.validate()?;
+    let fp = Floorplan::try_for_netlist(netlist, options.utilization, options.aspect_ratio)?
+        .try_with_macro_blockages(options.macro_blockages.0, options.macro_blockages.1)?;
+    fp.validate_capacity(netlist)?;
+    Ok(fp)
 }
 
 /// Runs the default (flat, no clustering) flow — the baseline of every
 /// table.
+///
+/// # Errors
+///
+/// [`FlowError::Validation`] on degenerate inputs (empty netlist,
+/// utilization outside `(0, 1]`, overfull core, …); a stage error when
+/// placement, timing or routing fails downstream.
 pub fn run_default_flow(
     netlist: &Netlist,
     constraints: &Constraints,
     options: &FlowOptions,
-) -> FlowReport {
-    let fp = Floorplan::for_netlist(netlist, options.utilization, options.aspect_ratio)
-        .with_macro_blockages(options.macro_blockages.0, options.macro_blockages.1);
+) -> Result<FlowReport, FlowError> {
+    let fp = validated_floorplan(netlist, constraints, options)?;
+    let mut diagnostics = FlowDiagnostics::default();
     let mut problem = PlacementProblem::from_netlist(netlist, &fp);
     if options.timing_driven {
-        problem.net_weights = timing_net_weights(netlist, constraints);
+        problem.net_weights = timing_net_weights(netlist, constraints)?;
     }
     let t0 = Instant::now();
-    let mut result = GlobalPlacer::new(options.placer).place(&problem);
-    if options.congestion_driven {
-        result.positions =
-            congestion_driven_refine(netlist, &fp, &problem, result.positions, options);
+    let mut result = GlobalPlacer::new(options.placer).place(&problem)?;
+    if result.diverged {
+        diagnostics.record(RecoveryEvent::PlacerReverted {
+            stage: "flat placement",
+        });
     }
-    legalize(&problem, &fp, &mut result.positions);
-    refine(&problem, &fp, &mut result.positions, &DetailedOptions::default());
+    if options.congestion_driven {
+        result.positions = congestion_driven_refine(
+            netlist,
+            &fp,
+            &problem,
+            result.positions,
+            options,
+            &mut diagnostics,
+        )?;
+    }
+    legalize(&problem, &fp, &mut result.positions)?;
+    refine(
+        &problem,
+        &fp,
+        &mut result.positions,
+        &DetailedOptions::default(),
+    );
     let placement_runtime = t0.elapsed().as_secs_f64();
     let hpwl = raw_hpwl(&problem, &result.positions);
-    let ppa = evaluate_ppa(netlist, constraints, &result.positions, &fp, options);
-    FlowReport {
+    let ppa = evaluate_ppa(netlist, constraints, &result.positions, &fp, options)?;
+    Ok(FlowReport {
         hpwl,
         cluster_count: 0,
         clustering_runtime: 0.0,
         placement_runtime,
         ppa,
-    }
+        diagnostics,
+    })
 }
 
 /// Runs the full clustered flow (Algorithm 1).
+///
+/// # Errors
+///
+/// See [`run_default_flow`]; additionally [`FlowError::Timing`] when the
+/// clustering stage's STA finds a combinational cycle.
 pub fn run_flow(
     netlist: &Netlist,
     constraints: &Constraints,
     options: &FlowOptions,
-) -> FlowReport {
-    let clustering = ppa_aware_clustering(netlist, constraints, &options.clustering);
+) -> Result<FlowReport, FlowError> {
+    let clustering = ppa_aware_clustering(netlist, constraints, &options.clustering)?;
     run_flow_with_assignment(
         netlist,
         constraints,
@@ -226,17 +279,44 @@ pub fn run_flow(
     )
 }
 
+/// Exact V-P&R shape for one cluster. `None` when the induced sub-netlist
+/// is degenerate or fails to place/route — the caller keeps the uniform
+/// default shape (graceful degradation, recorded as a
+/// [`RecoveryEvent::ShapeFallback`]).
+fn vpr_shape_or_fallback(
+    netlist: &Netlist,
+    cells: &[CellId],
+    vpr: &VprOptions,
+) -> Option<ClusterShape> {
+    let sub = extract_subnetlist(netlist, cells).ok()?;
+    best_shape(&sub, vpr).ok().map(|(shape, _)| shape)
+}
+
 /// Runs the seeded-placement flow for an externally supplied cluster
 /// assignment (used by the baselines of Tables 2 and 5).
+///
+/// # Errors
+///
+/// See [`run_default_flow`]; additionally
+/// [`ValidationError::AssignmentLengthMismatch`] when `assignment` does
+/// not cover every cell.
 pub fn run_flow_with_assignment(
     netlist: &Netlist,
     constraints: &Constraints,
     assignment: &[u32],
     clustering_runtime: f64,
     options: &FlowOptions,
-) -> FlowReport {
-    let fp = Floorplan::for_netlist(netlist, options.utilization, options.aspect_ratio)
-        .with_macro_blockages(options.macro_blockages.0, options.macro_blockages.1);
+) -> Result<FlowReport, FlowError> {
+    if assignment.len() != netlist.cell_count() {
+        return Err(FlowError::Validation(
+            ValidationError::AssignmentLengthMismatch {
+                assignment: assignment.len(),
+                cells: netlist.cell_count(),
+            },
+        ));
+    }
+    let fp = validated_floorplan(netlist, constraints, options)?;
+    let mut diagnostics = FlowDiagnostics::default();
     let t0 = Instant::now();
 
     // Line 10: clustered netlist; lines 12-13: cluster shapes.
@@ -255,16 +335,19 @@ pub fn run_flow_with_assignment(
         }
         ShapeMode::Vpr => {
             for &c in &shapeable {
-                let sub = extract_subnetlist(netlist, clustered.cells(c));
-                let (shape, _) = best_shape(&sub, &options.vpr);
-                clustered.set_shape(c, shape);
+                match vpr_shape_or_fallback(netlist, clustered.cells(c), &options.vpr) {
+                    Some(shape) => clustered.set_shape(c, shape),
+                    None => diagnostics.record(RecoveryEvent::ShapeFallback { cluster: c }),
+                }
                 shaped.push(c);
             }
         }
         ShapeMode::VprMl(selector) => {
             for &c in &shapeable {
-                let sub = extract_subnetlist(netlist, clustered.cells(c));
-                clustered.set_shape(c, selector.select_shape(&sub));
+                match extract_subnetlist(netlist, clustered.cells(c)) {
+                    Ok(sub) => clustered.set_shape(c, selector.select_shape(&sub)),
+                    Err(_) => diagnostics.record(RecoveryEvent::ShapeFallback { cluster: c }),
+                }
                 shaped.push(c);
             }
         }
@@ -275,7 +358,12 @@ pub fn run_flow_with_assignment(
         clustered.scale_io_net_weights(options.io_weight);
     }
     let cluster_problem = PlacementProblem::from_clustered(&clustered, &fp);
-    let cluster_placement = GlobalPlacer::new(options.placer).place(&cluster_problem);
+    let cluster_placement = GlobalPlacer::new(options.placer).place(&cluster_problem)?;
+    if cluster_placement.diverged {
+        diagnostics.record(RecoveryEvent::PlacerReverted {
+            stage: "cluster placement",
+        });
+    }
 
     // Instances at their cluster centers, with a deterministic in-cluster
     // jitter so the B2B linearization is non-degenerate.
@@ -288,10 +376,9 @@ pub fn run_flow_with_assignment(
         seeds[i] = fp.core.clamp(center.0 + golden * w, center.1 + golden2 * h);
     }
 
-    let mut flat_problem =
-        PlacementProblem::from_netlist(netlist, &fp).with_seeds(seeds);
+    let mut flat_problem = PlacementProblem::from_netlist(netlist, &fp).with_seeds(seeds);
     if options.timing_driven {
-        flat_problem.net_weights = timing_net_weights(netlist, constraints);
+        flat_problem.net_weights = timing_net_weights(netlist, constraints)?;
     }
     if options.tool == Tool::InnovusLike {
         // Line 18: region constraints for shaped clusters.
@@ -307,37 +394,78 @@ pub fn run_flow_with_assignment(
                 urx: (cx + hw).min(fp.core.urx),
                 ury: (cy + hh).min(fp.core.ury),
             };
+            // A region clamped down to less than its cluster's cell area
+            // (or collapsed entirely) would wedge the spreader against an
+            // unsatisfiable constraint — drop it instead and let those
+            // cells place freely.
+            let member_area: f64 = clustered
+                .cells(c)
+                .iter()
+                .map(|&cell| flat_problem.movable[cell.index()].area())
+                .sum();
+            let feasible = region.width() > 0.0
+                && region.height() > 0.0
+                && region.width() * region.height() >= member_area;
+            if !feasible {
+                diagnostics.record(RecoveryEvent::RegionDropped { cluster: c });
+                continue;
+            }
             for &cell in clustered.cells(c) {
                 flat_problem.set_region(cell.index(), region);
             }
         }
     }
-    let mut result = GlobalPlacer::new(options.placer).place(&flat_problem);
+    let mut result = GlobalPlacer::new(options.placer).place(&flat_problem)?;
+    if result.diverged {
+        diagnostics.record(RecoveryEvent::PlacerReverted {
+            stage: "flat placement",
+        });
+    }
     // Line 20: remove region constraints before legalization/routing.
     let free_problem = PlacementProblem::from_netlist(netlist, &fp);
     if options.congestion_driven {
-        result.positions =
-            congestion_driven_refine(netlist, &fp, &free_problem, result.positions, options);
+        result.positions = congestion_driven_refine(
+            netlist,
+            &fp,
+            &free_problem,
+            result.positions,
+            options,
+            &mut diagnostics,
+        )?;
     }
-    legalize(&free_problem, &fp, &mut result.positions);
-    refine(&free_problem, &fp, &mut result.positions, &DetailedOptions::default());
+    legalize(&free_problem, &fp, &mut result.positions)?;
+    refine(
+        &free_problem,
+        &fp,
+        &mut result.positions,
+        &DetailedOptions::default(),
+    );
     let placement_runtime = t0.elapsed().as_secs_f64();
     let hpwl = raw_hpwl(&free_problem, &result.positions);
-    let ppa = evaluate_ppa(netlist, constraints, &result.positions, &fp, options);
-    FlowReport {
+    let ppa = evaluate_ppa(netlist, constraints, &result.positions, &fp, options)?;
+    Ok(FlowReport {
         hpwl,
         cluster_count: clustered.cluster_count(),
         clustering_runtime,
         placement_runtime,
         ppa,
-    }
+        diagnostics,
+    })
 }
 
 /// Timing-criticality net weights for the flat hypergraph
 /// (`w_e = 1 + 2·t_e`, `t_e` from the top critical paths).
-pub fn timing_net_weights(netlist: &Netlist, constraints: &Constraints) -> Vec<f64> {
+///
+/// # Errors
+///
+/// [`TimingError::CombinationalCycle`] when the netlist cannot be
+/// levelized for STA.
+pub fn timing_net_weights(
+    netlist: &Netlist,
+    constraints: &Constraints,
+) -> Result<Vec<f64>, TimingError> {
     let (hg, map) = netlist.to_hypergraph_with_map();
-    let sta = Sta::new(netlist, constraints);
+    let sta = Sta::new(netlist, constraints)?;
     let report = sta.run(&cp_timing::wire::WireModel::Estimate);
     let paths = sta.extract_paths(&report, 20_000);
     let act = propagate_activity(netlist, constraints);
@@ -350,28 +478,35 @@ pub fn timing_net_weights(netlist: &Netlist, constraints: &Constraints) -> Vec<f
         &act,
         2.0,
     );
-    costs.timing.iter().map(|&t| 1.0 + 2.0 * t).collect()
+    Ok(costs.timing.iter().map(|&t| 1.0 + 2.0 * t).collect())
 }
 
 /// One congestion-driven refinement pass (RePlAce-style routability
 /// iteration): route the current placement, inflate the footprint of
 /// cells sitting in overflowed GCells (up to 2×), and re-place
 /// incrementally from the current positions so spreading relieves the
-/// hotspots.
+/// hotspots. A divergence revert during the incremental re-place is
+/// recorded on `diagnostics`.
+///
+/// # Errors
+///
+/// [`FlowError::Route`] when the trial route rejects the positions;
+/// [`FlowError::Place`] when the incremental re-place fails.
 pub fn congestion_driven_refine(
     netlist: &Netlist,
     fp: &Floorplan,
     problem: &PlacementProblem,
     positions: Vec<(f64, f64)>,
     options: &FlowOptions,
-) -> Vec<(f64, f64)> {
+    diagnostics: &mut FlowDiagnostics,
+) -> Result<Vec<(f64, f64)>, FlowError> {
     let mut all = positions.clone();
     all.extend_from_slice(&fp.port_positions);
-    let routed = route_placed_netlist(netlist, &all, fp, &options.router);
+    let routed = route_placed_netlist(netlist, &all, fp, &options.router)?;
     let cong = routed.congestion.gcell_congestion();
     let (nx, gsize) = (routed.congestion.nx(), routed.congestion.gcell_size());
     if routed.congestion.max_utilization() <= 1.0 {
-        return positions; // nothing overflows
+        return Ok(positions); // nothing overflows
     }
     let mut inflated = problem.clone();
     let mut touched = 0usize;
@@ -390,43 +525,54 @@ pub fn congestion_driven_refine(
         }
     }
     if touched == 0 {
-        return positions;
+        return Ok(positions);
     }
     let replaced = GlobalPlacer::new(PlacerOptions {
         incremental_iterations: 4,
         ..options.placer
     })
-    .place(&inflated.with_seeds(positions));
-    replaced.positions
+    .place(&inflated.with_seeds(positions))?;
+    if replaced.diverged {
+        diagnostics.record(RecoveryEvent::PlacerReverted {
+            stage: "congestion refinement",
+        });
+    }
+    Ok(replaced.positions)
 }
 
 /// Post-placement evaluation (Algorithm 1, lines 27-30): CTS, global
 /// routing, post-route STA and power.
+///
+/// # Errors
+///
+/// [`FlowError::Place`] when CTS cannot run (no clock buffer master, bad
+/// positions), [`FlowError::Route`] on non-finite pin positions,
+/// [`FlowError::Timing`] on a combinational cycle.
 pub fn evaluate_ppa(
     netlist: &Netlist,
     constraints: &Constraints,
     cell_positions: &[(f64, f64)],
     floorplan: &Floorplan,
     options: &FlowOptions,
-) -> PpaReport {
+) -> Result<PpaReport, FlowError> {
     let mut positions = cell_positions.to_vec();
     positions.extend_from_slice(&floorplan.port_positions);
-    let tree = synthesize_clock_tree(netlist, &positions, &options.cts);
-    let routed = route_placed_netlist(netlist, &positions, floorplan, &options.router);
+    let tree = synthesize_clock_tree(netlist, &positions, &options.cts)?;
+    let routed = route_placed_netlist(netlist, &positions, floorplan, &options.router)?;
     let detour = routed.detour_factor();
     let wire = WireModel::Routed(&positions, detour);
-    let sta = Sta::new(netlist, constraints);
+    let sta = Sta::new(netlist, constraints)?;
     let timing = sta.run_with_clock(&wire, Some(&tree.arrival));
     let activity = propagate_activity(netlist, constraints);
     let power = power_report(netlist, constraints, &activity, &wire);
-    PpaReport {
+    Ok(PpaReport {
         rwl: routed.wirelength + tree.wirelength,
         wns: timing.wns,
         tns: timing.tns,
         power: power.total(),
         skew: tree.skew,
         hold_wns: timing.hold_wns,
-    }
+    })
 }
 
 /// Seed-position helper exposed for examples: each cell at its cluster's
@@ -466,18 +612,19 @@ mod tests {
     #[test]
     fn default_flow_produces_ppa() {
         let (n, c) = setup(0.01);
-        let r = run_default_flow(&n, &c, &FlowOptions::fast());
+        let r = run_default_flow(&n, &c, &FlowOptions::fast()).expect("flow runs");
         assert!(r.hpwl > 0.0);
         assert!(r.ppa.rwl > 0.0);
         assert!(r.ppa.power > 0.0);
         assert!(r.ppa.tns <= 0.0);
         assert_eq!(r.cluster_count, 0);
+        assert!(r.diagnostics.is_clean());
     }
 
     #[test]
     fn clustered_flow_openroad_mode() {
         let (n, c) = setup(0.01);
-        let r = run_flow(&n, &c, &FlowOptions::fast().tool(Tool::OpenRoadLike));
+        let r = run_flow(&n, &c, &FlowOptions::fast().tool(Tool::OpenRoadLike)).expect("flow runs");
         assert!(r.cluster_count > 1);
         assert!(r.hpwl > 0.0);
         assert!(r.ppa.rwl > 0.0);
@@ -490,7 +637,7 @@ mod tests {
         let opts = FlowOptions::fast()
             .tool(Tool::InnovusLike)
             .shape_mode(ShapeMode::Vpr);
-        let r = run_flow(&n, &c, &opts);
+        let r = run_flow(&n, &c, &opts).expect("flow runs");
         assert!(r.cluster_count > 1);
         assert!(r.ppa.rwl > 0.0);
     }
@@ -498,8 +645,8 @@ mod tests {
     #[test]
     fn seeded_hpwl_is_comparable_to_flat() {
         let (n, c) = setup(0.02);
-        let flat = run_default_flow(&n, &c, &FlowOptions::fast());
-        let ours = run_flow(&n, &c, &FlowOptions::fast());
+        let flat = run_default_flow(&n, &c, &FlowOptions::fast()).expect("flow runs");
+        let ours = run_flow(&n, &c, &FlowOptions::fast()).expect("flow runs");
         let ratio = ours.hpwl / flat.hpwl;
         assert!(
             (0.7..=1.4).contains(&ratio),
@@ -512,22 +659,84 @@ mod tests {
     #[test]
     fn random_shapes_differ_from_uniform() {
         let (n, c) = setup(0.01);
-        let uni = run_flow(&n, &c, &FlowOptions::fast());
+        let uni = run_flow(&n, &c, &FlowOptions::fast()).expect("flow runs");
         let rnd = run_flow(
             &n,
             &c,
             &FlowOptions::fast().shape_mode(ShapeMode::Random(3)),
-        );
+        )
+        .expect("flow runs");
         assert_ne!(uni.hpwl, rnd.hpwl);
     }
 
     #[test]
     fn flow_is_deterministic() {
         let (n, c) = setup(0.01);
-        let a = run_flow(&n, &c, &FlowOptions::fast());
-        let b = run_flow(&n, &c, &FlowOptions::fast());
+        let a = run_flow(&n, &c, &FlowOptions::fast()).expect("flow runs");
+        let b = run_flow(&n, &c, &FlowOptions::fast()).expect("flow runs");
         assert_eq!(a.hpwl, b.hpwl);
         assert_eq!(a.ppa, b.ppa);
+    }
+
+    #[test]
+    fn injected_divergence_recovers_with_diagnostics() {
+        let (n, c) = setup(0.01);
+        let mut opts = FlowOptions::fast();
+        opts.placer.fault_nan_at_iteration = Some(3);
+        let r = run_default_flow(&n, &c, &opts).expect("flow recovers from divergence");
+        assert!(r.hpwl > 0.0 && r.hpwl.is_finite());
+        assert!(r.ppa.rwl.is_finite());
+        assert!(
+            r.diagnostics
+                .events
+                .iter()
+                .any(|e| matches!(e, RecoveryEvent::PlacerReverted { .. })),
+            "revert must be reported: {:?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn divergence_without_revert_is_a_typed_error() {
+        let (n, c) = setup(0.01);
+        let mut opts = FlowOptions::fast();
+        opts.placer.fault_nan_at_iteration = Some(3);
+        opts.placer.revert_if_diverge = false;
+        let err = run_default_flow(&n, &c, &opts).expect_err("must fail fast");
+        // Injected NaN trips the solver finiteness guard (`NonFinite`); a
+        // slow HPWL blow-up would surface as `Diverged`. Either way the
+        // failure is typed, not a panic.
+        assert!(matches!(
+            err,
+            FlowError::Place(
+                cp_place::PlaceError::NonFinite { .. } | cp_place::PlaceError::Diverged { .. }
+            )
+        ));
+    }
+
+    #[test]
+    fn bad_utilization_is_rejected_up_front() {
+        let (n, c) = setup(0.01);
+        let opts = FlowOptions {
+            utilization: 1.5,
+            ..FlowOptions::fast()
+        };
+        let err = run_default_flow(&n, &c, &opts).expect_err("must reject");
+        assert!(matches!(
+            err,
+            FlowError::Validation(ValidationError::UtilizationOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn short_assignment_is_rejected() {
+        let (n, c) = setup(0.01);
+        let err = run_flow_with_assignment(&n, &c, &[0, 1, 0], 0.0, &FlowOptions::fast())
+            .expect_err("must reject");
+        assert!(matches!(
+            err,
+            FlowError::Validation(ValidationError::AssignmentLengthMismatch { assignment: 3, .. })
+        ));
     }
 }
 
@@ -569,11 +778,11 @@ mod helper_tests {
         let base = FlowOptions::fast();
         let mut td = FlowOptions::fast();
         td.timing_driven = true;
-        let plain = run_default_flow(&n, &c, &base);
-        let driven = run_default_flow(&n, &c, &td);
+        let plain = run_default_flow(&n, &c, &base).expect("flow runs");
+        let driven = run_default_flow(&n, &c, &td).expect("flow runs");
         assert_ne!(plain.hpwl, driven.hpwl);
         // Weights are ≥ 1 and bounded by 1 + 2·max(t_e) = 3.
-        let w = timing_net_weights(&n, &c);
+        let w = timing_net_weights(&n, &c).expect("acyclic netlist");
         assert!(w.iter().all(|&x| (1.0..=3.0 + 1e-9).contains(&x)));
         assert!(w.iter().any(|&x| x > 1.0));
     }
@@ -586,8 +795,8 @@ mod helper_tests {
             .generate_with_constraints();
         let mut opts = FlowOptions::fast();
         opts.macro_blockages = (2, 0.2);
-        let flat = run_default_flow(&n, &c, &opts);
-        let ours = run_flow(&n, &c, &opts);
+        let flat = run_default_flow(&n, &c, &opts).expect("flow runs");
+        let ours = run_flow(&n, &c, &opts).expect("flow runs");
         assert!(flat.ppa.rwl > 0.0);
         assert!(ours.ppa.rwl > 0.0);
         assert!(ours.cluster_count > 1);
@@ -607,7 +816,7 @@ mod congestion_tests {
             .generate_with_constraints();
         let mut opts = FlowOptions::fast();
         opts.congestion_driven = true;
-        let r = run_default_flow(&n, &c, &opts);
+        let r = run_default_flow(&n, &c, &opts).expect("flow runs");
         assert!(r.hpwl > 0.0);
         assert!(r.ppa.rwl > 0.0);
     }
@@ -625,9 +834,14 @@ mod congestion_tests {
         };
         let fp = Floorplan::for_netlist(&n, opts.utilization, opts.aspect_ratio);
         let problem = PlacementProblem::from_netlist(&n, &fp);
-        let placed = GlobalPlacer::new(opts.placer).place(&problem);
+        let placed = GlobalPlacer::new(opts.placer)
+            .place(&problem)
+            .expect("well-formed problem places");
         let before = placed.positions.clone();
-        let after = congestion_driven_refine(&n, &fp, &problem, placed.positions, &opts);
+        let mut diag = FlowDiagnostics::default();
+        let after = congestion_driven_refine(&n, &fp, &problem, placed.positions, &opts, &mut diag)
+            .expect("refinement runs");
         assert_eq!(before, after, "no overflow ⇒ no movement");
+        assert!(diag.is_clean());
     }
 }

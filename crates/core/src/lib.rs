@@ -22,6 +22,12 @@
 //! - [`baselines`] — blob placement [9] (Louvain), Leiden and plain
 //!   multilevel-FC flows for the paper's comparisons.
 //!
+//! Every public entry point is fallible: degenerate inputs surface as a
+//! typed [`FlowError`] instead of a panic deep inside a stage, and
+//! recoveries the flow performed on its own (divergence reverts, V-P&R
+//! shape fallbacks, dropped region constraints) are reported on
+//! [`FlowReport::diagnostics`](crate::flow::FlowReport::diagnostics).
+//!
 //! # Examples
 //!
 //! ```
@@ -31,15 +37,20 @@
 //! let (netlist, constraints) = GeneratorConfig::from_profile(DesignProfile::Aes)
 //!     .scale(0.005)
 //!     .generate_with_constraints();
-//! let default = run_default_flow(&netlist, &constraints, &FlowOptions::fast());
-//! let ours = run_flow(&netlist, &constraints, &FlowOptions::fast().tool(Tool::OpenRoadLike));
+//! let default =
+//!     run_default_flow(&netlist, &constraints, &FlowOptions::fast()).expect("flow runs");
+//! let ours = run_flow(&netlist, &constraints, &FlowOptions::fast().tool(Tool::OpenRoadLike))
+//!     .expect("flow runs");
 //! assert!(ours.hpwl > 0.0 && default.hpwl > 0.0);
+//! assert!(ours.diagnostics.is_clean());
 //! ```
 
 pub mod baselines;
 pub mod cluster;
+pub mod error;
 pub mod flow;
 pub mod vpr;
 
 pub use crate::cluster::{ClusteringOptions, ClusteringResult};
+pub use crate::error::{FlowDiagnostics, FlowError, RecoveryEvent};
 pub use crate::flow::{run_default_flow, run_flow, FlowOptions, FlowReport, PpaReport, Tool};

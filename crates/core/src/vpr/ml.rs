@@ -9,6 +9,7 @@
 //! OpenROAD runs per cluster.
 
 use crate::cluster::{ppa_aware_clustering, ClusteringOptions};
+use crate::error::FlowError;
 use crate::vpr::{best_shape, evaluate_shape, extract_subnetlist, VprOptions};
 use cp_gnn::model::{ModelConfig, TotalCostModel};
 use cp_gnn::sample::GraphSample;
@@ -127,9 +128,7 @@ pub fn cluster_features(sub: &Netlist) -> ClusterFeatures {
     } else {
         (0..n as u32).map(|v| g.degree(v)).min().unwrap_or(0) as f64
     };
-    let total_area: f64 = (0..n as u32)
-        .map(|c| sub.master(CellId(c)).area())
-        .sum();
+    let total_area: f64 = (0..n as u32).map(|c| sub.master(CellId(c)).area()).sum();
     let avg_deg = if n == 0 {
         0.0
     } else {
@@ -247,11 +246,16 @@ impl Default for DatasetConfig {
 /// perturb the clustering seed/coarsening hyperparameters, induce each
 /// large-enough cluster's sub-netlist, and run exact V-P&R on all 20 shape
 /// candidates.
+///
+/// # Errors
+///
+/// Propagates the first clustering or V-P&R failure ([`FlowError`]) —
+/// label generation must not silently drop samples.
 pub fn generate_dataset(
     netlist: &Netlist,
     constraints: &Constraints,
     config: &DatasetConfig,
-) -> Vec<(GraphSample, f64)> {
+) -> Result<Vec<(GraphSample, f64)>, FlowError> {
     let mut data = Vec::new();
     for k in 0..config.configs {
         let perturbed = ClusteringOptions {
@@ -262,7 +266,7 @@ pub fn generate_dataset(
             gamma: config.base.gamma * (1.0 + (k % 2) as f64),
             ..config.base
         };
-        let clustering = ppa_aware_clustering(netlist, constraints, &perturbed);
+        let clustering = ppa_aware_clustering(netlist, constraints, &perturbed)?;
         let mut members: Vec<Vec<CellId>> = vec![Vec::new(); clustering.cluster_count];
         for (i, &c) in clustering.assignment.iter().enumerate() {
             members[c as usize].push(CellId(i as u32));
@@ -273,15 +277,15 @@ pub fn generate_dataset(
             members.truncate(config.max_clusters_per_config);
         }
         for cells in &members {
-            let sub = extract_subnetlist(netlist, cells);
+            let sub = extract_subnetlist(netlist, cells)?;
             let feats = cluster_features(&sub);
             for shape in ClusterShape::candidates() {
-                let cost = evaluate_shape(&sub, shape, &config.vpr);
+                let cost = evaluate_shape(&sub, shape, &config.vpr)?;
                 data.push((feats.with_shape(shape), cost.total));
             }
         }
     }
-    data
+    Ok(data)
 }
 
 /// The trained shape selector.
@@ -377,22 +381,27 @@ impl MlShapeSelector {
     pub fn select_shape(&self, sub: &Netlist) -> ClusterShape {
         let feats = cluster_features(sub);
         let candidates = ClusterShape::candidates();
-        let samples: Vec<GraphSample> =
-            candidates.iter().map(|&s| feats.with_shape(s)).collect();
+        let samples: Vec<GraphSample> = candidates.iter().map(|&s| feats.with_shape(s)).collect();
         let pred = self.model.predict(&samples);
-        let best = pred
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite predictions"))
-            .map(|(i, _)| i)
-            .expect("20 candidates");
+        // Manual argmin with total_cmp: a NaN prediction (pathological
+        // model state) orders last instead of poisoning the selection.
+        let mut best = 0usize;
+        for (i, p) in pred.iter().enumerate() {
+            if p.total_cmp(&pred[best]).is_lt() {
+                best = i;
+            }
+        }
         candidates[best]
     }
 }
 
 /// Convenience used by ablations: exact V-P&R selection.
-pub fn select_shape_exact(sub: &Netlist, options: &VprOptions) -> ClusterShape {
-    best_shape(sub, options).0
+///
+/// # Errors
+///
+/// Propagates the [`best_shape`] failure.
+pub fn select_shape_exact(sub: &Netlist, options: &VprOptions) -> Result<ClusterShape, FlowError> {
+    Ok(best_shape(sub, options)?.0)
 }
 
 #[cfg(test)]
@@ -406,7 +415,7 @@ mod tests {
             .seed(13)
             .generate();
         let cells: Vec<CellId> = (0..80).map(CellId).collect();
-        extract_subnetlist(&n, &cells)
+        extract_subnetlist(&n, &cells).expect("valid sub-netlist")
     }
 
     #[test]
@@ -444,8 +453,8 @@ mod tests {
     fn type_classes_cover_all_functions() {
         use LogicFunction::*;
         for f in [
-            Buf, Inv, And2, Nand2, Or2, Nor2, Xor2, Xnor2, Mux2, Aoi21, Oai21, Maj3, Xor3,
-            Dff, Opaque,
+            Buf, Inv, And2, Nand2, Or2, Nor2, Xor2, Xnor2, Mux2, Aoi21, Oai21, Maj3, Xor3, Dff,
+            Opaque,
         ] {
             assert!(type_class(f) < TYPE_CLASSES);
         }
@@ -472,7 +481,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let data = generate_dataset(&nl, &c, &cfg);
+        let data = generate_dataset(&nl, &c, &cfg).expect("dataset generates");
         assert!(!data.is_empty());
         assert_eq!(data.len() % 20, 0, "20 shapes per cluster");
         let (selector, stats) = MlShapeSelector::train(

@@ -12,6 +12,7 @@
 pub mod ml;
 pub mod subnetlist;
 
+use crate::error::FlowError;
 use cp_netlist::netlist::Netlist;
 use cp_netlist::{ClusterShape, Floorplan};
 use cp_place::{GlobalPlacer, PlacementProblem, PlacerOptions};
@@ -62,13 +63,24 @@ pub struct ShapeCost {
 
 /// Places and routes `sub` on a virtual die of the given shape and scores
 /// it (one arm of Figure 3).
-pub fn evaluate_shape(sub: &Netlist, shape: ClusterShape, options: &VprOptions) -> ShapeCost {
-    let fp = Floorplan::for_netlist(sub, shape.utilization, shape.aspect_ratio);
+///
+/// # Errors
+///
+/// [`FlowError::Validation`] when `sub` is degenerate (no cells, no
+/// nets); [`FlowError::Place`] / [`FlowError::Route`] when the virtual
+/// P&R itself fails.
+pub fn evaluate_shape(
+    sub: &Netlist,
+    shape: ClusterShape,
+    options: &VprOptions,
+) -> Result<ShapeCost, FlowError> {
+    sub.validate()?;
+    let fp = Floorplan::try_for_netlist(sub, shape.utilization, shape.aspect_ratio)?;
     let problem = PlacementProblem::from_netlist(sub, &fp);
-    let placed = GlobalPlacer::new(options.placer).place(&problem);
+    let placed = GlobalPlacer::new(options.placer).place(&problem)?;
     let mut positions = placed.positions;
     positions.extend_from_slice(&fp.port_positions);
-    let routed = route_placed_netlist(sub, &positions, &fp, &options.router);
+    let routed = route_placed_netlist(sub, &positions, &fp, &options.router)?;
     let net_count = sub
         .nets()
         .iter()
@@ -78,28 +90,40 @@ pub fn evaluate_shape(sub: &Netlist, shape: ClusterShape, options: &VprOptions) 
     let hpwl_avg = placed.hpwl / net_count as f64;
     let hpwl_cost = hpwl_avg / (fp.core.width() + fp.core.height());
     let congestion_cost = routed.congestion.top_percent_average(options.top_percent);
-    ShapeCost {
+    Ok(ShapeCost {
         shape,
         hpwl_cost,
         congestion_cost,
         total: hpwl_cost + options.delta * congestion_cost,
-    }
+    })
 }
 
 /// Sweeps the paper's 20 shape candidates through V-P&R; returns the best
 /// shape and every candidate's cost (ties break toward the earlier
 /// candidate, i.e. lower aspect ratio / utilization).
-pub fn best_shape(sub: &Netlist, options: &VprOptions) -> (ClusterShape, Vec<ShapeCost>) {
+///
+/// # Errors
+///
+/// Propagates the first [`evaluate_shape`] failure — with a valid
+/// sub-netlist every candidate either scores or fails identically.
+pub fn best_shape(
+    sub: &Netlist,
+    options: &VprOptions,
+) -> Result<(ClusterShape, Vec<ShapeCost>), FlowError> {
     let mut costs = Vec::with_capacity(20);
     let mut best: Option<ShapeCost> = None;
     for shape in ClusterShape::candidates() {
-        let c = evaluate_shape(sub, shape, options);
+        let c = evaluate_shape(sub, shape, options)?;
         if best.is_none_or(|b| c.total < b.total) {
             best = Some(c);
         }
         costs.push(c);
     }
-    (best.expect("20 candidates evaluated").shape, costs)
+    match best {
+        Some(b) => Ok((b.shape, costs)),
+        // Unreachable: `candidates()` is a non-empty constant grid.
+        None => Ok((ClusterShape::UNIFORM, costs)),
+    }
 }
 
 #[cfg(test)]
@@ -114,13 +138,14 @@ mod tests {
             .seed(12)
             .generate();
         let cells: Vec<CellId> = (0..220).map(CellId).collect();
-        extract_subnetlist(&n, &cells)
+        extract_subnetlist(&n, &cells).expect("valid sub-netlist")
     }
 
     #[test]
     fn shape_costs_are_finite_and_positive() {
         let sub = cluster_sub();
-        let c = evaluate_shape(&sub, ClusterShape::UNIFORM, &VprOptions::default());
+        let c = evaluate_shape(&sub, ClusterShape::UNIFORM, &VprOptions::default())
+            .expect("shape evaluates");
         assert!(c.hpwl_cost > 0.0 && c.hpwl_cost.is_finite());
         assert!(c.congestion_cost >= 0.0 && c.congestion_cost.is_finite());
         assert!((c.total - (c.hpwl_cost + 0.01 * c.congestion_cost)).abs() < 1e-12);
@@ -129,12 +154,9 @@ mod tests {
     #[test]
     fn sweep_evaluates_all_twenty() {
         let sub = cluster_sub();
-        let (best, costs) = best_shape(&sub, &VprOptions::default());
+        let (best, costs) = best_shape(&sub, &VprOptions::default()).expect("sweep runs");
         assert_eq!(costs.len(), 20);
-        let min = costs
-            .iter()
-            .map(|c| c.total)
-            .fold(f64::INFINITY, f64::min);
+        let min = costs.iter().map(|c| c.total).fold(f64::INFINITY, f64::min);
         let best_cost = costs
             .iter()
             .find(|c| c.shape == best)
@@ -145,10 +167,13 @@ mod tests {
     #[test]
     fn costs_vary_across_shapes() {
         let sub = cluster_sub();
-        let (_, costs) = best_shape(&sub, &VprOptions::default());
+        let (_, costs) = best_shape(&sub, &VprOptions::default()).expect("sweep runs");
         let min = costs.iter().map(|c| c.total).fold(f64::INFINITY, f64::min);
         let max = costs.iter().map(|c| c.total).fold(0.0f64, f64::max);
-        assert!(max > min * 1.01, "shape choice should matter: {min} vs {max}");
+        assert!(
+            max > min * 1.01,
+            "shape choice should matter: {min} vs {max}"
+        );
     }
 
     #[test]
@@ -156,6 +181,18 @@ mod tests {
         let sub = cluster_sub();
         let a = evaluate_shape(&sub, ClusterShape::new(1.25, 0.8), &VprOptions::default());
         let b = evaluate_shape(&sub, ClusterShape::new(1.25, 0.8), &VprOptions::default());
-        assert_eq!(a, b);
+        assert_eq!(a.expect("shape evaluates"), b.expect("shape evaluates"));
+    }
+
+    #[test]
+    fn empty_subnetlist_is_a_typed_error() {
+        let sub = cluster_sub();
+        let err = evaluate_shape(
+            &extract_subnetlist(&sub, &[]).expect("empty induction builds"),
+            ClusterShape::UNIFORM,
+            &VprOptions::default(),
+        )
+        .expect_err("no cells to place");
+        assert!(matches!(err, FlowError::Validation(_)));
     }
 }

@@ -5,21 +5,28 @@
 //! port (when the driver is outside) or an output port (when a sink is
 //! outside), exactly as the paper describes.
 
-use cp_netlist::netlist::{Netlist, NetlistBuilder, PinRef, PortDir};
+use cp_netlist::netlist::{BuildNetlistError, Netlist, NetlistBuilder, PinRef, PortDir};
 use cp_netlist::{CellId, HierTree};
 
 /// Induces the sub-netlist over `cells` (clock nets are dropped; CTS owns
 /// them).
 ///
+/// # Errors
+///
+/// [`BuildNetlistError`] when the projection is structurally invalid
+/// (callers treat this as "cluster cannot be shaped" and fall back to the
+/// uniform shape).
+///
 /// # Panics
 ///
 /// Panics if `cells` contains duplicates.
-pub fn extract_subnetlist(netlist: &Netlist, cells: &[CellId]) -> Netlist {
+pub fn extract_subnetlist(
+    netlist: &Netlist,
+    cells: &[CellId],
+) -> Result<Netlist, BuildNetlistError> {
     let mut new_id = vec![u32::MAX; netlist.cell_count()];
-    let mut builder = NetlistBuilder::new(
-        format!("{}_sub", netlist.name()),
-        netlist.library().clone(),
-    );
+    let mut builder =
+        NetlistBuilder::new(format!("{}_sub", netlist.name()), netlist.library().clone());
     for (i, &c) in cells.iter().enumerate() {
         assert_eq!(new_id[c.index()], u32::MAX, "duplicate cell in cluster");
         let cell = netlist.cell(c);
@@ -28,12 +35,10 @@ pub fn extract_subnetlist(netlist: &Netlist, cells: &[CellId]) -> Netlist {
     }
     let inside = |p: &PinRef| -> Option<PinRef> {
         match *p {
-            PinRef::Cell { cell, pin } if new_id[cell.index()] != u32::MAX => {
-                Some(PinRef::Cell {
-                    cell: CellId(new_id[cell.index()]),
-                    pin,
-                })
-            }
+            PinRef::Cell { cell, pin } if new_id[cell.index()] != u32::MAX => Some(PinRef::Cell {
+                cell: CellId(new_id[cell.index()]),
+                pin,
+            }),
             _ => None,
         }
     };
@@ -52,8 +57,7 @@ pub fn extract_subnetlist(netlist: &Netlist, cells: &[CellId]) -> Netlist {
                 // in for any outside sinks.
                 let mut sinks = sinks_in;
                 if has_outside_sink {
-                    let port =
-                        builder.add_port(format!("po_{}", net.name), PortDir::Output);
+                    let port = builder.add_port(format!("po_{}", net.name), PortDir::Output);
                     sinks.push(PinRef::Port(port));
                 }
                 builder.add_net(net.name.clone(), Some(driver), sinks);
@@ -66,9 +70,7 @@ pub fn extract_subnetlist(netlist: &Netlist, cells: &[CellId]) -> Netlist {
             (None, true) => {} // net does not touch the cluster
         }
     }
-    builder
-        .finish()
-        .expect("induced sub-netlist is structurally valid")
+    builder.finish()
 }
 
 #[cfg(test)]
@@ -87,14 +89,11 @@ mod tests {
     fn sub_netlist_covers_the_cells() {
         let n = design();
         let cells: Vec<CellId> = (0..100).map(CellId).collect();
-        let sub = extract_subnetlist(&n, &cells);
+        let sub = extract_subnetlist(&n, &cells).expect("valid sub-netlist");
         assert_eq!(sub.cell_count(), 100);
         // Masters preserved.
         for (i, &c) in cells.iter().enumerate() {
-            assert_eq!(
-                sub.master(CellId(i as u32)).name,
-                n.master(c).name
-            );
+            assert_eq!(sub.master(CellId(i as u32)).name, n.master(c).name);
         }
     }
 
@@ -102,8 +101,11 @@ mod tests {
     fn boundary_nets_become_ports() {
         let n = design();
         let cells: Vec<CellId> = (0..50).map(CellId).collect();
-        let sub = extract_subnetlist(&n, &cells);
-        assert!(sub.port_count() > 0, "a 50-cell slice must touch outside nets");
+        let sub = extract_subnetlist(&n, &cells).expect("valid sub-netlist");
+        assert!(
+            sub.port_count() > 0,
+            "a 50-cell slice must touch outside nets"
+        );
         // Every port is wired.
         for p in sub.ports() {
             assert!(p.net.is_some(), "port {} unconnected", p.name);
@@ -114,7 +116,7 @@ mod tests {
     fn whole_design_has_io_ports_only_for_real_io() {
         let n = design();
         let all: Vec<CellId> = (0..n.cell_count() as u32).map(CellId).collect();
-        let sub = extract_subnetlist(&n, &all);
+        let sub = extract_subnetlist(&n, &all).expect("valid sub-netlist");
         assert_eq!(sub.cell_count(), n.cell_count());
         // The sub-netlist replaces real top ports with boundary ports; the
         // count matches the nets that touched a top port.
@@ -134,7 +136,7 @@ mod tests {
     fn clock_is_dropped() {
         let n = design();
         let all: Vec<CellId> = (0..n.cell_count() as u32).map(CellId).collect();
-        let sub = extract_subnetlist(&n, &all);
+        let sub = extract_subnetlist(&n, &all).expect("valid sub-netlist");
         assert!(sub.nets().iter().all(|net| !net.is_clock));
     }
 
@@ -142,6 +144,6 @@ mod tests {
     #[should_panic(expected = "duplicate cell")]
     fn duplicate_cells_panic() {
         let n = design();
-        extract_subnetlist(&n, &[CellId(0), CellId(0)]);
+        let _ = extract_subnetlist(&n, &[CellId(0), CellId(0)]);
     }
 }

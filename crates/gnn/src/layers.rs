@@ -153,8 +153,8 @@ impl BatchNorm {
         let mut y = Matrix::zeros(x.rows, x.cols);
         for r in 0..x.rows {
             for c in 0..x.cols {
-                let h = (x.get(r, c) - self.running_mean[c])
-                    / (self.running_var[c] + self.eps).sqrt();
+                let h =
+                    (x.get(r, c) - self.running_mean[c]) / (self.running_var[c] + self.eps).sqrt();
                 *y.get_mut(r, c) = self.gamma.w[c] * h + self.beta.w[c];
             }
         }
@@ -309,11 +309,7 @@ pub fn init_rng(seed: u64) -> StdRng {
 }
 
 /// Optimizer sweep over a parameter iterator.
-pub fn adam_step_all<'a>(
-    params: impl Iterator<Item = &'a mut Param>,
-    opt: &AdamOptions,
-    t: usize,
-) {
+pub fn adam_step_all<'a>(params: impl Iterator<Item = &'a mut Param>, opt: &AdamOptions, t: usize) {
     for p in params {
         p.adam_step(opt, t);
     }

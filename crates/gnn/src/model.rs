@@ -1,8 +1,8 @@
 //! The Total-Cost predictor (Figure 4 of the paper).
 
 use crate::layers::{
-    adam_step_all, init_rng, relu_backward, relu_forward, BatchNorm, BnCache, ConvBlock,
-    ConvCache, Linear, LinearCache,
+    adam_step_all, init_rng, relu_backward, relu_forward, BatchNorm, BnCache, ConvBlock, ConvCache,
+    Linear, LinearCache,
 };
 use crate::optim::{AdamOptions, Param};
 use crate::sample::GraphSample;
@@ -160,7 +160,9 @@ impl TotalCostModel {
         let mut rng = init_rng(seed);
         Self {
             cfg: *cfg,
-            branches: (0..cfg.branches).map(|_| Branch::new(cfg, &mut rng)).collect(),
+            branches: (0..cfg.branches)
+                .map(|_| Branch::new(cfg, &mut rng))
+                .collect(),
             head: Head::new(cfg, &mut rng),
             step: 0,
         }
@@ -182,7 +184,9 @@ impl TotalCostModel {
             .map(|s| {
                 assert_eq!(s.features.cols, self.cfg.in_dim, "feature width mismatch");
                 let emb = self.embed_eval(s);
-                let y = self.head.forward_eval(&Matrix::from_vec(1, self.cfg.out_dim, emb));
+                let y = self
+                    .head
+                    .forward_eval(&Matrix::from_vec(1, self.cfg.out_dim, emb));
                 y.get(0, 0)
             })
             .collect()
@@ -205,11 +209,7 @@ impl TotalCostModel {
     /// # Panics
     ///
     /// Panics if `batch` is empty.
-    pub fn train_batch(
-        &mut self,
-        batch: &[(&GraphSample, f64)],
-        opt: &AdamOptions,
-    ) -> f64 {
+    pub fn train_batch(&mut self, batch: &[(&GraphSample, f64)], opt: &AdamOptions) -> f64 {
         assert!(!batch.is_empty(), "empty batch");
         let bsz = batch.len();
         // Merge the minibatch into one disjoint-union graph.

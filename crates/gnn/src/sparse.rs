@@ -24,11 +24,14 @@ impl SparseSym {
     pub fn normalized_from_edges(n: usize, edges: &[(u32, u32, f64)]) -> Self {
         // Accumulate adjacency with self-loops.
         let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
-        for i in 0..n {
-            adj[i].push((i as u32, 1.0));
+        for (i, list) in adj.iter_mut().enumerate() {
+            list.push((i as u32, 1.0));
         }
         for &(u, v, w) in edges {
-            assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge endpoint out of range"
+            );
             if u == v {
                 adj[u as usize].push((v, w));
             } else {

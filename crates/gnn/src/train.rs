@@ -69,8 +69,7 @@ pub fn train(
         }
         final_loss = epoch_loss / batches.max(1) as f64;
     }
-    let (samples, labels): (Vec<_>, Vec<f64>) =
-        data.iter().map(|(s, l)| (s.clone(), *l)).unzip();
+    let (samples, labels): (Vec<_>, Vec<f64>) = data.iter().map(|(s, l)| (s.clone(), *l)).unzip();
     let pred = model.predict(&samples);
     TrainStats {
         final_loss,
@@ -81,8 +80,7 @@ pub fn train(
 
 /// Evaluates a trained model on a held-out split, returning `(MAE, R²)`.
 pub fn evaluate(model: &TotalCostModel, data: &[(GraphSample, f64)]) -> (f64, f64) {
-    let (samples, labels): (Vec<_>, Vec<f64>) =
-        data.iter().map(|(s, l)| (s.clone(), *l)).unzip();
+    let (samples, labels): (Vec<_>, Vec<f64>) = data.iter().map(|(s, l)| (s.clone(), *l)).unzip();
     let pred = model.predict(&samples);
     (mae(&pred, &labels), r2_score(&pred, &labels))
 }
@@ -195,7 +193,11 @@ pub fn cross_validate(
     let mut out = Vec::with_capacity(k);
     for fold in 0..k {
         let lo = fold * fold_size;
-        let hi = if fold + 1 == k { data.len() } else { lo + fold_size };
+        let hi = if fold + 1 == k {
+            data.len()
+        } else {
+            lo + fold_size
+        };
         let held: Vec<(GraphSample, f64)> = data[lo..hi].to_vec();
         let train_data: Vec<(GraphSample, f64)> = data[..lo]
             .iter()

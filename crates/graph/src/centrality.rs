@@ -148,7 +148,10 @@ mod tests {
     #[test]
     fn star_center_has_maximum_betweenness() {
         let bc = betweenness(&star5());
-        assert!((bc[0] - 1.0).abs() < 1e-12, "center of a star is on all pairs: {bc:?}");
+        assert!(
+            (bc[0] - 1.0).abs() < 1e-12,
+            "center of a star is on all pairs: {bc:?}"
+        );
         for &leaf in &bc[1..] {
             assert_eq!(leaf, 0.0);
         }

@@ -87,12 +87,7 @@ impl Default for CommunityOptions {
 }
 
 /// One pass of greedy local moving. Returns `true` if any node moved.
-fn local_move(
-    g: &Graph,
-    labels: &mut [u32],
-    opts: &CommunityOptions,
-    rng: &mut StdRng,
-) -> bool {
+fn local_move(g: &Graph, labels: &mut [u32], opts: &CommunityOptions, rng: &mut StdRng) -> bool {
     let n = g.node_count();
     let m = g.total_weight();
     if m <= 0.0 || n == 0 {
@@ -127,16 +122,16 @@ fn local_move(
             }
             // Gain of staying vs moving; remove u from its community first.
             tot[cu as usize] -= ku;
-            let base = neighbor_weight[cu as usize]
-                - opts.resolution * tot[cu as usize] * ku / two_m;
+            let base =
+                neighbor_weight[cu as usize] - opts.resolution * tot[cu as usize] * ku / two_m;
             let mut best_comm = cu;
             let mut best_gain = base;
             for &c in &touched {
                 if c == cu {
                     continue;
                 }
-                let gain = neighbor_weight[c as usize]
-                    - opts.resolution * tot[c as usize] * ku / two_m;
+                let gain =
+                    neighbor_weight[c as usize] - opts.resolution * tot[c as usize] * ku / two_m;
                 if gain > best_gain + opts.min_gain {
                     best_gain = gain;
                     best_comm = c;
@@ -215,12 +210,7 @@ pub fn louvain(g: &Graph, opts: &CommunityOptions) -> (Vec<u32>, f64) {
 
 /// Refinement phase of Leiden: split each community into well-connected
 /// sub-communities by greedy merging of singletons (within communities).
-fn refine(
-    g: &Graph,
-    labels: &[u32],
-    opts: &CommunityOptions,
-    rng: &mut StdRng,
-) -> Vec<u32> {
+fn refine(g: &Graph, labels: &[u32], opts: &CommunityOptions, rng: &mut StdRng) -> Vec<u32> {
     let n = g.node_count();
     let m = g.total_weight();
     let two_m = 2.0 * m;
@@ -256,8 +246,8 @@ fn refine(
             if rc == ru {
                 continue;
             }
-            let gain = neighbor_weight[rc as usize]
-                - opts.resolution * ref_tot[rc as usize] * ku / two_m;
+            let gain =
+                neighbor_weight[rc as usize] - opts.resolution * ref_tot[rc as usize] * ku / two_m;
             if gain > best_gain + opts.min_gain {
                 best_gain = gain;
                 best = rc;

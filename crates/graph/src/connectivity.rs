@@ -55,8 +55,7 @@ pub fn min_cut(g: &Graph) -> f64 {
                 best = best.min(weights[sel]);
                 // Merge `sel` into `prev`.
                 let (a, b) = (active[prev], active[sel]);
-                for i in 0..m {
-                    let node = active[i];
+                for &node in &active {
                     w[a][node] += w[b][node];
                     w[node][a] += w[node][b];
                 }
@@ -128,10 +127,7 @@ mod tests {
 
     #[test]
     fn weighted_cut_prefers_light_bridge() {
-        let g = Graph::from_edges(
-            4,
-            &[(0, 1, 10.0), (1, 2, 0.5), (2, 3, 10.0)],
-        );
+        let g = Graph::from_edges(4, &[(0, 1, 10.0), (1, 2, 0.5), (2, 3, 10.0)]);
         assert!((min_cut(&g) - 0.5).abs() < 1e-12);
     }
 

@@ -130,7 +130,9 @@ impl Graph {
 
     /// Returns `true` if nodes `u` and `v` are adjacent.
     pub fn has_edge(&self, u: u32, v: u32) -> bool {
-        self.adj[u as usize].binary_search_by_key(&v, |&(x, _)| x).is_ok()
+        self.adj[u as usize]
+            .binary_search_by_key(&v, |&(x, _)| x)
+            .is_ok()
     }
 
     /// Weight of the edge `(u, v)` if present.

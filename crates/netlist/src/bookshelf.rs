@@ -84,12 +84,10 @@ pub fn export(
 
     let mut pl = String::new();
     pl.push_str("UCLA pl 1.0\n");
-    for i in 0..nc {
-        let (x, y) = positions[i];
+    for (i, &(x, y)) in positions.iter().take(nc).enumerate() {
         pl.push_str(&format!("c{i} {x:.4} {y:.4} : N\n"));
     }
-    for i in 0..np {
-        let (x, y) = positions[nc + i];
+    for (i, &(x, y)) in positions.iter().skip(nc).take(np).enumerate() {
         pl.push_str(&format!("p{i} {x:.4} {y:.4} : N /FIXED\n"));
     }
 
@@ -107,7 +105,12 @@ pub fn export(
         ));
     }
 
-    BookshelfExport { nodes, nets, pl, scl }
+    BookshelfExport {
+        nodes,
+        nets,
+        pl,
+        scl,
+    }
 }
 
 #[cfg(test)]
@@ -151,9 +154,6 @@ mod tests {
         let total = n.cell_count() + n.port_count();
         let pos = vec![(0.0, 0.0); total];
         let bs = export(&n, &fp, &pos);
-        assert_eq!(
-            bs.pl.matches("/FIXED").count(),
-            n.port_count()
-        );
+        assert_eq!(bs.pl.matches("/FIXED").count(), n.port_count());
     }
 }

@@ -238,10 +238,7 @@ mod tests {
         let c = ClusteredNetlist::from_assignment(&n, &halves(&n));
         let sum: f64 = (0..c.cluster_count() as u32).map(|i| c.area(i)).sum();
         assert!((sum - n.total_cell_area()).abs() < 1e-6);
-        assert_eq!(
-            c.cells(0).len() + c.cells(1).len(),
-            n.cell_count()
-        );
+        assert_eq!(c.cells(0).len() + c.cells(1).len(), n.cell_count());
     }
 
     #[test]

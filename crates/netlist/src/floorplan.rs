@@ -156,7 +156,9 @@ impl Floorplan {
         let margin = self.row_height;
         let block_area = self.core.area() * area_fraction / count as f64;
         let avail_w = self.core.width() - (count as f64 + 1.0) * margin;
-        let bw = (avail_w / count as f64).min(block_area.sqrt() * 1.5).max(1.0);
+        let bw = (avail_w / count as f64)
+            .min(block_area.sqrt() * 1.5)
+            .max(1.0);
         let bh = (block_area / bw).min(self.core.height() * 0.45);
         for k in 0..count {
             let llx = self.core.llx + margin + k as f64 * (bw + margin);
@@ -320,7 +322,8 @@ mod blockage_tests {
             .scale(0.01)
             .generate();
         let mut fp = Floorplan::for_netlist(&n, 0.6, 1.0);
-        fp.blockages.push(Rect::new(fp.core.llx, fp.core.lly, 5.0, 4.0));
+        fp.blockages
+            .push(Rect::new(fp.core.llx, fp.core.lly, 5.0, 4.0));
         let probe = Rect::new(fp.core.llx, fp.core.lly, 10.0, 4.0);
         assert!((fp.free_area_in(&probe) - 20.0).abs() < 1e-9);
     }

@@ -255,16 +255,24 @@ struct Generator<'a> {
     leaf_of_node: Vec<Option<usize>>,
 }
 
+/// Looks up a master that the generator's own library is known to carry.
+fn must_find(lib: &Library, name: &str) -> CellTypeId {
+    match lib.find(name) {
+        Some(id) => id,
+        None => unreachable!("{name} is in the generator's library"),
+    }
+}
+
 impl<'a> Generator<'a> {
     fn new(cfg: &'a GeneratorConfig) -> Self {
         let lib = Library::nangate45ish();
         let gate_ids: Vec<(CellTypeId, f64)> = GATE_MIX
             .iter()
-            .map(|&(name, w)| (lib.find(name).expect("gate in library"), w))
+            .map(|&(name, w)| (must_find(&lib, name), w))
             .collect();
         let gate_weight_total = gate_ids.iter().map(|&(_, w)| w).sum();
-        let dff_x1 = lib.find("DFF_X1").expect("DFF_X1");
-        let dff_x2 = lib.find("DFF_X2").expect("DFF_X2");
+        let dff_x1 = must_find(&lib, "DFF_X1");
+        let dff_x2 = must_find(&lib, "DFF_X2");
         Self {
             cfg,
             rng: StdRng::seed_from_u64(cfg.seed),
@@ -286,9 +294,11 @@ impl<'a> Generator<'a> {
         self.populate_leaves();
         self.wire(&ports.outputs);
         self.wire_clock(ports.clock);
-        let constraints =
-            Constraints::with_period(self.cfg.clock_period).clock_port(ports.clock);
-        let netlist = self.builder.finish().expect("generated netlist is valid");
+        let constraints = Constraints::with_period(self.cfg.clock_period).clock_port(ports.clock);
+        let netlist = match self.builder.finish() {
+            Ok(n) => n,
+            Err(e) => unreachable!("generated netlist is valid: {e}"),
+        };
         (netlist, constraints)
     }
 
@@ -338,7 +348,10 @@ impl<'a> Generator<'a> {
             } else {
                 let later_min = (b - 1 - i) * leaf_min;
                 let hi = remaining.saturating_sub(later_min).max(leaf_min);
-                ((n as f64 * w / total) as usize).max(leaf_min).min(hi).min(remaining)
+                ((n as f64 * w / total) as usize)
+                    .max(leaf_min)
+                    .min(hi)
+                    .min(remaining)
             };
             remaining -= share;
             if share == 0 {
@@ -420,7 +433,7 @@ impl<'a> Generator<'a> {
             }
             x -= w;
         }
-        self.gate_ids.last().expect("non-empty gate mix").0
+        self.gate_ids[self.gate_ids.len() - 1].0
     }
 
     /// Wires every input pin, accumulating sinks per source, then emits one
@@ -467,11 +480,7 @@ impl<'a> Generator<'a> {
         }
 
         // Output ports: buffer off a flop so each port net has a fresh driver.
-        let buf = self
-            .builder
-            .library()
-            .find("BUF_X1")
-            .expect("BUF_X1 in library");
+        let buf = must_find(self.builder.library(), "BUF_X1");
         let mut port_nets = Vec::new();
         for (i, &p) in outputs.iter().enumerate() {
             let li = i % self.leaves.len();
@@ -553,12 +562,11 @@ impl<'a> Generator<'a> {
         let mut depth = self.builder.hierarchy().node(my_node).depth;
         let mut anchor = my_node;
         while depth > 0 && self.rng.random::<f64>() < self.cfg.climb_probability {
-            anchor = self
-                .builder
-                .hierarchy()
-                .node(anchor)
-                .parent
-                .expect("non-root");
+            // depth > 0 guarantees a parent exists.
+            let Some(p) = self.builder.hierarchy().node(anchor).parent else {
+                break;
+            };
+            anchor = p;
             depth -= 1;
         }
         if anchor == my_node {
@@ -579,8 +587,7 @@ impl<'a> Generator<'a> {
         let leaf_levels = self.leaves[target_li].levels.len();
         let max_l = lvl.saturating_sub(1).min(leaf_levels - 1);
         for l in (0..=max_l).rev() {
-            if !self.leaves[target_li].levels[l].is_empty()
-                && (l == 0 || self.rng.random_bool(0.6))
+            if !self.leaves[target_li].levels[l].is_empty() && (l == 0 || self.rng.random_bool(0.6))
             {
                 let cells = &self.leaves[target_li].levels[l];
                 let k = self.rng.random_range(0..cells.len());

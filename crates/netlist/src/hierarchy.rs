@@ -108,7 +108,11 @@ impl HierTree {
     pub fn ancestor_at_depth(&self, id: HierNodeId, depth: u32) -> HierNodeId {
         let mut cur = id;
         while self.nodes[cur.index()].depth > depth {
-            cur = self.nodes[cur.index()].parent.expect("non-root has parent");
+            // Only the root (depth 0) lacks a parent, and 0 is never > depth.
+            let Some(p) = self.nodes[cur.index()].parent else {
+                break;
+            };
+            cur = p;
         }
         cur
     }

@@ -47,6 +47,7 @@ pub mod library;
 pub mod netlist;
 pub mod sdc;
 pub mod shapes;
+pub mod validate;
 pub mod verilog;
 
 pub use crate::floorplan::Floorplan;
@@ -56,3 +57,4 @@ pub use crate::library::{CellClass, CellType, Library, LogicFunction};
 pub use crate::netlist::{Net, Netlist, NetlistBuilder, PinRef, Port, PortDir};
 pub use crate::sdc::Constraints;
 pub use crate::shapes::ClusterShape;
+pub use crate::validate::ValidationError;

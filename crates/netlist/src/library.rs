@@ -72,7 +72,12 @@ impl LogicFunction {
     pub fn input_count(self) -> usize {
         match self {
             Self::Buf | Self::Inv => 1,
-            Self::And2 | Self::Nand2 | Self::Or2 | Self::Nor2 | Self::Xor2 | Self::Xnor2
+            Self::And2
+            | Self::Nand2
+            | Self::Or2
+            | Self::Nor2
+            | Self::Xor2
+            | Self::Xnor2
             | Self::Dff => 2,
             Self::Mux2 | Self::Aoi21 | Self::Oai21 | Self::Maj3 | Self::Xor3 => 3,
             Self::Opaque => 0,

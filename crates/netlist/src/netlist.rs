@@ -127,13 +127,19 @@ impl fmt::Display for BuildNetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::BadPinIndex { net, cell, pin } => {
-                write!(f, "net {net} uses pin {pin} of cell {cell}, which does not exist")
+                write!(
+                    f,
+                    "net {net} uses pin {pin} of cell {cell}, which does not exist"
+                )
             }
             Self::DriverConflict { endpoint } => {
                 write!(f, "endpoint {endpoint} is driven by more than one net")
             }
             Self::SinkConflict { cell, pin } => {
-                write!(f, "input pin {pin} of cell {cell} is bound to more than one net")
+                write!(
+                    f,
+                    "input pin {pin} of cell {cell} is bound to more than one net"
+                )
             }
             Self::PortDirectionMismatch { port } => {
                 write!(f, "port {port} is used against its direction")
@@ -235,7 +241,10 @@ impl Netlist {
 
     /// The net bound to input pin `pin` of `cell`, if any.
     pub fn input_net(&self, cell: CellId, pin: u8) -> Option<NetId> {
-        self.input_net[cell.index()].get(pin as usize).copied().flatten()
+        self.input_net[cell.index()]
+            .get(pin as usize)
+            .copied()
+            .flatten()
     }
 
     /// All input nets of a cell (indexed by pin).
@@ -602,13 +611,21 @@ mod tests {
         let y = b.add_port("y", PortDir::Output);
         let u0 = b.add_cell("u0", inv, HierTree::ROOT);
         let u1 = b.add_cell("u1", inv, HierTree::ROOT);
-        b.add_net("na", Some(PinRef::Port(a)), vec![PinRef::Cell { cell: u0, pin: 0 }]);
+        b.add_net(
+            "na",
+            Some(PinRef::Port(a)),
+            vec![PinRef::Cell { cell: u0, pin: 0 }],
+        );
         b.add_net(
             "n1",
             Some(PinRef::Cell { cell: u0, pin: 0 }),
             vec![PinRef::Cell { cell: u1, pin: 0 }],
         );
-        b.add_net("ny", Some(PinRef::Cell { cell: u1, pin: 0 }), vec![PinRef::Port(y)]);
+        b.add_net(
+            "ny",
+            Some(PinRef::Cell { cell: u1, pin: 0 }),
+            vec![PinRef::Port(y)],
+        );
         b.finish().unwrap()
     }
 
@@ -666,8 +683,16 @@ mod tests {
         let a = b.add_port("a", PortDir::Input);
         let c = b.add_port("c", PortDir::Input);
         let u0 = b.add_cell("u0", inv, HierTree::ROOT);
-        b.add_net("na", Some(PinRef::Port(a)), vec![PinRef::Cell { cell: u0, pin: 0 }]);
-        b.add_net("nc", Some(PinRef::Port(c)), vec![PinRef::Cell { cell: u0, pin: 0 }]);
+        b.add_net(
+            "na",
+            Some(PinRef::Port(a)),
+            vec![PinRef::Cell { cell: u0, pin: 0 }],
+        );
+        b.add_net(
+            "nc",
+            Some(PinRef::Port(c)),
+            vec![PinRef::Cell { cell: u0, pin: 0 }],
+        );
         assert!(matches!(
             b.finish(),
             Err(BuildNetlistError::SinkConflict { .. })
@@ -681,7 +706,11 @@ mod tests {
         let mut b = NetlistBuilder::new("bad", lib);
         let a = b.add_port("a", PortDir::Input);
         let u0 = b.add_cell("u0", inv, HierTree::ROOT);
-        b.add_net("na", Some(PinRef::Port(a)), vec![PinRef::Cell { cell: u0, pin: 3 }]);
+        b.add_net(
+            "na",
+            Some(PinRef::Port(a)),
+            vec![PinRef::Cell { cell: u0, pin: 3 }],
+        );
         assert!(matches!(
             b.finish(),
             Err(BuildNetlistError::BadPinIndex { pin: 3, .. })

@@ -92,7 +92,11 @@ pub fn write(netlist: &Netlist) -> String {
                 PinRef::Port(p) => netlist.port(p).name.clone(),
             })
             .collect();
-        out.push_str(&format!("{kw} {} {driver} : {}\n", net.name, sinks.join(" ")));
+        out.push_str(&format!(
+            "{kw} {} {driver} : {}\n",
+            net.name,
+            sinks.join(" ")
+        ));
     }
     out
 }
@@ -168,9 +172,9 @@ pub fn parse(text: &str, library: Library) -> Result<Netlist, ParseNetlistError>
                         continue; // root
                     }
                     prefix = format!("{prefix}/{part}");
-                    node = *hier_nodes.entry(prefix.clone()).or_insert_with(|| {
-                        builder.hierarchy_mut().add_child(node, part)
-                    });
+                    node = *hier_nodes
+                        .entry(prefix.clone())
+                        .or_insert_with(|| builder.hierarchy_mut().add_child(node, part));
                 }
                 let id = builder.add_cell(cname, ty, node);
                 cells.insert(cname.to_string(), id);
@@ -210,17 +214,17 @@ pub fn parse(text: &str, library: Library) -> Result<Netlist, ParseNetlistError>
                         });
                     }
                     if let Some((cname, pin)) = t.rsplit_once('.') {
-                        let &c = cells.get(cname).ok_or_else(|| {
-                            ParseNetlistError::UnknownName {
-                                line: lno,
-                                name: cname.to_string(),
-                            }
+                        let &c =
+                            cells
+                                .get(cname)
+                                .ok_or_else(|| ParseNetlistError::UnknownName {
+                                    line: lno,
+                                    name: cname.to_string(),
+                                })?;
+                        let pin: u8 = pin.parse().map_err(|_| ParseNetlistError::BadLine {
+                            line: lno,
+                            text: raw.to_string(),
                         })?;
-                        let pin: u8 =
-                            pin.parse().map_err(|_| ParseNetlistError::BadLine {
-                                line: lno,
-                                text: raw.to_string(),
-                            })?;
                         sinks.push(PinRef::Cell { cell: c, pin });
                     } else if let Some(&p) = ports.get(t) {
                         sinks.push(PinRef::Port(p));

@@ -6,6 +6,7 @@
 //! delay follows the same linear delay model STA uses, so CTS skew plugs
 //! straight into [`cp_timing`]-style analysis.
 
+use crate::error::PlaceError;
 use cp_netlist::library::CellClass;
 use cp_netlist::netlist::Netlist;
 use cp_netlist::CellId;
@@ -53,21 +54,37 @@ pub struct ClockTree {
 /// let pos: Vec<(f64, f64)> = (0..total)
 ///     .map(|i| ((i % 40) as f64 * 2.0, (i / 40) as f64 * 2.0))
 ///     .collect();
-/// let tree = synthesize_clock_tree(&netlist, &pos, &CtsOptions::default());
+/// let tree = synthesize_clock_tree(&netlist, &pos, &CtsOptions::default()).unwrap();
 /// assert!(tree.buffer_count > 0);
 /// assert!(tree.skew >= 0.0);
 /// ```
+///
+/// # Errors
+///
+/// - [`PlaceError::InvalidInput`] when the library carries no clock buffer
+///   master or `positions` doesn't cover every cell.
+/// - [`PlaceError::NonFinite`] when a sink position carries NaN/Inf.
 pub fn synthesize_clock_tree(
     netlist: &Netlist,
     positions: &[(f64, f64)],
     options: &CtsOptions,
-) -> ClockTree {
+) -> Result<ClockTree, PlaceError> {
     let lib = netlist.library();
-    let buf = lib
-        .find("CLKBUF_X4")
-        .or_else(|| lib.find("BUF_X4"))
-        .expect("clock buffer master available");
+    let Some(buf) = lib.find("CLKBUF_X4").or_else(|| lib.find("BUF_X4")) else {
+        return Err(PlaceError::InvalidInput {
+            reason: "library has no clock buffer master (CLKBUF_X4 or BUF_X4)".to_string(),
+        });
+    };
     let buf = lib.cell(buf);
+    if positions.len() < netlist.cell_count() {
+        return Err(PlaceError::InvalidInput {
+            reason: format!(
+                "{} positions for {} cells",
+                positions.len(),
+                netlist.cell_count()
+            ),
+        });
+    }
     let sinks: Vec<(CellId, (f64, f64), f64)> = netlist
         .cells()
         .iter()
@@ -79,6 +96,12 @@ pub fn synthesize_clock_tree(
             (id, positions[i], cap)
         })
         .collect();
+    if sinks
+        .iter()
+        .any(|&(_, p, _)| !(p.0.is_finite() && p.1.is_finite()))
+    {
+        return Err(PlaceError::NonFinite { stage: "cts sinks" });
+    }
     let mut tree = ClockTree {
         arrival: vec![0.0; netlist.cell_count()],
         buffer_count: 0,
@@ -86,7 +109,7 @@ pub fn synthesize_clock_tree(
         skew: 0.0,
     };
     if sinks.is_empty() {
-        return tree;
+        return Ok(tree);
     }
     let idx: Vec<usize> = (0..sinks.len()).collect();
     build(
@@ -98,11 +121,14 @@ pub fn synthesize_clock_tree(
         (buf.intrinsic_delay, buf.drive_res, buf.input_caps[0]),
         &mut tree,
     );
-    let arrivals: Vec<f64> = sinks.iter().map(|&(c, _, _)| tree.arrival[c.index()]).collect();
+    let arrivals: Vec<f64> = sinks
+        .iter()
+        .map(|&(c, _, _)| tree.arrival[c.index()])
+        .collect();
     let max = arrivals.iter().copied().fold(f64::MIN, f64::max);
     let min = arrivals.iter().copied().fold(f64::MAX, f64::min);
     tree.skew = max - min;
-    tree
+    Ok(tree)
 }
 
 fn centroid(sinks: &[(CellId, (f64, f64), f64)], idx: &[usize]) -> (f64, f64) {
@@ -155,9 +181,17 @@ fn build(
     }
     let horizontal = (hi.0 - lo.0) >= (hi.1 - lo.1);
     idx.sort_by(|&a, &b| {
-        let ka = if horizontal { sinks[a].1 .0 } else { sinks[a].1 .1 };
-        let kb = if horizontal { sinks[b].1 .0 } else { sinks[b].1 .1 };
-        ka.partial_cmp(&kb).expect("finite positions")
+        let ka = if horizontal {
+            sinks[a].1 .0
+        } else {
+            sinks[a].1 .1
+        };
+        let kb = if horizontal {
+            sinks[b].1 .0
+        } else {
+            sinks[b].1 .1
+        };
+        ka.total_cmp(&kb)
     });
     let right = idx.split_off(idx.len() / 2);
     let c_left = centroid(sinks, &idx);
@@ -209,7 +243,7 @@ mod tests {
     #[test]
     fn every_flop_gets_an_arrival() {
         let (n, pos) = with_positions(0.01);
-        let t = synthesize_clock_tree(&n, &pos, &CtsOptions::default());
+        let t = synthesize_clock_tree(&n, &pos, &CtsOptions::default()).expect("cts succeeds");
         let lib = n.library();
         for (i, c) in n.cells().iter().enumerate() {
             if lib.cell(c.ty).class == CellClass::Sequential {
@@ -223,23 +257,24 @@ mod tests {
     #[test]
     fn skew_is_bounded_and_wirelength_positive() {
         let (n, pos) = with_positions(0.01);
-        let t = synthesize_clock_tree(&n, &pos, &CtsOptions::default());
+        let t = synthesize_clock_tree(&n, &pos, &CtsOptions::default()).expect("cts succeeds");
         assert!(t.wirelength > 0.0);
         assert!(t.skew >= 0.0);
-        let max_arrival = t
-            .arrival
-            .iter()
-            .copied()
-            .fold(f64::MIN, f64::max);
-        assert!(t.skew < max_arrival, "skew {} vs max {}", t.skew, max_arrival);
+        let max_arrival = t.arrival.iter().copied().fold(f64::MIN, f64::max);
+        assert!(
+            t.skew < max_arrival,
+            "skew {} vs max {}",
+            t.skew,
+            max_arrival
+        );
     }
 
     #[test]
     fn more_sinks_mean_more_buffers() {
         let (n1, p1) = with_positions(0.005);
         let (n2, p2) = with_positions(0.03);
-        let t1 = synthesize_clock_tree(&n1, &p1, &CtsOptions::default());
-        let t2 = synthesize_clock_tree(&n2, &p2, &CtsOptions::default());
+        let t1 = synthesize_clock_tree(&n1, &p1, &CtsOptions::default()).expect("cts succeeds");
+        let t2 = synthesize_clock_tree(&n2, &p2, &CtsOptions::default()).expect("cts succeeds");
         assert!(t2.buffer_count > t1.buffer_count);
     }
 
@@ -251,7 +286,8 @@ mod tests {
         let mut b = NetlistBuilder::new("nf", lib);
         b.add_cell("u0", inv, HierTree::ROOT);
         let n = b.finish().unwrap();
-        let t = synthesize_clock_tree(&n, &[(0.0, 0.0)], &CtsOptions::default());
+        let t =
+            synthesize_clock_tree(&n, &[(0.0, 0.0)], &CtsOptions::default()).expect("cts succeeds");
         assert_eq!(t.buffer_count, 0);
         assert_eq!(t.skew, 0.0);
     }
@@ -259,8 +295,10 @@ mod tests {
     #[test]
     fn leaf_size_affects_tree_depth() {
         let (n, pos) = with_positions(0.02);
-        let small = synthesize_clock_tree(&n, &pos, &CtsOptions { max_leaf_sinks: 4 });
-        let large = synthesize_clock_tree(&n, &pos, &CtsOptions { max_leaf_sinks: 64 });
+        let small = synthesize_clock_tree(&n, &pos, &CtsOptions { max_leaf_sinks: 4 })
+            .expect("cts succeeds");
+        let large = synthesize_clock_tree(&n, &pos, &CtsOptions { max_leaf_sinks: 64 })
+            .expect("cts succeeds");
         assert!(small.buffer_count > large.buffer_count);
     }
 }

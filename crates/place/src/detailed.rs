@@ -54,13 +54,13 @@ pub fn refine(
     // Rows of single-row cells, each sorted by x.
     let row_of = |y: f64| ((y - floorplan.core.lly) / floorplan.row_height).round() as i64;
     let mut rows: std::collections::BTreeMap<i64, Vec<usize>> = std::collections::BTreeMap::new();
-    for i in 0..m {
+    for (i, &(_, y)) in positions.iter().take(m).enumerate() {
         if problem.movable[i].height <= floorplan.row_height * 1.5 {
-            rows.entry(row_of(positions[i].1)).or_default().push(i);
+            rows.entry(row_of(y)).or_default().push(i);
         }
     }
     for cells in rows.values_mut() {
-        cells.sort_by(|&a, &b| positions[a].0.partial_cmp(&positions[b].0).expect("finite"));
+        cells.sort_by(|&a, &b| positions[a].0.total_cmp(&positions[b].0));
     }
     let site = floorplan.site_width;
     let core = floorplan.core;
@@ -83,8 +83,8 @@ pub fn refine(
                     continue;
                 }
                 let target = optimal_x(problem, positions, &incident[i], i);
-                let snapped =
-                    core.llx + ((target.clamp(lo_bound, hi_bound) - core.llx) / site).round() * site;
+                let snapped = core.llx
+                    + ((target.clamp(lo_bound, hi_bound) - core.llx) / site).round() * site;
                 let x = snapped.clamp(lo_bound, hi_bound);
                 positions[i].0 = x;
             }
@@ -146,24 +146,17 @@ fn optimal_x(
     if bounds.is_empty() {
         return positions[cell].0;
     }
-    bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    bounds.sort_by(f64::total_cmp);
     bounds[bounds.len() / 2]
 }
 
 /// HPWL over the union of two cells' incident nets.
-fn local_hpwl(
-    problem: &PlacementProblem,
-    positions: &[(f64, f64)],
-    ea: &[u32],
-    eb: &[u32],
-) -> f64 {
+fn local_hpwl(problem: &PlacementProblem, positions: &[(f64, f64)], ea: &[u32], eb: &[u32]) -> f64 {
     let mut seen: Vec<u32> = ea.iter().chain(eb.iter()).copied().collect();
     seen.sort_unstable();
     seen.dedup();
     seen.iter()
-        .map(|&e| {
-            problem.net_weights[e as usize] * crate::hpwl::edge_hpwl(problem, e, positions)
-        })
+        .map(|&e| problem.net_weights[e as usize] * crate::hpwl::edge_hpwl(problem, e, positions))
         .sum()
 }
 
@@ -182,8 +175,10 @@ mod tests {
             .generate();
         let fp = Floorplan::for_netlist(&n, 0.6, 1.0);
         let p = PlacementProblem::from_netlist(&n, &fp);
-        let mut r = GlobalPlacer::new(PlacerOptions::default()).place(&p);
-        legalize(&p, &fp, &mut r.positions);
+        let mut r = GlobalPlacer::new(PlacerOptions::default())
+            .place(&p)
+            .expect("placement succeeds");
+        legalize(&p, &fp, &mut r.positions).expect("legalization succeeds");
         (p, fp, r.positions)
     }
 
@@ -195,7 +190,10 @@ mod tests {
         let after = crate::hpwl::raw_hpwl(&p, &pos);
         assert!(gain >= 0.0);
         assert!(after <= before + 1e-6, "HPWL rose: {before} -> {after}");
-        assert!(gain > 0.0, "expected some improvement on a fresh legalization");
+        assert!(
+            gain > 0.0,
+            "expected some improvement on a fresh legalization"
+        );
     }
 
     #[test]
@@ -245,6 +243,9 @@ mod tests {
         empty.hypergraph = cp_graph::Hypergraph::new(empty.fixed.len(), vec![]);
         empty.net_weights.clear();
         let mut pos: Vec<(f64, f64)> = Vec::new();
-        assert_eq!(refine(&empty, &fp, &mut pos, &DetailedOptions::default()), 0.0);
+        assert_eq!(
+            refine(&empty, &fp, &mut pos, &DetailedOptions::default()),
+            0.0
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! The global placement loop (SimPL-style lower/upper bound iteration).
 
+use crate::error::PlaceError;
 use crate::hpwl::raw_hpwl;
 use crate::problem::PlacementProblem;
 use crate::solver::{Anchors, Axis, B2bSystem};
@@ -26,6 +27,15 @@ pub struct PlacerOptions {
     pub seed_anchor: f64,
     /// RNG seed for the initial scatter.
     pub seed: u64,
+    /// On divergence (non-finite solve or HPWL blow-up), revert to the best
+    /// snapshot and return it instead of erroring (RePlAce-style recovery).
+    pub revert_if_diverge: bool,
+    /// HPWL growth over the best snapshot counted as a blow-up (while
+    /// overflow is also regressing).
+    pub divergence_factor: f64,
+    /// Test hook: poison the solver output with NaN at this iteration to
+    /// exercise the divergence path. `None` in normal operation.
+    pub fault_nan_at_iteration: Option<usize>,
 }
 
 impl Default for PlacerOptions {
@@ -38,6 +48,9 @@ impl Default for PlacerOptions {
             anchor_base: 0.015,
             seed_anchor: 0.08,
             seed: 7,
+            revert_if_diverge: true,
+            divergence_factor: 4.0,
+            fault_nan_at_iteration: None,
         }
     }
 }
@@ -55,6 +68,20 @@ pub struct PlacementResult {
     pub overflow: f64,
     /// Wall-clock seconds spent in `place`.
     pub runtime: f64,
+    /// `true` when the loop diverged and the result is the reverted best
+    /// snapshot rather than the last iterate.
+    pub diverged: bool,
+}
+
+/// The best finite iterate seen so far, for divergence recovery.
+struct Snapshot {
+    positions: Vec<(f64, f64)>,
+    hpwl: f64,
+    overflow: f64,
+}
+
+fn all_finite(pos: &[(f64, f64)]) -> bool {
+    pos.iter().all(|p| p.0.is_finite() && p.1.is_finite())
 }
 
 /// The global placer. See the crate docs for the algorithm outline.
@@ -76,17 +103,57 @@ impl GlobalPlacer {
 
     /// Places the problem. Incremental mode engages automatically when the
     /// problem carries seed positions.
-    pub fn place(&self, problem: &PlacementProblem) -> PlacementResult {
+    ///
+    /// # Errors
+    ///
+    /// - [`PlaceError::DegenerateCore`] when the core has non-finite or
+    ///   non-positive dimensions.
+    /// - [`PlaceError::InvalidInput`] when seed positions don't match the
+    ///   movable count.
+    /// - [`PlaceError::NonFinite`] when the inputs carry NaN/Inf.
+    /// - [`PlaceError::Diverged`] when the loop blows up and
+    ///   `revert_if_diverge` is off. With it on (the default), divergence
+    ///   reverts to the best snapshot and returns `Ok` with
+    ///   [`PlacementResult::diverged`] set.
+    pub fn place(&self, problem: &PlacementProblem) -> Result<PlacementResult, PlaceError> {
         let start = Instant::now();
         let m = problem.movable_count();
+        let core = problem.core;
+        if !(core.width().is_finite() && core.height().is_finite())
+            || core.width() <= 0.0
+            || core.height() <= 0.0
+        {
+            return Err(PlaceError::DegenerateCore {
+                width: core.width(),
+                height: core.height(),
+            });
+        }
+        if let Some(seeds) = &problem.seed_positions {
+            if seeds.len() != m {
+                return Err(PlaceError::InvalidInput {
+                    reason: format!("{} seed positions for {m} movables", seeds.len()),
+                });
+            }
+            if !all_finite(seeds) {
+                return Err(PlaceError::NonFinite {
+                    stage: "seed positions",
+                });
+            }
+        }
+        if !all_finite(&problem.fixed) {
+            return Err(PlaceError::NonFinite {
+                stage: "fixed terminal positions",
+            });
+        }
         if m == 0 {
-            return PlacementResult {
+            return Ok(PlacementResult {
                 positions: Vec::new(),
                 hpwl: 0.0,
                 iterations: 0,
                 overflow: 0.0,
                 runtime: start.elapsed().as_secs_f64(),
-            };
+                diverged: false,
+            });
         }
         let opt = &self.options;
         let incremental = problem.seed_positions.is_some();
@@ -98,7 +165,6 @@ impl GlobalPlacer {
 
         // Initial positions: seeds, or a random scatter in the core.
         let mut rng = StdRng::seed_from_u64(opt.seed);
-        let core = problem.core;
         let mut pos: Vec<(f64, f64)> = match &problem.seed_positions {
             Some(seeds) => seeds.clone(),
             None => (0..m)
@@ -114,7 +180,18 @@ impl GlobalPlacer {
         let seeds = problem.seed_positions.clone();
         let mut upper = spread(problem, &pos);
         let mut overflow = density_overflow(problem, &upper);
+        let mut hpwl = raw_hpwl(problem, &upper);
         let mut done = 0;
+        let mut best = if all_finite(&upper) && hpwl.is_finite() {
+            Some(Snapshot {
+                positions: upper.clone(),
+                hpwl,
+                overflow,
+            })
+        } else {
+            None
+        };
+        let mut diverged = false;
 
         let mut anchor_w: Vec<f64> = vec![0.0; m];
         for it in 0..iters {
@@ -163,20 +240,95 @@ impl GlobalPlacer {
             for i in 0..m {
                 pos[i] = (sx[i], sy[i]);
             }
+            if opt.fault_nan_at_iteration == Some(it) {
+                pos[0].0 = f64::NAN;
+            }
+            // Guard rail 1: the linear solve must stay finite.
+            if !all_finite(&pos) {
+                match self.revert(best.take(), &mut upper, &mut hpwl, &mut overflow) {
+                    true => {
+                        diverged = true;
+                        break;
+                    }
+                    false => return Err(PlaceError::NonFinite { stage: "solver" }),
+                }
+            }
             self.clamp(problem, &mut pos);
             upper = spread(problem, &pos);
             overflow = density_overflow(problem, &upper);
+            hpwl = raw_hpwl(problem, &upper);
+            // Guard rail 2: HPWL blowing up while overflow regresses means
+            // the anchors lost control — revert rather than walk off.
+            let blown_up = match &best {
+                Some(b) => {
+                    !(hpwl.is_finite() && overflow.is_finite())
+                        || (hpwl > b.hpwl * opt.divergence_factor && overflow > b.overflow + 0.1)
+                }
+                None => !(hpwl.is_finite() && overflow.is_finite()),
+            };
+            if blown_up {
+                let best_hpwl = best.as_ref().map_or(f64::NAN, |b| b.hpwl);
+                match self.revert(best.take(), &mut upper, &mut hpwl, &mut overflow) {
+                    true => {
+                        diverged = true;
+                        break;
+                    }
+                    false => {
+                        return Err(PlaceError::Diverged {
+                            iteration: it,
+                            best_hpwl,
+                        })
+                    }
+                }
+            }
+            let better = match &best {
+                Some(b) => {
+                    overflow < b.overflow - 1e-12
+                        || (overflow <= b.overflow + 0.02 && hpwl < b.hpwl)
+                }
+                None => true,
+            };
+            if better {
+                best = Some(Snapshot {
+                    positions: upper.clone(),
+                    hpwl,
+                    overflow,
+                });
+            }
             if overflow <= opt.target_overflow {
                 break;
             }
         }
-        let hpwl = raw_hpwl(problem, &upper);
-        PlacementResult {
+        Ok(PlacementResult {
             positions: upper,
             hpwl,
             iterations: done,
             overflow,
             runtime: start.elapsed().as_secs_f64(),
+            diverged,
+        })
+    }
+
+    /// Restores the best snapshot into the loop state. Returns whether the
+    /// revert path is available (enabled and a snapshot exists).
+    fn revert(
+        &self,
+        best: Option<Snapshot>,
+        upper: &mut Vec<(f64, f64)>,
+        hpwl: &mut f64,
+        overflow: &mut f64,
+    ) -> bool {
+        if !self.options.revert_if_diverge {
+            return false;
+        }
+        match best {
+            Some(b) => {
+                *upper = b.positions;
+                *hpwl = b.hpwl;
+                *overflow = b.overflow;
+                true
+            }
+            None => false,
         }
     }
 
@@ -219,7 +371,9 @@ mod tests {
             })
             .collect();
         let random_hpwl = raw_hpwl(&p, &random);
-        let result = GlobalPlacer::new(PlacerOptions::default()).place(&p);
+        let result = GlobalPlacer::new(PlacerOptions::default())
+            .place(&p)
+            .expect("placement succeeds");
         assert!(
             result.hpwl < random_hpwl * 0.8,
             "placed {} vs random {random_hpwl}",
@@ -234,8 +388,12 @@ mod tests {
     fn placement_is_deterministic() {
         let (n, fp) = flat(0.005, 2);
         let p = PlacementProblem::from_netlist(&n, &fp);
-        let a = GlobalPlacer::new(PlacerOptions::default()).place(&p);
-        let b = GlobalPlacer::new(PlacerOptions::default()).place(&p);
+        let a = GlobalPlacer::new(PlacerOptions::default())
+            .place(&p)
+            .expect("placement succeeds");
+        let b = GlobalPlacer::new(PlacerOptions::default())
+            .place(&p)
+            .expect("placement succeeds");
         assert_eq!(a.positions, b.positions);
         assert_eq!(a.hpwl, b.hpwl);
     }
@@ -244,11 +402,15 @@ mod tests {
     fn incremental_mode_is_faster_and_respects_seeds() {
         let (n, fp) = flat(0.01, 3);
         let p = PlacementProblem::from_netlist(&n, &fp);
-        let full = GlobalPlacer::new(PlacerOptions::default()).place(&p);
+        let full = GlobalPlacer::new(PlacerOptions::default())
+            .place(&p)
+            .expect("placement succeeds");
         // Seed with the full result: incremental should converge quickly to
         // a similar-quality placement.
         let p2 = p.clone().with_seeds(full.positions.clone());
-        let inc = GlobalPlacer::new(PlacerOptions::default()).place(&p2);
+        let inc = GlobalPlacer::new(PlacerOptions::default())
+            .place(&p2)
+            .expect("placement succeeds");
         assert!(inc.iterations <= PlacerOptions::default().incremental_iterations);
         assert!(
             inc.hpwl < full.hpwl * 1.25,
@@ -262,7 +424,9 @@ mod tests {
     fn overflow_is_controlled() {
         let (n, fp) = flat(0.01, 4);
         let p = PlacementProblem::from_netlist(&n, &fp);
-        let r = GlobalPlacer::new(PlacerOptions::default()).place(&p);
+        let r = GlobalPlacer::new(PlacerOptions::default())
+            .place(&p)
+            .expect("placement succeeds");
         assert!(r.overflow < 0.4, "overflow {}", r.overflow);
     }
 
@@ -279,7 +443,9 @@ mod tests {
         for i in 0..10.min(p.movable_count()) {
             p.set_region(i, r);
         }
-        let res = GlobalPlacer::new(PlacerOptions::default()).place(&p);
+        let res = GlobalPlacer::new(PlacerOptions::default())
+            .place(&p)
+            .expect("placement succeeds");
         for i in 0..10.min(p.movable_count()) {
             let (x, y) = res.positions[i];
             assert!(r.contains(x, y), "cell {i} at ({x}, {y}) escaped region");
@@ -295,8 +461,80 @@ mod tests {
         // Rebuild a consistent empty hypergraph.
         p.hypergraph = cp_graph::Hypergraph::new(p.fixed.len(), vec![]);
         p.net_weights.clear();
-        let r = GlobalPlacer::new(PlacerOptions::default()).place(&p);
+        let r = GlobalPlacer::new(PlacerOptions::default())
+            .place(&p)
+            .expect("empty problem places");
         assert_eq!(r.positions.len(), 0);
         assert_eq!(r.hpwl, 0.0);
+    }
+
+    #[test]
+    fn injected_nan_reverts_to_best_snapshot() {
+        let (n, fp) = flat(0.01, 7);
+        let p = PlacementProblem::from_netlist(&n, &fp);
+        let clean = GlobalPlacer::new(PlacerOptions::default())
+            .place(&p)
+            .expect("clean run succeeds");
+        let faulty = GlobalPlacer::new(PlacerOptions {
+            fault_nan_at_iteration: Some(6),
+            ..PlacerOptions::default()
+        })
+        .place(&p)
+        .expect("revert recovers from the injected NaN");
+        assert!(faulty.diverged);
+        assert!(faulty.hpwl.is_finite());
+        assert!(faulty
+            .positions
+            .iter()
+            .all(|&(x, y)| { x.is_finite() && y.is_finite() && fp.core.contains(x, y) }));
+        // The reverted snapshot can't beat the clean run's final result by
+        // much, nor be wildly worse: it is a genuine mid-run iterate.
+        assert!(
+            faulty.hpwl < clean.hpwl * 3.0,
+            "reverted {} vs clean {}",
+            faulty.hpwl,
+            clean.hpwl
+        );
+    }
+
+    #[test]
+    fn injected_nan_errors_with_revert_disabled() {
+        let (n, fp) = flat(0.01, 7);
+        let p = PlacementProblem::from_netlist(&n, &fp);
+        let err = GlobalPlacer::new(PlacerOptions {
+            fault_nan_at_iteration: Some(3),
+            revert_if_diverge: false,
+            ..PlacerOptions::default()
+        })
+        .place(&p)
+        .expect_err("NaN without revert must error");
+        assert_eq!(err, crate::error::PlaceError::NonFinite { stage: "solver" });
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected_not_panicked() {
+        let (n, fp) = flat(0.005, 8);
+        let p = PlacementProblem::from_netlist(&n, &fp);
+        // Degenerate core.
+        let mut degenerate = p.clone();
+        degenerate.core = cp_netlist::floorplan::Rect::new(0.0, 0.0, 0.0, 10.0);
+        assert!(matches!(
+            GlobalPlacer::default().place(&degenerate),
+            Err(crate::error::PlaceError::DegenerateCore { .. })
+        ));
+        // Seed length mismatch (bypassing with_seeds' assert).
+        let mut short_seeds = p.clone();
+        short_seeds.seed_positions = Some(vec![(0.0, 0.0)]);
+        assert!(matches!(
+            GlobalPlacer::default().place(&short_seeds),
+            Err(crate::error::PlaceError::InvalidInput { .. })
+        ));
+        // Non-finite seeds.
+        let mut nan_seeds = p.clone();
+        nan_seeds.seed_positions = Some(vec![(f64::NAN, 0.0); p.movable_count()]);
+        assert!(matches!(
+            GlobalPlacer::default().place(&nan_seeds),
+            Err(crate::error::PlaceError::NonFinite { .. })
+        ));
     }
 }

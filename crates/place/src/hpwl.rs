@@ -54,16 +54,22 @@ pub fn edge_hpwl(problem: &PlacementProblem, e: u32, positions: &[(f64, f64)]) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::problem::Object;
     use cp_graph::Hypergraph;
     use cp_netlist::floorplan::Rect;
-    use crate::problem::Object;
 
     fn toy() -> PlacementProblem {
         // Two movables + one fixed terminal at (10, 0).
         PlacementProblem {
             movable: vec![
-                Object { width: 1.0, height: 1.0 },
-                Object { width: 1.0, height: 1.0 },
+                Object {
+                    width: 1.0,
+                    height: 1.0,
+                },
+                Object {
+                    width: 1.0,
+                    height: 1.0,
+                },
             ],
             fixed: vec![(10.0, 0.0)],
             hypergraph: Hypergraph::new(3, vec![(vec![0, 1], 1.0), (vec![1, 2], 1.0)]),

@@ -4,6 +4,7 @@
 //! cell taking the row/site minimizing displacement from its global
 //! position. Multi-row objects (cluster macros) are left untouched.
 
+use crate::error::PlaceError;
 use crate::problem::PlacementProblem;
 use cp_netlist::floorplan::Floorplan;
 
@@ -12,14 +13,40 @@ use cp_netlist::floorplan::Floorplan;
 /// Cells taller than one row (macros) keep their global position. If a row
 /// runs out of space the next-best row is tried; cells that fit nowhere
 /// (pathological overfill) keep their global position.
+///
+/// # Errors
+///
+/// - [`PlaceError::InvalidInput`] when `positions` doesn't cover the
+///   problem's movables, or the floorplan has no rows for them.
+/// - [`PlaceError::NonFinite`] when a position carries NaN/Inf.
 pub fn legalize(
     problem: &PlacementProblem,
     floorplan: &Floorplan,
     positions: &mut [(f64, f64)],
-) -> f64 {
+) -> Result<f64, PlaceError> {
+    if positions.len() < problem.movable_count() {
+        return Err(PlaceError::InvalidInput {
+            reason: format!(
+                "{} positions for {} movables",
+                positions.len(),
+                problem.movable_count()
+            ),
+        });
+    }
+    if positions
+        .iter()
+        .any(|p| !(p.0.is_finite() && p.1.is_finite()))
+    {
+        return Err(PlaceError::NonFinite { stage: "legalize" });
+    }
     let rows = floorplan.row_count();
     if rows == 0 {
-        return 0.0;
+        if problem.movable_count() == 0 {
+            return Ok(0.0);
+        }
+        return Err(PlaceError::InvalidInput {
+            reason: "floorplan has no rows to legalize onto".to_string(),
+        });
     }
     let core = floorplan.core;
     let site = floorplan.site_width;
@@ -57,8 +84,9 @@ pub fn legalize(
     let mut order: Vec<usize> = (0..problem.movable_count()).collect();
     order.sort_by(|&a, &b| {
         positions[a]
-            .partial_cmp(&positions[b])
-            .expect("finite positions")
+            .0
+            .total_cmp(&positions[b].0)
+            .then(positions[a].1.total_cmp(&positions[b].1))
     });
     let mut total_disp = 0.0;
     for i in order {
@@ -96,7 +124,7 @@ pub fn legalize(
             total_disp += cost;
         }
     }
-    total_disp
+    Ok(total_disp)
 }
 
 #[cfg(test)]
@@ -113,8 +141,10 @@ mod tests {
             .generate();
         let fp = Floorplan::for_netlist(&n, 0.6, 1.0);
         let p = PlacementProblem::from_netlist(&n, &fp);
-        let mut r = GlobalPlacer::new(PlacerOptions::default()).place(&p);
-        let disp = legalize(&p, &fp, &mut r.positions);
+        let mut r = GlobalPlacer::new(PlacerOptions::default())
+            .place(&p)
+            .expect("placement succeeds");
+        let disp = legalize(&p, &fp, &mut r.positions).expect("legalization succeeds");
         assert!(disp > 0.0);
         // On-row check.
         for (i, &(x, y)) in r.positions.iter().enumerate() {
@@ -156,11 +186,34 @@ mod tests {
             .generate();
         let fp = Floorplan::for_netlist(&n, 0.5, 1.0);
         let p = PlacementProblem::from_netlist(&n, &fp);
-        let mut r = GlobalPlacer::new(PlacerOptions::default()).place(&p);
-        let disp = legalize(&p, &fp, &mut r.positions);
+        let mut r = GlobalPlacer::new(PlacerOptions::default())
+            .place(&p)
+            .expect("placement succeeds");
+        let disp = legalize(&p, &fp, &mut r.positions).expect("legalization succeeds");
         let per_cell = disp / p.movable_count() as f64;
         // Average displacement under a handful of row heights.
         assert!(per_cell < 8.0 * fp.row_height, "per-cell disp {per_cell}");
+    }
+
+    #[test]
+    fn nan_positions_are_rejected() {
+        let n = GeneratorConfig::from_profile(DesignProfile::Aes)
+            .scale(0.005)
+            .seed(9)
+            .generate();
+        let fp = Floorplan::for_netlist(&n, 0.5, 1.0);
+        let p = PlacementProblem::from_netlist(&n, &fp);
+        let mut pos = vec![(0.0, 0.0); p.movable_count()];
+        pos[0].0 = f64::NAN;
+        assert!(matches!(
+            legalize(&p, &fp, &mut pos),
+            Err(crate::error::PlaceError::NonFinite { .. })
+        ));
+        let mut short = vec![(0.0, 0.0); 1];
+        assert!(matches!(
+            legalize(&p, &fp, &mut short),
+            Err(crate::error::PlaceError::InvalidInput { .. })
+        ));
     }
 }
 
@@ -178,8 +231,10 @@ mod blockage_tests {
             .generate();
         let fp = Floorplan::for_netlist(&n, 0.6, 1.0).with_macro_blockages(2, 0.25);
         let p = PlacementProblem::from_netlist(&n, &fp);
-        let mut r = GlobalPlacer::new(PlacerOptions::default()).place(&p);
-        legalize(&p, &fp, &mut r.positions);
+        let mut r = GlobalPlacer::new(PlacerOptions::default())
+            .place(&p)
+            .expect("placement succeeds");
+        legalize(&p, &fp, &mut r.positions).expect("legalization succeeds");
         let mut legalized = 0;
         for (i, &(x, y)) in r.positions.iter().enumerate() {
             let off = (y - fp.core.lly) / fp.row_height;

@@ -32,13 +32,21 @@
 //!     .generate();
 //! let fp = Floorplan::for_netlist(&netlist, 0.6, 1.0);
 //! let problem = PlacementProblem::from_netlist(&netlist, &fp);
-//! let result = GlobalPlacer::new(PlacerOptions::default()).place(&problem);
+//! let result = GlobalPlacer::new(PlacerOptions::default())
+//!     .place(&problem)
+//!     .expect("well-formed problem places");
 //! assert!(result.hpwl > 0.0);
 //! assert_eq!(result.positions.len(), netlist.cell_count());
 //! ```
+//!
+//! Every stage entry point returns `Result<_, PlaceError>`: degenerate
+//! cores, malformed seeds and NaN coordinates surface as typed errors, and
+//! a diverging global-placement loop reverts to its best snapshot when
+//! [`PlacerOptions::revert_if_diverge`] is set (the default).
 
 pub mod cts;
 pub mod detailed;
+pub mod error;
 pub mod global;
 pub mod hpwl;
 pub mod legalize;
@@ -47,8 +55,9 @@ pub mod solver;
 pub mod spreading;
 pub mod svg;
 
-pub use crate::detailed::{refine, DetailedOptions};
 pub use crate::cts::{synthesize_clock_tree, ClockTree, CtsOptions};
+pub use crate::detailed::{refine, DetailedOptions};
+pub use crate::error::PlaceError;
 pub use crate::global::{GlobalPlacer, PlacementResult, PlacerOptions};
 pub use crate::legalize::legalize;
 pub use crate::problem::{Object, PlacementProblem};

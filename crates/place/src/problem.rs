@@ -156,12 +156,13 @@ impl PlacementProblem {
                     (x, b.lly, y - b.lly),
                     (x, b.ury, b.ury - y),
                 ];
-                let (nx, ny, _) = candidates
-                    .iter()
-                    .copied()
-                    .min_by(|a, c| a.2.partial_cmp(&c.2).expect("finite"))
-                    .expect("four candidates");
-                let (nx, ny) = self.core.clamp(nx, ny);
+                let mut nearest = candidates[0];
+                for c in &candidates[1..] {
+                    if c.2 < nearest.2 {
+                        nearest = *c;
+                    }
+                }
+                let (nx, ny) = self.core.clamp(nearest.0, nearest.1);
                 return (nx, ny);
             }
         }
@@ -203,10 +204,7 @@ mod tests {
         let p = PlacementProblem::from_netlist(&n, &fp);
         assert_eq!(p.movable_count(), n.cell_count());
         assert_eq!(p.fixed.len(), n.port_count());
-        assert_eq!(
-            p.hypergraph.vertex_count(),
-            n.cell_count() + n.port_count()
-        );
+        assert_eq!(p.hypergraph.vertex_count(), n.cell_count() + n.port_count());
         assert!((p.movable_area() - n.total_cell_area()).abs() < 1e-6);
     }
 

@@ -124,12 +124,12 @@ impl B2bSystem {
             }
         }
         // Isolated objects stay where they are.
-        for i in 0..m {
+        for (i, &(x, y)) in positions.iter().take(m).enumerate() {
             if sys.diag[i] == 0.0 {
                 sys.diag[i] = 1.0;
                 sys.rhs[i] = match axis {
-                    Axis::X => positions[i].0,
-                    Axis::Y => positions[i].1,
+                    Axis::X => x,
+                    Axis::Y => y,
                 };
             }
         }
@@ -148,14 +148,26 @@ impl B2bSystem {
         let mut z: Vec<f64> = r.iter().zip(&self.diag).map(|(&ri, &d)| ri / d).collect();
         let mut p = z.clone();
         let mut rz: f64 = r.iter().zip(&z).map(|(&a, &b)| a * b).sum();
-        let rhs_norm: f64 = self.rhs.iter().map(|&b| b * b).sum::<f64>().sqrt().max(1e-30);
+        let rhs_norm: f64 = self
+            .rhs
+            .iter()
+            .map(|&b| b * b)
+            .sum::<f64>()
+            .sqrt()
+            .max(1e-30);
         for _ in 0..max_iters {
             let ap = self.apply(&p);
             let pap: f64 = p.iter().zip(&ap).map(|(&a, &b)| a * b).sum();
-            if pap <= 0.0 {
+            if pap <= 0.0 || !pap.is_finite() {
+                // Zero, negative or NaN curvature: the direction carries no
+                // descent information; stop at the current iterate rather
+                // than propagate garbage.
                 break;
             }
             let alpha = rz / pap;
+            if !alpha.is_finite() {
+                break;
+            }
             for i in 0..n {
                 x[i] += alpha * p[i];
                 r[i] -= alpha * ap[i];
@@ -169,6 +181,9 @@ impl B2bSystem {
             }
             let rz_new: f64 = r.iter().zip(&z).map(|(&a, &b)| a * b).sum();
             let beta = rz_new / rz;
+            if !beta.is_finite() {
+                break;
+            }
             rz = rz_new;
             for i in 0..n {
                 p[i] = z[i] + beta * p[i];
@@ -178,12 +193,7 @@ impl B2bSystem {
     }
 
     fn apply(&self, x: &[f64]) -> Vec<f64> {
-        let mut out: Vec<f64> = self
-            .diag
-            .iter()
-            .zip(x)
-            .map(|(&d, &xi)| d * xi)
-            .collect();
+        let mut out: Vec<f64> = self.diag.iter().zip(x).map(|(&d, &xi)| d * xi).collect();
         for (i, list) in self.off.iter().enumerate() {
             let mut acc = 0.0;
             for &(j, w) in list {
@@ -206,17 +216,19 @@ mod tests {
         // fixed(0,0) -- m0 -- m1 -- fixed(9,0); 2-pin nets.
         PlacementProblem {
             movable: vec![
-                Object { width: 1.0, height: 1.0 },
-                Object { width: 1.0, height: 1.0 },
+                Object {
+                    width: 1.0,
+                    height: 1.0,
+                },
+                Object {
+                    width: 1.0,
+                    height: 1.0,
+                },
             ],
             fixed: vec![(0.0, 0.0), (9.0, 0.0)],
             hypergraph: Hypergraph::new(
                 4,
-                vec![
-                    (vec![2, 0], 1.0),
-                    (vec![0, 1], 1.0),
-                    (vec![1, 3], 1.0),
-                ],
+                vec![(vec![2, 0], 1.0), (vec![0, 1], 1.0), (vec![1, 3], 1.0)],
             ),
             net_weights: vec![1.0, 1.0, 1.0],
             core: Rect::new(0.0, 0.0, 9.0, 9.0),
@@ -251,7 +263,10 @@ mod tests {
         // One movable between fixed pins at 0 and 9; the net to 9 carries
         // 10× the weight, so the linear HPWL objective is minimized at 9.
         let p = PlacementProblem {
-            movable: vec![Object { width: 1.0, height: 1.0 }],
+            movable: vec![Object {
+                width: 1.0,
+                height: 1.0,
+            }],
             fixed: vec![(0.0, 0.0), (9.0, 0.0)],
             hypergraph: Hypergraph::new(3, vec![(vec![0, 1], 1.0), (vec![0, 2], 1.0)]),
             net_weights: vec![1.0, 10.0],
@@ -293,7 +308,10 @@ mod tests {
     #[test]
     fn isolated_objects_stay_put() {
         let p = PlacementProblem {
-            movable: vec![Object { width: 1.0, height: 1.0 }],
+            movable: vec![Object {
+                width: 1.0,
+                height: 1.0,
+            }],
             fixed: vec![],
             hypergraph: Hypergraph::new(1, vec![]),
             net_weights: vec![],

@@ -42,10 +42,7 @@ fn rec(
     positions: &[(f64, f64)],
     out: &mut [(f64, f64)],
 ) {
-    if items.len() <= LEAF_CELLS
-        || region.width() <= MIN_EXTENT
-        || region.height() <= MIN_EXTENT
-    {
+    if items.len() <= LEAF_CELLS || region.width() <= MIN_EXTENT || region.height() <= MIN_EXTENT {
         map_into(region, &items, positions, out);
         return;
     }
@@ -58,7 +55,7 @@ fn rec(
             positions[i].1
         }
     };
-    items.sort_by(|&a, &b| coord(a).partial_cmp(&coord(b)).expect("finite coords"));
+    items.sort_by(|&a, &b| coord(a).total_cmp(&coord(b)));
     let total_area: f64 = items.iter().map(|&i| problem.movable[i].area()).sum();
     // Split the cell list in proportion to the halves' free capacities
     // (equal halves on an unobstructed core; blockage-aware otherwise).
@@ -167,12 +164,7 @@ pub fn density_overflow(problem: &PlacementProblem, positions: &[(f64, f64)]) ->
     let mut over = 0.0;
     for by in 0..bins {
         for bx in 0..bins {
-            let bin = Rect::new(
-                core.llx + bx as f64 * bw,
-                core.lly + by as f64 * bh,
-                bw,
-                bh,
-            );
+            let bin = Rect::new(core.llx + bx as f64 * bw, core.lly + by as f64 * bh, bw, bh);
             let cap = problem.free_area_in(&bin) * problem.density_target;
             over += (area[by * bins + bx] - cap).max(0.0);
         }
@@ -188,7 +180,13 @@ mod tests {
 
     fn uniform_problem(n: usize) -> PlacementProblem {
         PlacementProblem {
-            movable: vec![Object { width: 1.0, height: 1.0 }; n],
+            movable: vec![
+                Object {
+                    width: 1.0,
+                    height: 1.0
+                };
+                n
+            ],
             fixed: vec![],
             hypergraph: Hypergraph::new(n, vec![]),
             net_weights: vec![],

@@ -103,7 +103,9 @@ mod tests {
             .generate();
         let fp = Floorplan::for_netlist(&n, 0.6, 1.0);
         let p = PlacementProblem::from_netlist(&n, &fp);
-        let r = GlobalPlacer::new(PlacerOptions::default()).place(&p);
+        let r = GlobalPlacer::new(PlacerOptions::default())
+            .place(&p)
+            .expect("placement succeeds");
         let svg = placement_svg(&p, &fp, &r.positions, None);
         assert!(svg.starts_with("<svg"));
         assert!(svg.trim_end().ends_with("</svg>"));

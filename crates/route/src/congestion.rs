@@ -23,7 +23,10 @@ impl CongestionMap {
     /// Panics unless the grid is at least 1×1 and capacities are positive.
     pub fn new(nx: usize, ny: usize, gcell: f64, h_capacity: f64, v_capacity: f64) -> Self {
         assert!(nx >= 1 && ny >= 1, "grid must be at least 1x1");
-        assert!(h_capacity > 0.0 && v_capacity > 0.0, "capacities must be positive");
+        assert!(
+            h_capacity > 0.0 && v_capacity > 0.0,
+            "capacities must be positive"
+        );
         Self {
             nx,
             ny,
@@ -137,7 +140,7 @@ impl CongestionMap {
             "percentage out of (0, 100]"
         );
         let mut c = self.gcell_congestion();
-        c.sort_by(|a, b| b.partial_cmp(a).expect("finite congestion"));
+        c.sort_by(|a, b| b.total_cmp(a));
         let take = ((c.len() as f64 * x_percent / 100.0).ceil() as usize).max(1);
         c.truncate(take);
         c.iter().sum::<f64>() / take as f64

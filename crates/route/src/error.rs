@@ -1,0 +1,35 @@
+//! Typed errors for the routing crate.
+
+/// An error raised while preparing or running global routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// A net carries a pin with a NaN or infinite coordinate.
+    NonFinitePin {
+        /// Index of the offending net in the routing input.
+        net: usize,
+    },
+    /// The position array is shorter than the netlist's vertex count, so
+    /// some pin has no coordinate.
+    PositionCountMismatch {
+        /// Vertices the netlist requires (cells + ports).
+        expected: usize,
+        /// Positions supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonFinitePin { net } => {
+                write!(f, "net {net} has a non-finite pin coordinate")
+            }
+            Self::PositionCountMismatch { expected, got } => write!(
+                f,
+                "position array too short: {got} positions for {expected} vertices"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}

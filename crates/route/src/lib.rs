@@ -22,16 +22,27 @@
 //!     .generate();
 //! let fp = Floorplan::for_netlist(&netlist, 0.6, 1.0);
 //! let problem = PlacementProblem::from_netlist(&netlist, &fp);
-//! let placed = GlobalPlacer::new(PlacerOptions::default()).place(&problem);
+//! let placed = GlobalPlacer::new(PlacerOptions::default())
+//!     .place(&problem)
+//!     .expect("well-formed problem places");
 //! let mut all_pos = placed.positions.clone();
 //! all_pos.extend_from_slice(&fp.port_positions);
-//! let routed = route_placed_netlist(&netlist, &all_pos, &fp, &RouterOptions::default());
+//! let routed = route_placed_netlist(&netlist, &all_pos, &fp, &RouterOptions::default())
+//!     .expect("finite positions route");
 //! assert!(routed.wirelength > 0.0);
 //! assert!(routed.congestion.max_utilization() >= 0.0);
 //! ```
+//!
+//! All routing entry points are fallible: NaN pin coordinates and
+//! too-short position arrays surface as [`RouteError`] instead of a panic
+//! or a silently garbage route.
 
 pub mod congestion;
+pub mod error;
 pub mod router;
 
 pub use crate::congestion::CongestionMap;
-pub use crate::router::{route_nets, route_nets_with_blockages, route_placed_netlist, RouterOptions, RoutingResult};
+pub use crate::error::RouteError;
+pub use crate::router::{
+    route_nets, route_nets_with_blockages, route_placed_netlist, RouterOptions, RoutingResult,
+};

@@ -1,6 +1,7 @@
 //! Net decomposition and GCell routing.
 
 use crate::congestion::CongestionMap;
+use crate::error::RouteError;
 use cp_netlist::floorplan::{Floorplan, Rect};
 use cp_netlist::netlist::{Netlist, PinRef};
 use std::collections::BinaryHeap;
@@ -63,23 +64,38 @@ impl RoutingResult {
 /// two-pin segment takes the less congested L-shape, falling back to a
 /// congestion-aware maze within the segment bbox (plus margin) when both
 /// L-shapes hit a full edge.
+///
+/// # Errors
+///
+/// Returns [`RouteError::NonFinitePin`] if any pin coordinate is NaN or
+/// infinite (such a pin cannot be mapped to a GCell).
 pub fn route_nets(
     nets: &[Vec<(f64, f64)>],
     region: Rect,
     options: &RouterOptions,
-) -> RoutingResult {
+) -> Result<RoutingResult, RouteError> {
     route_nets_with_blockages(nets, region, &[], options)
 }
 
 /// Like [`route_nets`], with macro obstructions: GCell edges under a
 /// blockage keep only 40% of their capacity (macros consume the lower
 /// routing layers).
+///
+/// # Errors
+///
+/// Returns [`RouteError::NonFinitePin`] if any pin coordinate is NaN or
+/// infinite.
 pub fn route_nets_with_blockages(
     nets: &[Vec<(f64, f64)>],
     region: Rect,
     blockages: &[Rect],
     options: &RouterOptions,
-) -> RoutingResult {
+) -> Result<RoutingResult, RouteError> {
+    for (ni, pins) in nets.iter().enumerate() {
+        if pins.iter().any(|&(x, y)| !x.is_finite() || !y.is_finite()) {
+            return Err(RouteError::NonFinitePin { net: ni });
+        }
+    }
     let gcell = if options.gcell_size > 0.0 {
         options.gcell_size
     } else {
@@ -115,11 +131,7 @@ pub fn route_nets_with_blockages(
         }
         (hx - lx) + (hy - ly)
     };
-    order.sort_by(|&a, &b| {
-        bbox_hp(&nets[a])
-            .partial_cmp(&bbox_hp(&nets[b]))
-            .expect("finite pins")
-    });
+    order.sort_by(|&a, &b| bbox_hp(&nets[a]).total_cmp(&bbox_hp(&nets[b])));
 
     let mut wirelength = 0.0;
     let mut hpwl = 0.0;
@@ -142,22 +154,35 @@ pub fn route_nets_with_blockages(
             }
         }
     }
-    RoutingResult {
+    Ok(RoutingResult {
         wirelength,
         hpwl,
         congestion: map,
         mazed_segments: mazed,
-    }
+    })
 }
 
 /// Routes a placed flat netlist (positions indexed as hypergraph vertices:
 /// cells then ports). Clock nets are skipped — CTS owns them.
+///
+/// # Errors
+///
+/// Returns [`RouteError::PositionCountMismatch`] when `positions` is
+/// shorter than the netlist's vertex count, and
+/// [`RouteError::NonFinitePin`] when a pin coordinate is NaN or infinite.
 pub fn route_placed_netlist(
     netlist: &Netlist,
     positions: &[(f64, f64)],
     floorplan: &Floorplan,
     options: &RouterOptions,
-) -> RoutingResult {
+) -> Result<RoutingResult, RouteError> {
+    let expected = netlist.cell_count() + netlist.port_count();
+    if positions.len() < expected {
+        return Err(RouteError::PositionCountMismatch {
+            expected,
+            got: positions.len(),
+        });
+    }
     let mut opts = *options;
     if opts.gcell_size <= 0.0 {
         opts.gcell_size = 3.0 * floorplan.row_height;
@@ -203,9 +228,8 @@ fn mst_segments(cells: &[(usize, usize)]) -> Vec<((usize, usize), (usize, usize)
     if n > 1000 {
         return (1..n).map(|i| (cells[0], cells[i])).collect();
     }
-    let dist = |a: (usize, usize), b: (usize, usize)| -> usize {
-        a.0.abs_diff(b.0) + a.1.abs_diff(b.1)
-    };
+    let dist =
+        |a: (usize, usize), b: (usize, usize)| -> usize { a.0.abs_diff(b.0) + a.1.abs_diff(b.1) };
     let mut in_tree = vec![false; n];
     let mut best = vec![(usize::MAX, 0usize); n]; // (dist, parent)
     in_tree[0] = true;
@@ -269,7 +293,11 @@ fn route_segment(
     };
     let u_a = util_l(map, true);
     let u_b = util_l(map, false);
-    let (first_horizontal, worst) = if u_a <= u_b { (true, u_a) } else { (false, u_b) };
+    let (first_horizontal, worst) = if u_a <= u_b {
+        (true, u_a)
+    } else {
+        (false, u_b)
+    };
     if worst < 1.0 || !options.maze_fallback {
         let len = commit_l(map, a, b, first_horizontal);
         return (len, false);
@@ -281,8 +309,17 @@ fn route_segment(
 }
 
 /// Commits an L-shaped route; returns edges used.
-fn commit_l(map: &mut CongestionMap, a: (usize, usize), b: (usize, usize), first_horizontal: bool) -> f64 {
-    let (hy, vx) = if first_horizontal { (a.1, b.0) } else { (b.1, a.0) };
+fn commit_l(
+    map: &mut CongestionMap,
+    a: (usize, usize),
+    b: (usize, usize),
+    first_horizontal: bool,
+) -> f64 {
+    let (hy, vx) = if first_horizontal {
+        (a.1, b.0)
+    } else {
+        (b.1, a.0)
+    };
     let (x0, x1) = (a.0.min(b.0), a.0.max(b.0));
     for i in x0..x1 {
         map.add_h(i, hy, 1.0);
@@ -326,10 +363,7 @@ fn maze_route(
         if u == target {
             break;
         }
-        let (ui, uj) = (
-            x0 + (u as usize % w),
-            y0 + (u as usize / w),
-        );
+        let (ui, uj) = (x0 + (u as usize % w), y0 + (u as usize / w));
         let mut push = |map: &CongestionMap, vi: usize, vj: usize, horizontal: bool| {
             let util = if horizontal {
                 map.h_utilization(ui.min(vi), uj)
@@ -399,7 +433,7 @@ mod tests {
     #[test]
     fn two_pin_net_length_is_manhattan() {
         let nets = vec![vec![(5.0, 5.0), (45.0, 35.0)]];
-        let r = route_nets(&nets, region(), &opts());
+        let r = route_nets(&nets, region(), &opts()).expect("routable");
         // (0,0) → (4,3): 7 edges × 10 µm.
         assert_eq!(r.wirelength, 70.0);
         assert_eq!(r.mazed_segments, 0);
@@ -411,7 +445,7 @@ mod tests {
     fn multi_pin_net_uses_mst() {
         // Three collinear pins: MST length = span, not star.
         let nets = vec![vec![(5.0, 5.0), (55.0, 5.0), (95.0, 5.0)]];
-        let r = route_nets(&nets, region(), &opts());
+        let r = route_nets(&nets, region(), &opts()).expect("routable");
         assert_eq!(r.wirelength, 90.0);
     }
 
@@ -422,7 +456,7 @@ mod tests {
         for _ in 0..4 {
             nets.push(vec![(5.0, 55.0), (95.0, 55.0)]);
         }
-        let r = route_nets(&nets, region(), &opts());
+        let r = route_nets(&nets, region(), &opts()).expect("routable");
         // Capacity 2/edge: 4 straight routes must overflow or detour.
         assert!(
             r.mazed_segments > 0 || r.congestion.overflow_edges() > 0,
@@ -439,15 +473,22 @@ mod tests {
         for _ in 0..8 {
             nets.push(vec![(5.0, 55.0), (95.0, 55.0)]);
         }
-        let r = route_nets(&nets, region(), &opts());
+        let r = route_nets(&nets, region(), &opts()).expect("routable");
         assert!(r.detour_factor() >= 1.0);
         assert!(r.wirelength >= 8.0 * 90.0);
     }
 
     #[test]
+    fn nan_pin_is_a_typed_error() {
+        let nets = vec![vec![(5.0, 5.0), (f64::NAN, 35.0)]];
+        let err = route_nets(&nets, region(), &opts()).expect_err("NaN pin must be rejected");
+        assert_eq!(err, RouteError::NonFinitePin { net: 0 });
+    }
+
+    #[test]
     fn single_pin_nets_are_free() {
         let nets = vec![vec![(5.0, 5.0)]];
-        let r = route_nets(&nets, region(), &opts());
+        let r = route_nets(&nets, region(), &opts()).expect("routable");
         assert_eq!(r.wirelength, 0.0);
     }
 
@@ -458,8 +499,8 @@ mod tests {
             vec![(15.0, 85.0), (85.0, 15.0)],
             vec![(50.0, 5.0), (50.0, 95.0), (5.0, 50.0)],
         ];
-        let a = route_nets(&nets, region(), &opts());
-        let b = route_nets(&nets, region(), &opts());
+        let a = route_nets(&nets, region(), &opts()).expect("routable");
+        let b = route_nets(&nets, region(), &opts()).expect("routable");
         assert_eq!(a, b);
     }
 }
@@ -478,15 +519,11 @@ mod blockage_tests {
             maze_fallback: false,
             maze_margin: 4,
         };
-        let nets: Vec<Vec<(f64, f64)>> =
-            (0..3).map(|_| vec![(5.0, 55.0), (95.0, 55.0)]).collect();
-        let open = route_nets(&nets, region, &opts);
-        let blocked = route_nets_with_blockages(
-            &nets,
-            region,
-            &[Rect::new(30.0, 40.0, 40.0, 30.0)],
-            &opts,
-        );
+        let nets: Vec<Vec<(f64, f64)>> = (0..3).map(|_| vec![(5.0, 55.0), (95.0, 55.0)]).collect();
+        let open = route_nets(&nets, region, &opts).expect("routable");
+        let blocked =
+            route_nets_with_blockages(&nets, region, &[Rect::new(30.0, 40.0, 40.0, 30.0)], &opts)
+                .expect("routable");
         assert!(
             blocked.congestion.max_utilization() > open.congestion.max_utilization(),
             "derated capacity should raise utilization: {} vs {}",
@@ -511,7 +548,7 @@ mod steiner_tests {
         };
         // T shape: pins at (0,10), (20,10), (10,0) in gcells.
         let nets = vec![vec![(5.0, 105.0), (195.0, 105.0), (105.0, 5.0)]];
-        let r = route_nets(&nets, region, &opts);
+        let r = route_nets(&nets, region, &opts).expect("routable");
         // Steiner point (10,10): total = 10 + 9 + 10 = 29 edges = 290 µm.
         // An MST would pay 10 + (10+10) = ... ≥ 29; exact check:
         assert_eq!(r.wirelength, 290.0);
@@ -525,7 +562,7 @@ mod steiner_tests {
             ..Default::default()
         };
         let nets = vec![vec![(5.0, 5.0), (105.0, 5.0), (195.0, 5.0)]];
-        let r = route_nets(&nets, region, &opts);
+        let r = route_nets(&nets, region, &opts).expect("routable");
         assert_eq!(r.wirelength, 190.0);
     }
 }

@@ -124,8 +124,8 @@ pub fn propagate_activity(netlist: &Netlist, constraints: &Constraints) -> Activ
                         }
                         let new_p = output_probability(table, k, &p_in);
                         let mut new_d = 0.0;
-                        for i_pin in 0..k {
-                            new_d += boolean_difference(table, k, i_pin, &p_in) * d_in[i_pin];
+                        for (i_pin, &d) in d_in.iter().enumerate().take(k) {
+                            new_d += boolean_difference(table, k, i_pin, &p_in) * d;
                         }
                         let new_d = new_d.min(DENSITY_CAP);
                         delta = delta.max((prob[i] - new_p).abs() + (dens[i] - new_d).abs());
@@ -224,9 +224,11 @@ mod tests {
         let a = b.add_port("a", PortDir::Input);
         let y = b.add_port("y", PortDir::Output);
         let u0 = b.add_cell("u0", inv, HierTree::ROOT);
-        let na = b.add_net("na", Some(cp_netlist::PinRef::Port(a)), vec![
-            cp_netlist::PinRef::Cell { cell: u0, pin: 0 },
-        ]);
+        let na = b.add_net(
+            "na",
+            Some(cp_netlist::PinRef::Port(a)),
+            vec![cp_netlist::PinRef::Cell { cell: u0, pin: 0 }],
+        );
         let ny = b.add_net(
             "ny",
             Some(cp_netlist::PinRef::Cell { cell: u0, pin: 0 }),
@@ -248,12 +250,16 @@ mod tests {
         let a = b.add_port("a", PortDir::Input);
         let c2 = b.add_port("b", PortDir::Input);
         let u0 = b.add_cell("u0", and2, HierTree::ROOT);
-        let na = b.add_net("na", Some(cp_netlist::PinRef::Port(a)), vec![
-            cp_netlist::PinRef::Cell { cell: u0, pin: 0 },
-        ]);
-        b.add_net("nb", Some(cp_netlist::PinRef::Port(c2)), vec![
-            cp_netlist::PinRef::Cell { cell: u0, pin: 1 },
-        ]);
+        let na = b.add_net(
+            "na",
+            Some(cp_netlist::PinRef::Port(a)),
+            vec![cp_netlist::PinRef::Cell { cell: u0, pin: 0 }],
+        );
+        b.add_net(
+            "nb",
+            Some(cp_netlist::PinRef::Port(c2)),
+            vec![cp_netlist::PinRef::Cell { cell: u0, pin: 1 }],
+        );
         let ny = b.add_net(
             "ny",
             Some(cp_netlist::PinRef::Cell { cell: u0, pin: 0 }),

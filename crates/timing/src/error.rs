@@ -1,0 +1,25 @@
+//! Typed errors for the timing crate.
+
+/// An error raised while building or running static timing analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimingError {
+    /// The combinational logic contains a cycle: some nets could never be
+    /// levelized (their in-degree never reached zero).
+    CombinationalCycle {
+        /// Number of nets left unresolved by the topological sort.
+        unresolved_nets: usize,
+    },
+}
+
+impl std::fmt::Display for TimingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::CombinationalCycle { unresolved_nets } => write!(
+                f,
+                "combinational cycle detected: {unresolved_nets} net(s) could not be levelized"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TimingError {}

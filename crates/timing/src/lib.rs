@@ -30,18 +30,25 @@
 //! let (netlist, constraints) = GeneratorConfig::from_profile(DesignProfile::Aes)
 //!     .scale(0.01)
 //!     .generate_with_constraints();
-//! let report = Sta::new(&netlist, &constraints).run(&WireModel::Estimate);
+//! let sta = Sta::new(&netlist, &constraints).expect("acyclic netlist");
+//! let report = sta.run(&WireModel::Estimate);
 //! assert!(report.endpoint_count > 0);
 //! assert!(report.tns <= 0.0);
 //! ```
+//!
+//! [`Sta::new`](sta::Sta::new) is fallible: a combinational cycle surfaces
+//! as [`TimingError::CombinationalCycle`](error::TimingError) instead of a
+//! panic.
 
 pub mod activity;
+pub mod error;
 pub mod power;
 pub mod report;
 pub mod sta;
 pub mod wire;
 
 pub use crate::activity::{propagate_activity, ActivityReport};
+pub use crate::error::TimingError;
 pub use crate::power::{power_report, PowerReport};
 pub use crate::report::{format_timing_report, timing_report_text};
 pub use crate::sta::{Sta, TimingPath, TimingReport};

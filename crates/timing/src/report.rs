@@ -4,6 +4,7 @@
 //! timing engineer reads first. The path data comes from
 //! [`crate::sta::Sta::extract_paths`].
 
+use crate::error::TimingError;
 use crate::sta::{Sta, TimingReport};
 use crate::wire::WireModel;
 use cp_netlist::netlist::{Netlist, PinRef};
@@ -48,15 +49,20 @@ pub fn format_timing_report(
 }
 
 /// One-call convenience: run STA and format the report.
+///
+/// # Errors
+///
+/// Returns [`TimingError::CombinationalCycle`] if the netlist cannot be
+/// levelized.
 pub fn timing_report_text(
     netlist: &Netlist,
     constraints: &Constraints,
     wire: &WireModel,
     top_k: usize,
-) -> String {
-    let sta = Sta::new(netlist, constraints);
+) -> Result<String, TimingError> {
+    let sta = Sta::new(netlist, constraints)?;
     let report = sta.run(wire);
-    format_timing_report(netlist, &sta, &report, top_k)
+    Ok(format_timing_report(netlist, &sta, &report, top_k))
 }
 
 fn endpoint_name(netlist: &Netlist, p: &PinRef) -> String {
@@ -86,7 +92,7 @@ mod tests {
             .scale(0.01)
             .seed(61)
             .generate_with_constraints();
-        let text = timing_report_text(&n, &c, &WireModel::Estimate, 3);
+        let text = timing_report_text(&n, &c, &WireModel::Estimate, 3).expect("acyclic netlist");
         assert!(text.contains("Timing report"));
         assert!(text.contains("WNS"));
         assert!(text.contains("Path #1"));
@@ -102,7 +108,7 @@ mod tests {
             .scale(0.005)
             .seed(62)
             .generate_with_constraints();
-        let sta = Sta::new(&n, &c);
+        let sta = Sta::new(&n, &c).expect("acyclic netlist");
         let report = sta.run(&WireModel::Estimate);
         for p in sta.extract_paths(&report, 5) {
             let arrivals: Vec<f64> = p

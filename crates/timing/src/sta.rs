@@ -7,6 +7,7 @@
 //! WNS/TNS; per-net slacks and the worst path per endpoint feed the
 //! PPA-aware clustering.
 
+use crate::error::TimingError;
 use crate::wire::WireModel;
 use cp_netlist::library::CellClass;
 use cp_netlist::netlist::{Netlist, PinRef};
@@ -79,16 +80,17 @@ pub struct Sta<'a> {
 impl<'a> Sta<'a> {
     /// Prepares STA for a netlist: levelizes nets over combinational cells.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the combinational logic contains a cycle.
-    pub fn new(netlist: &'a Netlist, constraints: &'a Constraints) -> Self {
-        let topo_nets = topological_nets(netlist);
-        Self {
+    /// Returns [`TimingError::CombinationalCycle`] if the combinational
+    /// logic contains a cycle.
+    pub fn new(netlist: &'a Netlist, constraints: &'a Constraints) -> Result<Self, TimingError> {
+        let topo_nets = topological_nets(netlist)?;
+        Ok(Self {
             netlist,
             constraints,
             topo_nets,
-        }
+        })
     }
 
     /// Runs STA with zero clock skew.
@@ -98,11 +100,7 @@ impl<'a> Sta<'a> {
 
     /// Runs STA with per-cell clock arrival times (ps, from CTS); only
     /// entries for sequential cells are read.
-    pub fn run_with_clock(
-        &self,
-        wire: &WireModel,
-        clock_arrival: Option<&[f64]>,
-    ) -> TimingReport {
+    pub fn run_with_clock(&self, wire: &WireModel, clock_arrival: Option<&[f64]>) -> TimingReport {
         let nl = self.netlist;
         let nn = nl.net_count();
         let t = self.constraints.clock_period;
@@ -207,8 +205,7 @@ impl<'a> Sta<'a> {
                             let req = t + clk_at(cell) - SETUP_TIME;
                             endpoints.push((*s, req - arr));
                             required[i] = required[i].min(req - wd);
-                            let hold_slack =
-                                (arrival_min[i] + wd) - (clk_at(cell) + HOLD_TIME);
+                            let hold_slack = (arrival_min[i] + wd) - (clk_at(cell) + HOLD_TIME);
                             hold_wns = hold_wns.min(hold_slack);
                             if hold_slack < 0.0 {
                                 hold_tns += hold_slack;
@@ -234,12 +231,16 @@ impl<'a> Sta<'a> {
                 continue;
             }
             for s in &net.sinks {
-                let PinRef::Cell { cell, pin } = *s else { continue };
+                let PinRef::Cell { cell, pin } = *s else {
+                    continue;
+                };
                 let master = nl.master(cell);
                 if master.class == CellClass::Sequential {
                     continue; // handled as endpoint
                 }
-                let Some(out) = nl.output_net(cell) else { continue };
+                let Some(out) = nl.output_net(cell) else {
+                    continue;
+                };
                 let out_delay = master.intrinsic_delay + master.drive_res * load[out.index()];
                 let wd = self.wire_delay(wire, nid, cell, pin);
                 let r = required[out.index()] - out_delay - wd;
@@ -289,12 +290,9 @@ impl<'a> Sta<'a> {
     pub fn extract_paths(&self, report: &TimingReport, count: usize) -> Vec<TimingPath> {
         let nl = self.netlist;
         let mut order: Vec<usize> = (0..report.endpoints.len()).collect();
-        order.sort_by(|&a, &b| {
-            report.endpoints[a]
-                .1
-                .partial_cmp(&report.endpoints[b].1)
-                .expect("slacks are finite")
-        });
+        // total_cmp, not partial_cmp: a NaN slack (e.g. from corrupt wire
+        // lengths) must not panic the sort — it orders after +inf instead.
+        order.sort_by(|&a, &b| report.endpoints[a].1.total_cmp(&report.endpoints[b].1));
         order.truncate(count);
         let mut paths = Vec::with_capacity(order.len());
         for idx in order {
@@ -352,10 +350,9 @@ impl<'a> Sta<'a> {
 /// Nets in topological order: port- and flop-driven nets first, then each
 /// combinational cell's output once all its inputs are ordered.
 ///
-/// # Panics
-///
-/// Panics on a combinational cycle.
-fn topological_nets(nl: &Netlist) -> Vec<NetId> {
+/// Returns [`TimingError::CombinationalCycle`] when some net's in-degree
+/// never reaches zero.
+fn topological_nets(nl: &Netlist) -> Result<Vec<NetId>, TimingError> {
     let nn = nl.net_count();
     let mut order = Vec::with_capacity(nn);
     let mut indeg = vec![0u32; nn];
@@ -386,11 +383,15 @@ fn topological_nets(nl: &Netlist) -> Vec<NetId> {
         let nid = order[head];
         head += 1;
         for s in &nl.net(nid).sinks {
-            let PinRef::Cell { cell, .. } = *s else { continue };
+            let PinRef::Cell { cell, .. } = *s else {
+                continue;
+            };
             if nl.master(cell).class == CellClass::Sequential {
                 continue;
             }
-            let Some(out) = nl.output_net(cell) else { continue };
+            let Some(out) = nl.output_net(cell) else {
+                continue;
+            };
             if indeg[out.index()] > 0 {
                 indeg[out.index()] -= 1;
                 if indeg[out.index()] == 0 {
@@ -399,24 +400,26 @@ fn topological_nets(nl: &Netlist) -> Vec<NetId> {
             }
         }
     }
-    assert!(
-        order.len() == nn || indeg.iter().all(|&d| d == 0),
-        "combinational cycle detected"
-    );
-    // Nets never produced (duplicate dependency edges collapse): append any
-    // stragglers deterministically — they are unreachable/floating.
     if order.len() < nn {
+        let unresolved = indeg.iter().filter(|&&d| d > 0).count();
+        if unresolved > 0 {
+            return Err(TimingError::CombinationalCycle {
+                unresolved_nets: unresolved,
+            });
+        }
+        // Nets never produced (duplicate dependency edges collapse): append
+        // any stragglers deterministically — they are unreachable/floating.
         let mut seen = vec![false; nn];
         for &n in &order {
             seen[n.index()] = true;
         }
-        for i in 0..nn {
-            if !seen[i] {
+        for (i, &was_ordered) in seen.iter().enumerate() {
+            if !was_ordered {
                 order.push(NetId(i as u32));
             }
         }
     }
-    order
+    Ok(order)
 }
 
 #[cfg(test)]
@@ -437,7 +440,11 @@ mod tests {
             .collect();
         let mut driver = PinRef::Port(a);
         for (i, &c) in cells.iter().enumerate() {
-            b.add_net(format!("n{i}"), Some(driver), vec![PinRef::Cell { cell: c, pin: 0 }]);
+            b.add_net(
+                format!("n{i}"),
+                Some(driver),
+                vec![PinRef::Cell { cell: c, pin: 0 }],
+            );
             driver = PinRef::Cell { cell: c, pin: 0 };
         }
         b.add_net("ny", Some(driver), vec![PinRef::Port(y)]);
@@ -445,11 +452,41 @@ mod tests {
     }
 
     #[test]
+    fn combinational_cycle_is_a_typed_error() {
+        // Two inverters feeding each other: no topological order exists.
+        let lib = Library::nangate45ish();
+        let inv = lib.find("INV_X1").unwrap();
+        let mut b = NetlistBuilder::new("loop", lib);
+        let u0 = b.add_cell("u0", inv, HierTree::ROOT);
+        let u1 = b.add_cell("u1", inv, HierTree::ROOT);
+        b.add_net(
+            "n0",
+            Some(PinRef::Cell { cell: u0, pin: 0 }),
+            vec![PinRef::Cell { cell: u1, pin: 0 }],
+        );
+        b.add_net(
+            "n1",
+            Some(PinRef::Cell { cell: u1, pin: 0 }),
+            vec![PinRef::Cell { cell: u0, pin: 0 }],
+        );
+        let n = b.finish().unwrap();
+        let c = Constraints::with_period(1000.0);
+        let err = Sta::new(&n, &c).expect_err("cycle must be rejected");
+        assert!(
+            matches!(err, TimingError::CombinationalCycle { unresolved_nets } if unresolved_nets > 0)
+        );
+    }
+
+    #[test]
     fn inverter_chain_delay_accumulates() {
         let (n1, c1) = chain(2, 10_000.0);
         let (n2, c2) = chain(10, 10_000.0);
-        let r1 = Sta::new(&n1, &c1).run(&WireModel::Estimate);
-        let r2 = Sta::new(&n2, &c2).run(&WireModel::Estimate);
+        let r1 = Sta::new(&n1, &c1)
+            .expect("acyclic netlist")
+            .run(&WireModel::Estimate);
+        let r2 = Sta::new(&n2, &c2)
+            .expect("acyclic netlist")
+            .run(&WireModel::Estimate);
         // Longer chain ⇒ later arrival ⇒ smaller (still positive) slack.
         assert!(r1.wns > r2.wns);
         assert!(r2.wns > 0.0);
@@ -459,7 +496,9 @@ mod tests {
     #[test]
     fn tight_period_creates_violations() {
         let (n, c) = chain(20, 50.0);
-        let r = Sta::new(&n, &c).run(&WireModel::Estimate);
+        let r = Sta::new(&n, &c)
+            .expect("acyclic netlist")
+            .run(&WireModel::Estimate);
         assert!(r.wns < 0.0);
         assert!(r.tns < 0.0);
         assert!(!r.is_clean());
@@ -469,7 +508,9 @@ mod tests {
     fn wns_matches_hand_computation_for_one_gate() {
         // a -> INV -> y with estimate model.
         let (n, c) = chain(1, 1000.0);
-        let r = Sta::new(&n, &c).run(&WireModel::Estimate);
+        let r = Sta::new(&n, &c)
+            .expect("acyclic netlist")
+            .run(&WireModel::Estimate);
         let lib = n.library();
         let inv = lib.cell(lib.find("INV_X1").unwrap());
         // Net na: load = wire(8µm) + inv input cap; arrival = PORT_DRIVE*load.
@@ -515,7 +556,7 @@ mod tests {
         );
         let n = b.finish().unwrap();
         let c = Constraints::with_period(1000.0).clock_port(ck);
-        let sta = Sta::new(&n, &c);
+        let sta = Sta::new(&n, &c).expect("acyclic netlist");
         let r = sta.run(&WireModel::Estimate);
         assert_eq!(r.endpoint_count, 1);
         let paths = sta.extract_paths(&r, 10);
@@ -533,7 +574,7 @@ mod tests {
             .scale(0.01)
             .seed(7)
             .generate_with_constraints();
-        let sta = Sta::new(&n, &c);
+        let sta = Sta::new(&n, &c).expect("acyclic netlist");
         let r = sta.run(&WireModel::Estimate);
         let paths = sta.extract_paths(&r, 50);
         assert!(!paths.is_empty());
@@ -558,7 +599,7 @@ mod tests {
         let pos: Vec<(f64, f64)> = (0..total)
             .map(|i| ((i % 97) as f64 * 2.0, (i / 97) as f64 * 2.0))
             .collect();
-        let sta = Sta::new(&n, &c);
+        let sta = Sta::new(&n, &c).expect("acyclic netlist");
         let placed = sta.run(&WireModel::Placed(&pos));
         let routed = sta.run(&WireModel::Routed(&pos, 1.3));
         assert!(routed.wns <= placed.wns);
@@ -570,7 +611,7 @@ mod tests {
             .scale(0.01)
             .seed(7)
             .generate_with_constraints();
-        let sta = Sta::new(&n, &c);
+        let sta = Sta::new(&n, &c).expect("acyclic netlist");
         let base = sta.run(&WireModel::Estimate);
         // Uniform insertion delay leaves slacks unchanged (launch and
         // capture shift together).
@@ -591,7 +632,7 @@ mod path_tests {
             .scale(0.01)
             .seed(19)
             .generate_with_constraints();
-        let sta = Sta::new(&n, &c);
+        let sta = Sta::new(&n, &c).expect("acyclic netlist");
         let r = sta.run(&WireModel::Estimate);
         let paths = sta.extract_paths(&r, usize::MAX);
         assert_eq!(paths.len(), r.endpoint_count);
@@ -611,7 +652,7 @@ mod path_tests {
             .scale(0.005)
             .seed(23)
             .generate_with_constraints();
-        let sta = Sta::new(&n, &c);
+        let sta = Sta::new(&n, &c).expect("acyclic netlist");
         let r = sta.run(&WireModel::Estimate);
         let paths = sta.extract_paths(&r, 1);
         let worst = &paths[0];
@@ -637,7 +678,7 @@ mod path_tests {
             .scale(0.01)
             .seed(29)
             .generate_with_constraints();
-        let sta = Sta::new(&n, &c);
+        let sta = Sta::new(&n, &c).expect("acyclic netlist");
         let r = sta.run(&WireModel::Estimate);
         // No net can be more pessimistic than the worst endpoint.
         let min_net = r
@@ -689,7 +730,7 @@ mod histogram_tests {
             .scale(0.01)
             .seed(41)
             .generate_with_constraints();
-        let sta = Sta::new(&n, &c);
+        let sta = Sta::new(&n, &c).expect("acyclic netlist");
         let r = sta.run(&WireModel::Estimate);
         let (edges, counts) = slack_histogram(&r, 10);
         assert_eq!(edges.len(), 11);
@@ -729,7 +770,9 @@ mod hold_tests {
             .scale(0.01)
             .seed(77)
             .generate_with_constraints();
-        let r = Sta::new(&n, &c).run(&WireModel::Estimate);
+        let r = Sta::new(&n, &c)
+            .expect("acyclic netlist")
+            .run(&WireModel::Estimate);
         assert!(r.hold_wns > 0.0, "hold WNS {}", r.hold_wns);
         assert_eq!(r.hold_tns, 0.0);
     }
@@ -759,7 +802,7 @@ mod hold_tests {
         );
         let n = b.finish().unwrap();
         let c = Constraints::with_period(10_000.0).clock_port(ck);
-        let sta = Sta::new(&n, &c);
+        let sta = Sta::new(&n, &c).expect("acyclic netlist");
         let ok = sta.run_with_clock(&WireModel::Estimate, Some(&[0.0, 0.0]));
         assert!(ok.hold_wns > 0.0);
         // Capture clock 500 ps late: hold violated by roughly that much.
@@ -780,7 +823,9 @@ mod hold_tests {
             .scale(0.005)
             .seed(79)
             .generate_with_constraints();
-        let r = Sta::new(&n, &c).run(&WireModel::Estimate);
+        let r = Sta::new(&n, &c)
+            .expect("acyclic netlist")
+            .run(&WireModel::Estimate);
         // Spot-check via the public report: hold WNS uses min arrivals, so
         // it must be at least as optimistic as setup would imply.
         assert!(r.hold_wns.is_finite());

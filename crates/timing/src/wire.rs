@@ -53,7 +53,11 @@ impl WireModel<'_> {
                 let Some(driver) = n.driver else { return 0.0 };
                 let (dx, dy) = endpoint_pos(netlist, driver, pos);
                 let (sx, sy) = endpoint_pos(netlist, sink, pos);
-                let detour = if let Self::Routed(_, d) = self { *d } else { 1.0 };
+                let detour = if let Self::Routed(_, d) = self {
+                    *d
+                } else {
+                    1.0
+                };
                 ((dx - sx).abs() + (dy - sy).abs()) * detour
             }
         }

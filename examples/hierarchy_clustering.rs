@@ -28,7 +28,11 @@ fn main() {
     let result = cluster_by_hierarchy(&netlist);
     println!("\nlevel   R_avg (Eq. 1)");
     for &(level, rent) in &result.candidates {
-        let marker = if level == result.level { "  <== selected" } else { "" };
+        let marker = if level == result.level {
+            "  <== selected"
+        } else {
+            ""
+        };
         println!("{level:>5}   {rent:.4}{marker}");
     }
     println!(
@@ -58,6 +62,9 @@ fn main() {
         .expect("clusters exist");
     println!(
         "most external cluster: #{} with {} cells, {} external edges, R_c = {:.3}",
-        most_external.0, most_external.1.size, most_external.1.external_edges, most_external.1.exponent
+        most_external.0,
+        most_external.1.size,
+        most_external.1.external_edges,
+        most_external.1.exponent
     );
 }

@@ -13,7 +13,7 @@ use cp_core::flow::{run_default_flow, run_flow, FlowOptions, ShapeMode, Tool};
 use cp_core::ClusteringOptions;
 use cp_netlist::generator::{DesignProfile, GeneratorConfig};
 
-fn main() {
+fn main() -> Result<(), cp_core::FlowError> {
     let (netlist, constraints) = GeneratorConfig::from_profile(DesignProfile::Ariane)
         .scale(1.0 / 64.0)
         .seed(17)
@@ -36,14 +36,20 @@ fn main() {
         ..Default::default()
     };
     println!("\nflat (default) flow…");
-    let flat = run_default_flow(&netlist, &constraints, &options);
+    let flat = run_default_flow(&netlist, &constraints, &options)?;
     println!("clustered flow with region constraints…");
-    let ours = run_flow(&netlist, &constraints, &options);
+    let ours = run_flow(&netlist, &constraints, &options)?;
 
     println!("\n                      default        ours");
     println!("HPWL (µm)          {:>10.0} {:>10.0}", flat.hpwl, ours.hpwl);
-    println!("rWL (µm)           {:>10.0} {:>10.0}", flat.ppa.rwl, ours.ppa.rwl);
-    println!("WNS (ps)           {:>10.0} {:>10.0}", flat.ppa.wns, ours.ppa.wns);
+    println!(
+        "rWL (µm)           {:>10.0} {:>10.0}",
+        flat.ppa.rwl, ours.ppa.rwl
+    );
+    println!(
+        "WNS (ps)           {:>10.0} {:>10.0}",
+        flat.ppa.wns, ours.ppa.wns
+    );
     println!(
         "TNS (ns)           {:>10.2} {:>10.2}",
         flat.ppa.tns / 1000.0,
@@ -57,5 +63,9 @@ fn main() {
         "clock skew (ps)    {:>10.1} {:>10.1}",
         flat.ppa.skew, ours.ppa.skew
     );
-    println!("\nclusters: {} (shaped with exact V-P&R)", ours.cluster_count);
+    println!(
+        "\nclusters: {} (shaped with exact V-P&R)",
+        ours.cluster_count
+    );
+    Ok(())
 }

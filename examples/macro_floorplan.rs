@@ -13,7 +13,7 @@ use cp_core::flow::{run_default_flow, run_flow, FlowOptions, Tool};
 use cp_core::ClusteringOptions;
 use cp_netlist::generator::{DesignProfile, GeneratorConfig};
 
-fn main() {
+fn main() -> Result<(), cp_core::FlowError> {
     let (netlist, constraints) = GeneratorConfig::from_profile(DesignProfile::BlackParrot)
         .scale(1.0 / 256.0)
         .seed(29)
@@ -37,13 +37,16 @@ fn main() {
     };
 
     println!("\nflat flow on the obstructed floorplan…");
-    let flat = run_default_flow(&netlist, &constraints, &options);
+    let flat = run_default_flow(&netlist, &constraints, &options)?;
     println!("clustered flow on the obstructed floorplan…");
-    let ours = run_flow(&netlist, &constraints, &options);
+    let ours = run_flow(&netlist, &constraints, &options)?;
 
     println!("\n                      default        ours");
     println!("HPWL (µm)          {:>10.0} {:>10.0}", flat.hpwl, ours.hpwl);
-    println!("rWL (µm)           {:>10.0} {:>10.0}", flat.ppa.rwl, ours.ppa.rwl);
+    println!(
+        "rWL (µm)           {:>10.0} {:>10.0}",
+        flat.ppa.rwl, ours.ppa.rwl
+    );
     println!(
         "TNS (ns)           {:>10.2} {:>10.2}",
         flat.ppa.tns / 1000.0,
@@ -56,4 +59,5 @@ fn main() {
         ours.cluster_count
     );
     println!("\nmacro blockages derate routing capacity to 40% under each block.");
+    Ok(())
 }

@@ -16,7 +16,7 @@ use cp_gnn::train::TrainOptions;
 use cp_netlist::generator::{DesignProfile, GeneratorConfig};
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), cp_core::FlowError> {
     let (netlist, constraints) = GeneratorConfig::from_profile(DesignProfile::Aes)
         .scale(1.0 / 32.0)
         .seed(9)
@@ -37,10 +37,14 @@ fn main() {
             vpr: VprOptions::default(),
             seed: 23,
         },
-    );
+    )?;
     let split = dataset.len() * 4 / 5;
     let (train_set, test_set) = dataset.split_at(split);
-    println!("dataset: {} train / {} test samples", train_set.len(), test_set.len());
+    println!(
+        "dataset: {} train / {} test samples",
+        train_set.len(),
+        test_set.len()
+    );
 
     let (selector, stats) = MlShapeSelector::train(
         train_set,
@@ -65,14 +69,14 @@ fn main() {
             seed: 99,
             ..Default::default()
         },
-    );
+    )?;
     let cluster = cluster_members(&clustering.assignment, clustering.cluster_count)
         .into_iter()
         .max_by_key(|m| m.len())
         .expect("clusters exist");
-    let sub = extract_subnetlist(&netlist, &cluster);
+    let sub = extract_subnetlist(&netlist, &cluster)?;
     let t0 = Instant::now();
-    let (exact, _) = best_shape(&sub, &VprOptions::default());
+    let (exact, _) = best_shape(&sub, &VprOptions::default())?;
     let t_exact = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
     let ml = selector.select_shape(&sub);
@@ -87,5 +91,9 @@ fn main() {
         ml.aspect_ratio,
         ml.utilization
     );
-    println!("speedup: {:.1}x (paper reports ~30x)", t_exact / t_ml.max(1e-9));
+    println!(
+        "speedup: {:.1}x (paper reports ~30x)",
+        t_exact / t_ml.max(1e-9)
+    );
+    Ok(())
 }

@@ -8,7 +8,7 @@
 use cp_core::flow::{run_default_flow, run_flow, FlowOptions, ShapeMode, Tool};
 use cp_netlist::generator::{DesignProfile, GeneratorConfig};
 
-fn main() {
+fn main() -> Result<(), cp_core::FlowError> {
     // A scaled-down `jpeg` benchmark (Table 1 profile at 1/64 of the
     // paper's instance count — crank the scale up on a bigger machine).
     let (netlist, constraints) = GeneratorConfig::from_profile(DesignProfile::Jpeg)
@@ -30,10 +30,10 @@ fn main() {
         .shape_mode(ShapeMode::Vpr);
 
     println!("\nrunning the default (flat) flow…");
-    let flat = run_default_flow(&netlist, &constraints, &options);
+    let flat = run_default_flow(&netlist, &constraints, &options)?;
 
     println!("running the clustered flow (Algorithm 1)…");
-    let ours = run_flow(&netlist, &constraints, &options);
+    let ours = run_flow(&netlist, &constraints, &options)?;
 
     println!("\n                         default      ours");
     println!(
@@ -66,4 +66,5 @@ fn main() {
         "power (W)              {:>9.4} {:>9.4}",
         flat.ppa.power, ours.ppa.power
     );
+    Ok(())
 }

@@ -26,13 +26,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             avg_cluster_size: 60,
             ..Default::default()
         },
-    );
+    )?;
     let fp = Floorplan::for_netlist(&netlist, 0.6, 1.0);
     let problem = PlacementProblem::from_netlist(&netlist, &fp);
-    let mut result = GlobalPlacer::new(PlacerOptions::default()).place(&problem);
-    legalize(&problem, &fp, &mut result.positions);
+    let mut result = GlobalPlacer::new(PlacerOptions::default()).place(&problem)?;
+    legalize(&problem, &fp, &mut result.positions)?;
 
-    let svg = placement_svg(&problem, &fp, &result.positions, Some(&clustering.assignment));
+    let svg = placement_svg(
+        &problem,
+        &fp,
+        &result.positions,
+        Some(&clustering.assignment),
+    );
     std::fs::write("/tmp/clustered_placement.svg", &svg)?;
     println!(
         "wrote /tmp/clustered_placement.svg ({} cells, {} clusters, {} bytes)",
@@ -43,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut positions = result.positions.clone();
     positions.extend_from_slice(&fp.port_positions);
-    let report = timing_report_text(&netlist, &constraints, &WireModel::Placed(&positions), 2);
+    let report = timing_report_text(&netlist, &constraints, &WireModel::Placed(&positions), 2)?;
     println!("\n{report}");
     Ok(())
 }

@@ -14,7 +14,7 @@ use cp_core::flow::cluster_members;
 use cp_core::vpr::{best_shape, extract_subnetlist, VprOptions};
 use cp_netlist::generator::{DesignProfile, GeneratorConfig};
 
-fn main() {
+fn main() -> Result<(), cp_core::FlowError> {
     let (netlist, constraints) = GeneratorConfig::from_profile(DesignProfile::Aes)
         .scale(1.0 / 32.0)
         .seed(5)
@@ -26,13 +26,13 @@ fn main() {
             avg_cluster_size: 120,
             ..Default::default()
         },
-    );
+    )?;
     let members = cluster_members(&clustering.assignment, clustering.cluster_count);
     let cluster = members
         .into_iter()
         .max_by_key(|m| m.len())
         .expect("clusters exist");
-    let sub = extract_subnetlist(&netlist, &cluster);
+    let sub = extract_subnetlist(&netlist, &cluster)?;
     println!(
         "largest cluster: {} cells, {} boundary ports, {} nets",
         sub.cell_count(),
@@ -40,26 +40,26 @@ fn main() {
         sub.net_count()
     );
 
-    let (best, costs) = best_shape(&sub, &VprOptions::default());
+    let (best, costs) = best_shape(&sub, &VprOptions::default())?;
     println!("\n  AR    util   Cost_HPWL  Cost_Cong   Total");
     for c in &costs {
         let marker = if c.shape == best { "  <== best" } else { "" };
         println!(
             "{:>5.2} {:>6.2}   {:>9.4} {:>9.4} {:>9.4}{marker}",
-            c.shape.aspect_ratio,
-            c.shape.utilization,
-            c.hpwl_cost,
-            c.congestion_cost,
-            c.total
+            c.shape.aspect_ratio, c.shape.utilization, c.hpwl_cost, c.congestion_cost, c.total
         );
     }
     let uniform = costs
         .iter()
         .find(|c| c.shape == cp_netlist::ClusterShape::UNIFORM)
         .expect("uniform candidate");
-    let best_cost = costs.iter().find(|c| c.shape == best).expect("best candidate");
+    let best_cost = costs
+        .iter()
+        .find(|c| c.shape == best)
+        .expect("best candidate");
     println!(
         "\nV-P&R improves Total Cost by {:.1}% over the Uniform shape",
         (1.0 - best_cost.total / uniform.total) * 100.0
     );
+    Ok(())
 }

@@ -42,8 +42,12 @@ fn clustering_is_reproducible() {
         ..Default::default()
     };
     assert_eq!(
-        ppa_aware_clustering(&n, &c, &o).assignment,
-        ppa_aware_clustering(&n, &c, &o).assignment
+        ppa_aware_clustering(&n, &c, &o)
+            .expect("clustering runs")
+            .assignment,
+        ppa_aware_clustering(&n, &c, &o)
+            .expect("clustering runs")
+            .assignment
     );
 }
 
@@ -62,8 +66,8 @@ fn full_flow_ppa_is_reproducible() {
         .scale(1.0 / 128.0)
         .seed(8)
         .generate_with_constraints();
-    let a = run_flow(&n, &c, &opts());
-    let b = run_flow(&n, &c, &opts());
+    let a = run_flow(&n, &c, &opts()).expect("flow runs");
+    let b = run_flow(&n, &c, &opts()).expect("flow runs");
     assert_eq!(a.hpwl, b.hpwl);
     assert_eq!(a.cluster_count, b.cluster_count);
     assert_eq!(a.ppa, b.ppa);

@@ -31,8 +31,8 @@ fn options() -> FlowOptions {
 fn clustered_flow_matches_flat_quality() {
     let (n, c) = setup();
     let opts = options();
-    let flat = run_default_flow(&n, &c, &opts);
-    let ours = run_flow(&n, &c, &opts);
+    let flat = run_default_flow(&n, &c, &opts).expect("flat flow runs");
+    let ours = run_flow(&n, &c, &opts).expect("clustered flow runs");
     // Table 2's claim shape: similar HPWL.
     let ratio = ours.hpwl / flat.hpwl;
     assert!(
@@ -54,8 +54,8 @@ fn clustered_flow_matches_flat_quality() {
 fn seeded_placement_is_faster_than_flat() {
     let (n, c) = setup();
     let opts = options();
-    let flat = run_default_flow(&n, &c, &opts);
-    let ours = run_flow(&n, &c, &opts);
+    let flat = run_default_flow(&n, &c, &opts).expect("flat flow runs");
+    let ours = run_flow(&n, &c, &opts).expect("clustered flow runs");
     // The paper's headline: clustering + seeded placement beats flat
     // placement runtime. Allow slack for timer noise at this small scale.
     let ours_cpu = ours.clustering_runtime + ours.placement_runtime;
@@ -71,7 +71,7 @@ fn innovus_mode_runs_with_all_shape_modes() {
     let (n, c) = setup();
     for mode in [ShapeMode::Uniform, ShapeMode::Random(5), ShapeMode::Vpr] {
         let opts = options().tool(Tool::InnovusLike).shape_mode(mode);
-        let r = run_flow(&n, &c, &opts);
+        let r = run_flow(&n, &c, &opts).expect("clustered flow runs");
         assert!(r.cluster_count > 1);
         assert!(r.ppa.rwl > 0.0);
     }
@@ -81,11 +81,17 @@ fn innovus_mode_runs_with_all_shape_modes() {
 fn baseline_flows_are_comparable() {
     let (n, c) = setup();
     let opts = options();
-    let flat = run_default_flow(&n, &c, &opts);
+    let flat = run_default_flow(&n, &c, &opts).expect("flat flow runs");
     for (name, r) in [
-        ("blob", run_blob_flow(&n, &c, &opts)),
-        ("leiden", run_leiden_flow(&n, &c, &opts)),
-        ("mfc", run_mfc_flow(&n, &c, &opts)),
+        (
+            "blob",
+            run_blob_flow(&n, &c, &opts).expect("blob flow runs"),
+        ),
+        (
+            "leiden",
+            run_leiden_flow(&n, &c, &opts).expect("leiden flow runs"),
+        ),
+        ("mfc", run_mfc_flow(&n, &c, &opts).expect("mfc flow runs")),
     ] {
         let ratio = r.hpwl / flat.hpwl;
         assert!(
@@ -102,8 +108,8 @@ fn ppa_aware_clustering_is_no_worse_than_mfc_on_tns() {
     // synthetic design; the band is deliberately loose.)
     let (n, c) = setup();
     let opts = options();
-    let ours = run_flow(&n, &c, &opts);
-    let mfc = run_mfc_flow(&n, &c, &opts);
+    let ours = run_flow(&n, &c, &opts).expect("clustered flow runs");
+    let mfc = run_mfc_flow(&n, &c, &opts).expect("mfc flow runs");
     let ours_tns = ours.ppa.tns.abs();
     let mfc_tns = mfc.ppa.tns.abs();
     assert!(
@@ -115,7 +121,7 @@ fn ppa_aware_clustering_is_no_worse_than_mfc_on_tns() {
 #[test]
 fn flow_report_runtimes_are_recorded() {
     let (n, c) = setup();
-    let r = run_flow(&n, &c, &options());
+    let r = run_flow(&n, &c, &options()).expect("clustered flow runs");
     assert!(r.clustering_runtime > 0.0);
     assert!(r.placement_runtime > 0.0);
 }

@@ -15,10 +15,7 @@ use proptest::prelude::*;
 /// A random undirected graph as an edge list over `n` vertices.
 fn arb_graph(max_n: usize, max_e: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
     (2..max_n).prop_flat_map(move |n| {
-        let edges = prop::collection::vec(
-            (0..n as u32, 0..n as u32, 0.1f64..4.0),
-            0..max_e,
-        );
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32, 0.1f64..4.0), 0..max_e);
         edges.prop_map(move |e| (n, e))
     })
 }
@@ -193,7 +190,8 @@ proptest! {
                 gcell_size: 10.0,
                 ..Default::default()
             },
-        );
+        )
+        .expect("finite pins route");
         // Grid-quantized HPWL of the pins is a lower bound on routed WL.
         let gc = |v: f64| (v / 10.0) as i64;
         let (mut lx, mut ly, mut hx, mut hy) = (i64::MAX, i64::MAX, i64::MIN, i64::MIN);
@@ -247,9 +245,9 @@ proptest! {
             .scale(1.0 / 256.0)
             .seed(seed)
             .generate_with_constraints();
-        let tight = Sta::new(&n, &c).run(&WireModel::Estimate);
+        let tight = Sta::new(&n, &c).expect("acyclic netlist").run(&WireModel::Estimate);
         c.clock_period *= 2.0;
-        let relaxed = Sta::new(&n, &c).run(&WireModel::Estimate);
+        let relaxed = Sta::new(&n, &c).expect("acyclic netlist").run(&WireModel::Estimate);
         prop_assert!(relaxed.wns >= tight.wns - 1e-9);
         prop_assert!(relaxed.tns >= tight.tns - 1e-9);
     }
@@ -280,8 +278,9 @@ proptest! {
             cg_iterations: 20,
             ..Default::default()
         })
-        .place(&p);
-        legalize(&p, &fp, &mut r.positions);
+        .place(&p)
+        .expect("global placement runs");
+        legalize(&p, &fp, &mut r.positions).expect("legalization runs");
         refine(&p, &fp, &mut r.positions, &DetailedOptions::default());
         // Legal rows, in core, no overlaps.
         let mut by_row: std::collections::HashMap<i64, Vec<(f64, f64)>> =
@@ -313,11 +312,147 @@ proptest! {
         let take = take.min(n.cell_count());
         let cells: Vec<cp_netlist::CellId> =
             (0..take as u32).map(cp_netlist::CellId).collect();
-        let sub = cp_core::vpr::extract_subnetlist(&n, &cells);
+        let sub = cp_core::vpr::extract_subnetlist(&n, &cells).expect("valid sub-netlist");
         prop_assert_eq!(sub.cell_count(), take);
         // Every sub-net's pins stay within the sub-netlist.
         for net in sub.nets() {
             prop_assert!(net.pin_count() >= 1);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate inputs: every flow entry point must surface a typed error —
+// never a panic — and injected numerical faults must be recovered with a
+// diagnostics trail (robustness properties).
+// ---------------------------------------------------------------------------
+
+use cp_core::flow::{run_default_flow, run_flow, FlowOptions};
+use cp_core::{FlowError, RecoveryEvent};
+use cp_netlist::netlist::NetlistBuilder;
+use cp_netlist::{Constraints, HierTree, ValidationError};
+
+#[test]
+fn empty_netlist_is_a_typed_error() {
+    let n = NetlistBuilder::new("empty", Library::nangate45ish())
+        .finish()
+        .expect("an empty builder still builds");
+    let c = Constraints::default();
+    for r in [
+        run_default_flow(&n, &c, &FlowOptions::fast()),
+        run_flow(&n, &c, &FlowOptions::fast()),
+    ] {
+        let err = r.expect_err("no cells to place");
+        assert!(matches!(
+            err,
+            FlowError::Validation(ValidationError::EmptyNetlist)
+        ));
+    }
+}
+
+#[test]
+fn single_cell_netlist_is_a_typed_error() {
+    let lib = Library::nangate45ish();
+    let inv = lib.find("INV_X1").expect("library cell");
+    let mut b = NetlistBuilder::new("lonely", lib);
+    b.add_cell("u0", inv, HierTree::ROOT);
+    let n = b.finish().expect("one floating cell is structurally fine");
+    let err = run_flow(&n, &Constraints::default(), &FlowOptions::fast())
+        .expect_err("a netless cell gives the placer nothing to optimize");
+    assert!(matches!(
+        err,
+        FlowError::Validation(ValidationError::NoNets)
+    ));
+}
+
+#[test]
+fn all_fixed_problem_places_without_panicking() {
+    // Every cell pre-placed (zero movables) is a legal if pointless input:
+    // the placer must return an empty, converged result rather than divide
+    // by the movable count.
+    let problem = PlacementProblem {
+        movable: vec![],
+        fixed: vec![(1.0, 1.0), (9.0, 9.0)],
+        hypergraph: Hypergraph::new(0, vec![]),
+        net_weights: vec![],
+        core: Rect::new(0.0, 0.0, 10.0, 10.0),
+        region: vec![],
+        seed_positions: None,
+        blockages: Vec::new(),
+        density_target: 0.5,
+    };
+    let r = GlobalPlacer::new(PlacerOptions::default())
+        .place(&problem)
+        .expect("an all-fixed problem is trivially solved");
+    assert!(r.positions.is_empty());
+    assert_eq!(r.hpwl, 0.0);
+    assert!(!r.diverged);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn out_of_range_utilization_is_a_typed_error(
+        seed in 0u64..100,
+        excess in 0.0001f64..10.0,
+    ) {
+        let (n, c) = GeneratorConfig::from_profile(DesignProfile::Aes)
+            .scale(1.0 / 512.0)
+            .seed(seed)
+            .generate_with_constraints();
+        for util in [1.0 + excess, -excess, 0.0] {
+            let opts = FlowOptions {
+                utilization: util,
+                ..FlowOptions::fast()
+            };
+            let err = run_default_flow(&n, &c, &opts).expect_err("utilization outside (0, 1]");
+            prop_assert!(matches!(
+                err,
+                FlowError::Validation(ValidationError::UtilizationOutOfRange { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn zero_area_floorplan_is_a_typed_error(
+        seed in 0u64..100,
+        bad in 0.0001f64..4.0,
+    ) {
+        let (n, c) = GeneratorConfig::from_profile(DesignProfile::Aes)
+            .scale(1.0 / 512.0)
+            .seed(seed)
+            .generate_with_constraints();
+        // A zero, negative or non-finite aspect ratio all collapse the core
+        // to a degenerate (zero-area) floorplan.
+        for aspect in [0.0, -bad, f64::NAN] {
+            let opts = FlowOptions {
+                aspect_ratio: aspect,
+                ..FlowOptions::fast()
+            };
+            let err = run_default_flow(&n, &c, &opts).expect_err("core must have positive area");
+            prop_assert!(matches!(
+                err,
+                FlowError::Validation(ValidationError::AspectRatioOutOfRange { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn injected_nan_is_reverted_and_reported(seed in 0u64..50, fault in 1usize..6) {
+        let (n, c) = GeneratorConfig::from_profile(DesignProfile::Aes)
+            .scale(1.0 / 256.0)
+            .seed(seed)
+            .generate_with_constraints();
+        let mut opts = FlowOptions::fast();
+        opts.placer.fault_nan_at_iteration = Some(fault);
+        let report = run_default_flow(&n, &c, &opts).expect("divergence must be recovered");
+        prop_assert!(report.hpwl.is_finite() && report.hpwl > 0.0);
+        prop_assert!(!report.diagnostics.is_clean());
+        prop_assert!(report
+            .diagnostics
+            .events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::PlacerReverted { .. })));
     }
 }
