@@ -1,0 +1,119 @@
+//! Thread-scaling of the clustered flow (the tentpole's acceptance
+//! artifact): runs the full V-P&R-shaped flow at 1/2/4/8 threads via
+//! `cp_parallel::with_threads` and writes `BENCH_parallel.json` with the
+//! per-stage wall-clock each run's `FlowReport` recorded.
+//!
+//! Speedups are only meaningful up to the detected core count, which the
+//! report includes; on a single-core host every thread count serializes
+//! and the ratios hover around 1.0.
+
+use cp_bench::{flow_options, print_table, scale, Bench};
+use cp_core::flow::{run_flow, FlowReport, ShapeMode};
+use cp_netlist::generator::DesignProfile;
+use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct Run {
+    threads: usize,
+    total: f64,
+    report: FlowReport,
+}
+
+fn json_stages(report: &FlowReport) -> String {
+    report
+        .timings
+        .stages
+        .iter()
+        .map(|(name, s)| format!("\"{name}\": {s:.6}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn main() {
+    let b = Bench::generate(DesignProfile::Aes);
+    // Lower the shaping threshold below the scaled cluster sizes so the
+    // 20-candidate V-P&R sweep — a main parallel section — actually runs.
+    let mut opts = flow_options().shape_mode(ShapeMode::Vpr);
+    opts.vpr_min_instances = 60;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "# Thread scaling, {} at scale {} ({} cells, {} detected cores)",
+        b.name(),
+        scale(),
+        b.netlist.cell_count(),
+        cores
+    );
+
+    let mut runs = Vec::new();
+    for &t in &THREADS {
+        let t0 = Instant::now();
+        let report = cp_parallel::with_threads(t, || {
+            run_flow(&b.netlist, &b.constraints, &opts).expect("flow runs")
+        });
+        let total = t0.elapsed().as_secs_f64();
+        eprintln!("{t} thread(s): {total:.2}s");
+        runs.push(Run {
+            threads: t,
+            total,
+            report,
+        });
+    }
+
+    let base = &runs[0];
+    assert!(
+        runs.iter()
+            .all(|r| r.report.hpwl.to_bits() == base.report.hpwl.to_bits()
+                && r.report.ppa == base.report.ppa),
+        "thread counts disagree on flow metrics"
+    );
+
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.threads.to_string(),
+                format!("{:.2}", r.total),
+                format!("{:.2}", base.total / r.total),
+                format!("{:.2}", r.report.timings.total()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Flow wall-clock by thread count (identical metrics asserted)",
+        &["Threads", "Total s", "Speedup vs 1T", "Staged s"],
+        &rows,
+    );
+
+    let runs_json = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"threads\": {}, \"total_s\": {:.6}, \"hpwl\": {:.3}, \"stages_s\": {{{}}}}}",
+                r.threads,
+                r.total,
+                r.report.hpwl,
+                json_stages(&r.report)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let speedups = runs
+        .iter()
+        .map(|r| format!("\"{}\": {:.3}", r.threads, base.total / r.total))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_scaling\",\n  \"design\": \"{}\",\n  \"scale\": {},\n  \
+         \"cells\": {},\n  \"detected_cores\": {},\n  \"metrics_identical\": true,\n  \
+         \"runs\": [\n{}\n  ],\n  \"speedup_vs_1t\": {{{}}}\n}}\n",
+        b.name(),
+        scale(),
+        b.netlist.cell_count(),
+        cores,
+        runs_json,
+        speedups
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("\nwrote BENCH_parallel.json");
+}

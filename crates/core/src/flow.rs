@@ -168,6 +168,43 @@ pub struct PpaReport {
     pub hold_wns: f64,
 }
 
+/// Per-stage wall-clock diagnostics: which stages ran, how long each
+/// took, and the thread budget they ran under — so parallel speedup is
+/// observable from every report without re-instrumenting the flow.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageTimings {
+    /// Thread budget in effect (`CP_THREADS` / `cp_parallel::with_threads`).
+    pub threads: usize,
+    /// `(stage name, seconds)` in execution order.
+    pub stages: Vec<(&'static str, f64)>,
+}
+
+impl StageTimings {
+    fn new() -> Self {
+        Self {
+            threads: cp_parallel::current_threads(),
+            stages: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, name: &'static str, since: Instant) {
+        self.stages.push((name, since.elapsed().as_secs_f64()));
+    }
+
+    /// Seconds spent in the named stage, if it ran.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.stages
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, s)| s)
+    }
+
+    /// Total seconds across all recorded stages.
+    pub fn total(&self) -> f64 {
+        self.stages.iter().map(|&(_, s)| s).sum()
+    }
+}
+
 /// The flow outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowReport {
@@ -185,6 +222,8 @@ pub struct FlowReport {
     /// Recoveries the flow performed instead of failing (empty on a clean
     /// run).
     pub diagnostics: FlowDiagnostics,
+    /// Per-stage wall-clock and thread budget.
+    pub timings: StageTimings,
 }
 
 /// Pre-flight validation shared by every flow entry point: reject the
@@ -221,6 +260,7 @@ pub fn run_default_flow(
     if options.timing_driven {
         problem.net_weights = timing_net_weights(netlist, constraints)?;
     }
+    let mut timings = StageTimings::new();
     let t0 = Instant::now();
     let mut result = GlobalPlacer::new(options.placer).place(&problem)?;
     if result.diverged {
@@ -238,6 +278,8 @@ pub fn run_default_flow(
             &mut diagnostics,
         )?;
     }
+    timings.record("flat placement", t0);
+    let t_leg = Instant::now();
     legalize(&problem, &fp, &mut result.positions)?;
     refine(
         &problem,
@@ -245,9 +287,12 @@ pub fn run_default_flow(
         &mut result.positions,
         &DetailedOptions::default(),
     );
+    timings.record("legalize+refine", t_leg);
     let placement_runtime = t0.elapsed().as_secs_f64();
     let hpwl = raw_hpwl(&problem, &result.positions);
+    let t_ppa = Instant::now();
     let ppa = evaluate_ppa(netlist, constraints, &result.positions, &fp, options)?;
+    timings.record("ppa", t_ppa);
     Ok(FlowReport {
         hpwl,
         cluster_count: 0,
@@ -255,6 +300,7 @@ pub fn run_default_flow(
         placement_runtime,
         ppa,
         diagnostics,
+        timings,
     })
 }
 
@@ -317,9 +363,15 @@ pub fn run_flow_with_assignment(
     }
     let fp = validated_floorplan(netlist, constraints, options)?;
     let mut diagnostics = FlowDiagnostics::default();
+    let mut timings = StageTimings::new();
     let t0 = Instant::now();
 
-    // Line 10: clustered netlist; lines 12-13: cluster shapes.
+    // Line 10: clustered netlist; lines 12-13: cluster shapes. Clusters
+    // are independent V-P&R problems, so the Vpr/VprMl arms fan the
+    // per-cluster work out in parallel and apply the collected shapes
+    // sequentially in cluster order — diagnostics and shape assignment
+    // match the serial loop exactly.
+    let t_shape = Instant::now();
     let mut clustered = ClusteredNetlist::from_assignment(netlist, assignment);
     let shapeable = clustered.shapeable_clusters(options.vpr_min_instances);
     let mut shaped: Vec<u32> = Vec::new();
@@ -334,8 +386,11 @@ pub fn run_flow_with_assignment(
             }
         }
         ShapeMode::Vpr => {
-            for &c in &shapeable {
-                match vpr_shape_or_fallback(netlist, clustered.cells(c), &options.vpr) {
+            let shapes: Vec<Option<ClusterShape>> = cp_parallel::par_map(&shapeable, 1, |&c| {
+                vpr_shape_or_fallback(netlist, clustered.cells(c), &options.vpr)
+            });
+            for (&c, &shape) in shapeable.iter().zip(&shapes) {
+                match shape {
                     Some(shape) => clustered.set_shape(c, shape),
                     None => diagnostics.record(RecoveryEvent::ShapeFallback { cluster: c }),
                 }
@@ -343,20 +398,27 @@ pub fn run_flow_with_assignment(
             }
         }
         ShapeMode::VprMl(selector) => {
-            for &c in &shapeable {
-                match extract_subnetlist(netlist, clustered.cells(c)) {
-                    Ok(sub) => clustered.set_shape(c, selector.select_shape(&sub)),
-                    Err(_) => diagnostics.record(RecoveryEvent::ShapeFallback { cluster: c }),
+            let shapes: Vec<Option<ClusterShape>> = cp_parallel::par_map(&shapeable, 1, |&c| {
+                extract_subnetlist(netlist, clustered.cells(c))
+                    .ok()
+                    .map(|sub| selector.select_shape(&sub))
+            });
+            for (&c, &shape) in shapeable.iter().zip(&shapes) {
+                match shape {
+                    Some(shape) => clustered.set_shape(c, shape),
+                    None => diagnostics.record(RecoveryEvent::ShapeFallback { cluster: c }),
                 }
                 shaped.push(c);
             }
         }
     }
+    timings.record("shaping", t_shape);
 
     // Lines 15-25: seeded placement.
     if options.tool == Tool::OpenRoadLike {
         clustered.scale_io_net_weights(options.io_weight);
     }
+    let t_cluster = Instant::now();
     let cluster_problem = PlacementProblem::from_clustered(&clustered, &fp);
     let cluster_placement = GlobalPlacer::new(options.placer).place(&cluster_problem)?;
     if cluster_placement.diverged {
@@ -364,6 +426,7 @@ pub fn run_flow_with_assignment(
             stage: "cluster placement",
         });
     }
+    timings.record("cluster placement", t_cluster);
 
     // Instances at their cluster centers, with a deterministic in-cluster
     // jitter so the B2B linearization is non-degenerate.
@@ -415,6 +478,7 @@ pub fn run_flow_with_assignment(
             }
         }
     }
+    let t_flat = Instant::now();
     let mut result = GlobalPlacer::new(options.placer).place(&flat_problem)?;
     if result.diverged {
         diagnostics.record(RecoveryEvent::PlacerReverted {
@@ -433,6 +497,8 @@ pub fn run_flow_with_assignment(
             &mut diagnostics,
         )?;
     }
+    timings.record("flat placement", t_flat);
+    let t_leg = Instant::now();
     legalize(&free_problem, &fp, &mut result.positions)?;
     refine(
         &free_problem,
@@ -440,9 +506,12 @@ pub fn run_flow_with_assignment(
         &mut result.positions,
         &DetailedOptions::default(),
     );
+    timings.record("legalize+refine", t_leg);
     let placement_runtime = t0.elapsed().as_secs_f64();
     let hpwl = raw_hpwl(&free_problem, &result.positions);
+    let t_ppa = Instant::now();
     let ppa = evaluate_ppa(netlist, constraints, &result.positions, &fp, options)?;
+    timings.record("ppa", t_ppa);
     Ok(FlowReport {
         hpwl,
         cluster_count: clustered.cluster_count(),
@@ -450,6 +519,7 @@ pub fn run_flow_with_assignment(
         placement_runtime,
         ppa,
         diagnostics,
+        timings,
     })
 }
 

@@ -10,7 +10,8 @@
 
 use crate::cluster::{ppa_aware_clustering, ClusteringOptions};
 use crate::error::FlowError;
-use crate::vpr::{best_shape, evaluate_shape, extract_subnetlist, VprOptions};
+use crate::vpr::subnetlist::SubnetlistCache;
+use crate::vpr::{best_shape, ClusterVpr, VprOptions};
 use cp_gnn::model::{ModelConfig, TotalCostModel};
 use cp_gnn::sample::GraphSample;
 use cp_gnn::sparse::SparseSym;
@@ -257,6 +258,9 @@ pub fn generate_dataset(
     config: &DatasetConfig,
 ) -> Result<Vec<(GraphSample, f64)>, FlowError> {
     let mut data = Vec::new();
+    // Perturbed configurations frequently rediscover the same clusters;
+    // the cache makes each distinct cluster's extraction a one-time cost.
+    let mut cache = SubnetlistCache::new();
     for k in 0..config.configs {
         let perturbed = ClusteringOptions {
             seed: config.seed ^ (0x9E37_79B9 * (k as u64 + 1)),
@@ -277,11 +281,17 @@ pub fn generate_dataset(
             members.truncate(config.max_clusters_per_config);
         }
         for cells in &members {
-            let sub = extract_subnetlist(netlist, cells)?;
+            let sub = cache.get_or_extract(netlist, cells)?;
             let feats = cluster_features(&sub);
-            for shape in ClusterShape::candidates() {
-                let cost = evaluate_shape(&sub, shape, &config.vpr)?;
-                data.push((feats.with_shape(shape), cost.total));
+            // Label the 20-candidate grid in parallel; validation and the
+            // net count are hoisted into the context, and errors propagate
+            // in candidate order like the serial loop did.
+            let ctx = ClusterVpr::new(&sub)?;
+            let candidates = ClusterShape::candidates();
+            let costs =
+                cp_parallel::par_map(&candidates, 1, |&shape| ctx.evaluate(shape, &config.vpr));
+            for (&shape, cost) in candidates.iter().zip(costs) {
+                data.push((feats.with_shape(shape), cost?.total));
             }
         }
     }
@@ -407,6 +417,7 @@ pub fn select_shape_exact(sub: &Netlist, options: &VprOptions) -> Result<Cluster
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vpr::extract_subnetlist;
     use cp_netlist::generator::{DesignProfile, GeneratorConfig};
 
     fn sub() -> Netlist {

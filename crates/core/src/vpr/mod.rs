@@ -61,6 +61,64 @@ pub struct ShapeCost {
     pub total: f64,
 }
 
+/// A cluster's sub-netlist prepared for repeated shape evaluation:
+/// validation and the scoreable-net count are hoisted out of the
+/// per-candidate path, so a 20-candidate sweep pays for them once.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterVpr<'a> {
+    sub: &'a Netlist,
+    net_count: usize,
+}
+
+impl<'a> ClusterVpr<'a> {
+    /// Validates `sub` and precomputes per-cluster invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Validation`] when `sub` is degenerate (no cells, no
+    /// nets).
+    pub fn new(sub: &'a Netlist) -> Result<Self, FlowError> {
+        sub.validate()?;
+        let net_count = sub
+            .nets()
+            .iter()
+            .filter(|n| !n.is_clock && n.pin_count() >= 2)
+            .count()
+            .max(1);
+        Ok(Self { sub, net_count })
+    }
+
+    /// Places and routes the cluster on a virtual die of the given shape
+    /// and scores it (one arm of Figure 3).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Place`] / [`FlowError::Route`] when the virtual P&R
+    /// fails for this shape.
+    pub fn evaluate(
+        &self,
+        shape: ClusterShape,
+        options: &VprOptions,
+    ) -> Result<ShapeCost, FlowError> {
+        let sub = self.sub;
+        let fp = Floorplan::try_for_netlist(sub, shape.utilization, shape.aspect_ratio)?;
+        let problem = PlacementProblem::from_netlist(sub, &fp);
+        let placed = GlobalPlacer::new(options.placer).place(&problem)?;
+        let mut positions = placed.positions;
+        positions.extend_from_slice(&fp.port_positions);
+        let routed = route_placed_netlist(sub, &positions, &fp, &options.router)?;
+        let hpwl_avg = placed.hpwl / self.net_count as f64;
+        let hpwl_cost = hpwl_avg / (fp.core.width() + fp.core.height());
+        let congestion_cost = routed.congestion.top_percent_average(options.top_percent);
+        Ok(ShapeCost {
+            shape,
+            hpwl_cost,
+            congestion_cost,
+            total: hpwl_cost + options.delta * congestion_cost,
+        })
+    }
+}
+
 /// Places and routes `sub` on a virtual die of the given shape and scores
 /// it (one arm of Figure 3).
 ///
@@ -74,50 +132,38 @@ pub fn evaluate_shape(
     shape: ClusterShape,
     options: &VprOptions,
 ) -> Result<ShapeCost, FlowError> {
-    sub.validate()?;
-    let fp = Floorplan::try_for_netlist(sub, shape.utilization, shape.aspect_ratio)?;
-    let problem = PlacementProblem::from_netlist(sub, &fp);
-    let placed = GlobalPlacer::new(options.placer).place(&problem)?;
-    let mut positions = placed.positions;
-    positions.extend_from_slice(&fp.port_positions);
-    let routed = route_placed_netlist(sub, &positions, &fp, &options.router)?;
-    let net_count = sub
-        .nets()
-        .iter()
-        .filter(|n| !n.is_clock && n.pin_count() >= 2)
-        .count()
-        .max(1);
-    let hpwl_avg = placed.hpwl / net_count as f64;
-    let hpwl_cost = hpwl_avg / (fp.core.width() + fp.core.height());
-    let congestion_cost = routed.congestion.top_percent_average(options.top_percent);
-    Ok(ShapeCost {
-        shape,
-        hpwl_cost,
-        congestion_cost,
-        total: hpwl_cost + options.delta * congestion_cost,
-    })
+    ClusterVpr::new(sub)?.evaluate(shape, options)
 }
 
 /// Sweeps the paper's 20 shape candidates through V-P&R; returns the best
 /// shape and every candidate's cost (ties break toward the earlier
 /// candidate, i.e. lower aspect ratio / utilization).
 ///
+/// The candidates are independent virtual P&R runs, so they evaluate in
+/// parallel (one candidate per chunk); selection and error propagation
+/// happen afterwards in candidate order, preserving the serial sweep's
+/// tie-breaking and first-error semantics exactly.
+///
 /// # Errors
 ///
-/// Propagates the first [`evaluate_shape`] failure — with a valid
-/// sub-netlist every candidate either scores or fails identically.
+/// Propagates the first (in candidate order) evaluation failure — with a
+/// valid sub-netlist every candidate either scores or fails identically.
 pub fn best_shape(
     sub: &Netlist,
     options: &VprOptions,
 ) -> Result<(ClusterShape, Vec<ShapeCost>), FlowError> {
-    let mut costs = Vec::with_capacity(20);
+    let ctx = ClusterVpr::new(sub)?;
+    let candidates = ClusterShape::candidates();
+    let results = cp_parallel::par_map(&candidates, 1, |&shape| ctx.evaluate(shape, options));
+    let mut costs = Vec::with_capacity(results.len());
+    for r in results {
+        costs.push(r?);
+    }
     let mut best: Option<ShapeCost> = None;
-    for shape in ClusterShape::candidates() {
-        let c = evaluate_shape(sub, shape, options)?;
+    for &c in &costs {
         if best.is_none_or(|b| c.total < b.total) {
             best = Some(c);
         }
-        costs.push(c);
     }
     match best {
         Some(b) => Ok((b.shape, costs)),

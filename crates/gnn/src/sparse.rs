@@ -117,18 +117,18 @@ impl SparseSym {
     pub fn spmm(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.rows, self.n, "row mismatch");
         let mut out = Matrix::zeros(self.n, x.cols);
-        for i in 0..self.n {
+        // Row-parallel with per-row accumulation order unchanged — output
+        // is bit-identical to the serial loop at any thread count.
+        out.for_each_row_mut(|i, orow| {
             let (s, e) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
             for k in s..e {
                 let j = self.col[k] as usize;
                 let w = self.val[k];
-                let xr = x.row(j);
-                let orow = out.row_mut(i);
-                for (c, &v) in xr.iter().enumerate() {
+                for (c, &v) in x.row(j).iter().enumerate() {
                     orow[c] += w * v;
                 }
             }
-        }
+        });
         out
     }
 }

@@ -1,4 +1,11 @@
 //! Dense row-major matrices with the handful of ops a small GNN needs.
+//!
+//! The matmul kernels are row-parallel: each output row keeps exactly the
+//! serial loop's accumulation order, so results are bit-identical to the
+//! sequential implementation at any `CP_THREADS` setting.
+
+/// Output rows per parallel chunk in the matmul kernels.
+const ROW_CHUNK: usize = 8;
 
 /// A dense `rows × cols` matrix of `f64`, row-major.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +75,22 @@ impl Matrix {
         &self.data
     }
 
+    /// Runs `f(row_index, row_slice)` over every row, parallel over fixed
+    /// row chunks. Rows are disjoint, so this is the deterministic
+    /// backbone of the matmul kernels below (and of CSR propagation in
+    /// [`crate::sparse`]).
+    pub(crate) fn for_each_row_mut(&mut self, f: impl Fn(usize, &mut [f64]) + Sync) {
+        let cols = self.cols;
+        if cols == 0 || self.rows == 0 {
+            return;
+        }
+        cp_parallel::par_chunks_mut(&mut self.data, cols * ROW_CHUNK, |_, offset, slice| {
+            for (k, row) in slice.chunks_mut(cols).enumerate() {
+                f(offset / cols + k, row);
+            }
+        });
+    }
+
     /// `self · other` (`rows × other.cols`).
     ///
     /// # Panics
@@ -76,19 +99,17 @@ impl Matrix {
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "inner dimensions must match");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
+        out.for_each_row_mut(|i, out_row| {
             for k in 0..self.cols {
                 let a = self.get(i, k);
                 if a == 0.0 {
                     continue;
                 }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (j, &b) in orow.iter().enumerate() {
+                for (j, &b) in other.row(k).iter().enumerate() {
                     out_row[j] += a * b;
                 }
             }
-        }
+        });
         out
     }
 
@@ -96,19 +117,17 @@ impl Matrix {
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "row counts must match");
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            for i in 0..self.cols {
+        out.for_each_row_mut(|i, out_row| {
+            for r in 0..self.rows {
                 let a = self.get(r, i);
                 if a == 0.0 {
                     continue;
                 }
-                let orow = other.row(r);
-                let out_row = out.row_mut(i);
-                for (j, &b) in orow.iter().enumerate() {
+                for (j, &b) in other.row(r).iter().enumerate() {
                     out_row[j] += a * b;
                 }
             }
-        }
+        });
         out
     }
 
@@ -116,17 +135,17 @@ impl Matrix {
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "column counts must match");
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            for j in 0..other.rows {
-                let mut acc = 0.0;
-                let a = self.row(i);
+        out.for_each_row_mut(|i, out_row| {
+            let a = self.row(i);
+            for (j, oj) in out_row.iter_mut().enumerate() {
                 let b = other.row(j);
+                let mut acc = 0.0;
                 for k in 0..self.cols {
                     acc += a[k] * b[k];
                 }
-                *out.get_mut(i, j) = acc;
+                *oj = acc;
             }
-        }
+        });
         out
     }
 
@@ -217,5 +236,16 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_is_thread_count_invariant() {
+        let a = Matrix::from_fn(37, 23, |r, c| {
+            ((r * 31 + c * 17) % 101) as f64 * 0.013 - 0.5
+        });
+        let b = Matrix::from_fn(23, 29, |r, c| ((r * 13 + c * 7) % 97) as f64 * 0.021 - 1.0);
+        let seq = cp_parallel::with_threads(1, || (a.matmul(&b), a.matmul_tn(&a), a.matmul_nt(&a)));
+        let par = cp_parallel::with_threads(4, || (a.matmul(&b), a.matmul_tn(&a), a.matmul_nt(&a)));
+        assert_eq!(seq, par);
     }
 }

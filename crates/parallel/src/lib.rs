@@ -1,0 +1,512 @@
+//! Deterministic work-stealing thread pool for the placement flow.
+//!
+//! Dependency-free `rayon`-flavored data parallelism, sized for the three
+//! hot layers of this workspace (V-P&R shape search, the global placer's
+//! linear algebra, and the GNN kernels). The design trades a little peak
+//! throughput for a hard guarantee the flow's reproducibility story
+//! depends on:
+//!
+//! **Determinism contract.** Every primitive in this crate produces
+//! bit-identical results for *any* thread count, including the inline
+//! sequential path (`CP_THREADS=1`). The mechanism is fixed-shape
+//! chunking: work is split into chunks whose boundaries depend only on
+//! the input size (never on the thread count), each chunk's result is
+//! stored by chunk index, and reductions combine the per-chunk partials
+//! with a fixed-order pairwise tree ([`tree_combine`]). Threads *steal
+//! chunks* from a shared atomic counter, so scheduling is dynamic but the
+//! arithmetic — including floating-point association — is not.
+//!
+//! **Thread count.** `CP_THREADS` controls the default worker budget
+//! (default: available cores; `1` = run everything inline on the calling
+//! thread). [`with_threads`] overrides the budget for a scope, which is
+//! how the scaling bench sweeps 1/2/4/8 threads in one process and how
+//! the determinism tests compare the sequential and parallel paths.
+//!
+//! Workers are spawned lazily on first parallel call and parked on a
+//! shared queue afterwards; nested parallel calls from worker threads are
+//! allowed (inner regions push chunks other idle workers can steal, and
+//! the submitting thread always participates, so progress never depends
+//! on another region finishing first).
+
+use std::collections::VecDeque;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread;
+
+/// Locks ignoring poisoning: a panicked task is already being reported
+/// through the job's panic flag, so the guarded data stays usable.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The process-wide default thread budget: `CP_THREADS` when set to a
+/// positive integer, otherwise the number of available cores.
+pub fn max_threads() -> usize {
+    static MAX: OnceLock<usize> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        std::env::var("CP_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+thread_local! {
+    static OVERRIDE: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// The thread budget in effect on this thread: the innermost
+/// [`with_threads`] override, or [`max_threads`].
+pub fn current_threads() -> usize {
+    OVERRIDE
+        .with(std::cell::Cell::get)
+        .unwrap_or_else(max_threads)
+}
+
+/// Runs `f` with the thread budget overridden to `threads` (clamped to at
+/// least 1). The override is scoped to this thread and restored on exit,
+/// including on unwind.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let prev = OVERRIDE.with(|o| o.replace(Some(threads.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// One parallel region. Lives in an `Arc` so stale queue entries stay
+/// valid after the region completes; the type-erased `task` pointer is
+/// only dereferenced while the submitter provably blocks in [`par_for`].
+struct Job {
+    task: *const (dyn Fn(usize) + Sync),
+    chunks: usize,
+    /// Next chunk index to steal.
+    next: AtomicUsize,
+    /// Workers currently inside the region.
+    active: AtomicUsize,
+    /// Set by the submitter once every chunk has been claimed; late
+    /// workers that see it never touch `task`.
+    closed: AtomicBool,
+    panicked: AtomicBool,
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `task` points at a `Sync` closure on the submitting thread's
+// stack; the submitter blocks until `active` drains back to zero before
+// the pointee can go out of scope, and `closed` keeps late workers from
+// dereferencing it afterwards (see the interleaving argument in
+// `par_for`).
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Steals and runs chunks until the counter is exhausted. Panics in
+    /// the task are captured into `panicked` so every participant keeps
+    /// draining (a worker must never unwind out of the pool loop).
+    fn run_chunks(&self) {
+        // SAFETY: see the struct-level invariant — the submitter keeps the
+        // pointee alive while any participant is registered.
+        let task = unsafe { &*self.task };
+        loop {
+            let i = self.next.fetch_add(1, Ordering::SeqCst);
+            if i >= self.chunks {
+                break;
+            }
+            if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
+                self.panicked.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Worker-side entry: register, steal chunks unless the region
+    /// already closed, deregister, and wake the submitter when last out.
+    fn run_worker(&self) {
+        self.active.fetch_add(1, Ordering::SeqCst);
+        if !self.closed.load(Ordering::SeqCst) {
+            self.run_chunks();
+        }
+        if self.active.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = lock(&self.done);
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    available: Condvar,
+}
+
+struct Pool {
+    shared: Arc<Shared>,
+    spawned: Mutex<usize>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        shared: Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }),
+        spawned: Mutex::new(0),
+    })
+}
+
+impl Pool {
+    /// Spawns workers up to `want` (lazily, on demand). Spawn failures
+    /// degrade gracefully to fewer workers — the submitter always
+    /// participates, so the region still completes.
+    fn ensure_workers(&self, want: usize) {
+        let mut n = lock(&self.spawned);
+        while *n < want {
+            let shared = Arc::clone(&self.shared);
+            let spawned = thread::Builder::new()
+                .name(format!("cp-par-{n}"))
+                .spawn(move || worker_loop(&shared));
+            if spawned.is_err() {
+                break;
+            }
+            *n += 1;
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = shared
+                    .available
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        job.run_worker();
+    }
+}
+
+/// Runs `task(i)` for every chunk index `0..chunks`, stealing chunks
+/// across up to [`current_threads`] threads (the caller included). Blocks
+/// until every chunk has finished. With a budget of 1 (or a single
+/// chunk), runs inline with zero synchronization.
+///
+/// Scheduling is dynamic; determinism is the *caller's* contract — each
+/// chunk must write only chunk-indexed state (see [`par_map`],
+/// [`par_sum`] for ready-made deterministic shapes).
+///
+/// # Panics
+///
+/// Panics if any chunk's task panicked, after all participants have left
+/// the region (the original payload is not preserved).
+pub fn par_for(chunks: usize, task: &(dyn Fn(usize) + Sync)) {
+    if chunks == 0 {
+        return;
+    }
+    let budget = current_threads().min(chunks);
+    if budget <= 1 {
+        for i in 0..chunks {
+            task(i);
+        }
+        return;
+    }
+    let p = pool();
+    p.ensure_workers(budget - 1);
+    // SAFETY: erase the task's lifetime for the queue. Soundness argument:
+    // a worker dereferences `task` only after registering in `active` and
+    // stealing a chunk `< chunks`. Chunk exhaustion is monotone, and the
+    // submitter sets `closed` only after exhaustion, then blocks until
+    // `active == 0` (SeqCst total order makes the register/closed-check
+    // pair on the worker and the closed-store/active-read pair here
+    // mutually visible). So either the worker registered in time — and we
+    // wait for it — or it observes `closed` and never touches `task`.
+    let task_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+    let job = Arc::new(Job {
+        task: task_static as *const _,
+        chunks,
+        next: AtomicUsize::new(0),
+        active: AtomicUsize::new(0),
+        closed: AtomicBool::new(false),
+        panicked: AtomicBool::new(false),
+        done: Mutex::new(()),
+        done_cv: Condvar::new(),
+    });
+    {
+        let mut q = lock(&p.shared.queue);
+        for _ in 0..budget - 1 {
+            q.push_back(Arc::clone(&job));
+        }
+    }
+    p.shared.available.notify_all();
+    job.run_chunks();
+    job.closed.store(true, Ordering::SeqCst);
+    {
+        let mut guard = lock(&job.done);
+        while job.active.load(Ordering::SeqCst) != 0 {
+            guard = job
+                .done_cv
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    if job.panicked.load(Ordering::SeqCst) {
+        panic!("cp-parallel: a parallel task panicked");
+    }
+}
+
+/// Number of fixed-size chunks covering `n` items (`chunk` clamped to at
+/// least 1). This is the only chunk geometry the crate uses, so results
+/// depend on `(n, chunk)` alone.
+pub fn chunk_count(n: usize, chunk: usize) -> usize {
+    n.div_ceil(chunk.max(1))
+}
+
+/// Runs `f(chunk_index, range)` over the fixed chunking of `0..n`.
+pub fn par_ranges(n: usize, chunk: usize, f: impl Fn(usize, Range<usize>) + Sync) {
+    let chunk = chunk.max(1);
+    par_for(chunk_count(n, chunk), &|i| {
+        let start = i * chunk;
+        f(i, start..(start + chunk).min(n));
+    });
+}
+
+/// Raw-pointer wrapper so disjoint chunk writers can share one buffer.
+/// Accessed through [`SendPtr::get`] so closures capture the `Sync`
+/// wrapper rather than the raw pointer field.
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+// SAFETY: every user writes a disjoint index range (enforced by the fixed
+// chunk geometry), so aliased mutation never occurs.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Maps `f` over one fixed-size range per chunk, returning the per-chunk
+/// results ordered by chunk index. The building block for deterministic
+/// reductions: combine the returned partials in any *fixed* order.
+pub fn par_map_ranges<R: Send>(
+    n: usize,
+    chunk: usize,
+    f: impl Fn(Range<usize>) -> R + Sync,
+) -> Vec<R> {
+    let chunk = chunk.max(1);
+    let chunks = chunk_count(n, chunk);
+    let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(chunks);
+    // SAFETY: MaybeUninit slots need no initialization.
+    unsafe { out.set_len(chunks) };
+    let ptr = SendPtr(out.as_mut_ptr());
+    par_for(chunks, &|i| {
+        let start = i * chunk;
+        let v = f(start..(start + chunk).min(n));
+        // SAFETY: chunk `i` owns slot `i` exclusively.
+        unsafe { ptr.get().add(i).write(MaybeUninit::new(v)) };
+    });
+    // A panicking chunk aborts via par_for's panic before reaching here,
+    // leaking (not dropping) the buffer — safe, if wasteful.
+    let mut out = ManuallyDrop::new(out);
+    // SAFETY: all `chunks` slots were initialized exactly once above.
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<R>(), chunks, out.capacity()) }
+}
+
+/// Parallel element map with order-preserving output: `out[i] = f(&items[i])`.
+pub fn par_map<T: Sync, R: Send>(items: &[T], chunk: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit slots need no initialization.
+    unsafe { out.set_len(n) };
+    let ptr = SendPtr(out.as_mut_ptr());
+    par_ranges(n, chunk, |_, r| {
+        for i in r {
+            // SAFETY: index `i` belongs to exactly one chunk.
+            unsafe { ptr.get().add(i).write(MaybeUninit::new(f(&items[i]))) };
+        }
+    });
+    let mut out = ManuallyDrop::new(out);
+    // SAFETY: all `n` slots were initialized exactly once above.
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<R>(), n, out.capacity()) }
+}
+
+/// Splits `data` into fixed-size chunks and hands each chunk mutably to
+/// `f(chunk_index, offset, slice)` — slices are disjoint, so this is safe
+/// parallel in-place mutation.
+pub fn par_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk: usize,
+    f: impl Fn(usize, usize, &mut [T]) + Sync,
+) {
+    let n = data.len();
+    let ptr = SendPtr(data.as_mut_ptr());
+    par_ranges(n, chunk, |ci, r| {
+        // SAFETY: ranges from the fixed chunking are pairwise disjoint.
+        let slice = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(r.start), r.len()) };
+        f(ci, r.start, slice);
+    });
+}
+
+/// Combines `parts` pairwise in fixed order until one value remains:
+/// `((p0 ⊕ p1) ⊕ (p2 ⊕ p3)) ⊕ …`. The combination tree depends only on
+/// `parts.len()`, which is what makes the reductions here bit-identical
+/// across thread counts.
+pub fn tree_combine<A>(mut parts: Vec<A>, combine: impl Fn(A, A) -> A) -> Option<A> {
+    while parts.len() > 1 {
+        let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut it = parts.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(combine(a, b)),
+                None => next.push(a),
+            }
+        }
+        parts = next;
+    }
+    parts.pop()
+}
+
+/// Deterministic parallel sum: `f` produces each fixed chunk's partial
+/// (computed sequentially inside the chunk), and the partials are
+/// tree-combined in fixed order. For `n <= chunk` this degenerates to the
+/// plain sequential sum.
+pub fn par_sum(n: usize, chunk: usize, f: impl Fn(Range<usize>) -> f64 + Sync) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    tree_combine(par_map_ranges(n, chunk, f), |a, b| a + b).unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = with_threads(4, || par_map(&items, 7, |&x| x * 2));
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_sum_is_thread_count_invariant() {
+        // Values chosen so float addition order matters.
+        let vals: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 2_654_435_761_u64) % 1000) as f64 * 1e-3 + 1e9 * ((i % 7) as f64))
+            .collect();
+        let sum_at = |t: usize| {
+            with_threads(t, || {
+                par_sum(vals.len(), 128, |r| {
+                    let mut s = 0.0;
+                    for i in r {
+                        s += vals[i];
+                    }
+                    s
+                })
+            })
+        };
+        let s1 = sum_at(1);
+        for t in [2, 3, 4, 8] {
+            assert_eq!(s1.to_bits(), sum_at(t).to_bits(), "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_slices() {
+        let mut data = vec![0usize; 501];
+        with_threads(4, || {
+            par_chunks_mut(&mut data, 13, |_, offset, slice| {
+                for (k, v) in slice.iter_mut().enumerate() {
+                    *v = offset + k;
+                }
+            });
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i);
+        }
+    }
+
+    #[test]
+    fn all_threads_participate() {
+        let seen = AtomicU64::new(0);
+        with_threads(4, || {
+            par_for(64, &|_| {
+                // Record which thread ran a chunk (best effort; the
+                // submitter may legitimately steal everything on a loaded
+                // machine, so only the side-effect count is asserted).
+                seen.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            });
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn nested_parallelism_completes() {
+        let total = AtomicU64::new(0);
+        with_threads(4, || {
+            par_for(8, &|_| {
+                let inner = par_sum(100, 10, |r| r.map(|i| i as f64).sum());
+                assert_eq!(inner, 4950.0);
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn with_threads_restores_budget() {
+        let outer = current_threads();
+        with_threads(3, || {
+            assert_eq!(current_threads(), 3);
+            with_threads(1, || assert_eq!(current_threads(), 1));
+            assert_eq!(current_threads(), 3);
+        });
+        assert_eq!(current_threads(), outer);
+    }
+
+    #[test]
+    #[should_panic(expected = "a parallel task panicked")]
+    fn panics_propagate_to_the_submitter() {
+        with_threads(4, || {
+            par_for(16, &|i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn tree_combine_shape_is_fixed() {
+        // Combine with string concatenation to observe the tree shape.
+        let parts: Vec<String> = (0..5).map(|i| i.to_string()).collect();
+        let combined =
+            tree_combine(parts, |a, b| format!("({a}{b})")).expect("non-empty parts combine");
+        assert_eq!(combined, "(((01)(23))4)");
+    }
+
+    #[test]
+    fn zero_and_single_chunk_edge_cases() {
+        assert_eq!(par_sum(0, 16, |_| 1.0), 0.0);
+        assert_eq!(par_sum(5, 16, |r| r.len() as f64), 5.0);
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |&x| x).is_empty());
+        par_for(0, &|_| panic!("must not run"));
+    }
+}

@@ -50,7 +50,10 @@ pub fn refine(
             }
         }
     }
-    let before = crate::hpwl::raw_hpwl(problem, positions);
+    // Per-net HPWL cache: moves touch only their incident nets, so cost
+    // deltas come from recomputing those nets instead of the full design.
+    let mut cache = crate::hpwl::IncrementalHpwl::new(problem, positions);
+    let before = cache.total();
     // Rows of single-row cells, each sorted by x.
     let row_of = |y: f64| ((y - floorplan.core.lly) / floorplan.row_height).round() as i64;
     let mut rows: std::collections::BTreeMap<i64, Vec<usize>> = std::collections::BTreeMap::new();
@@ -86,7 +89,10 @@ pub fn refine(
                 let snapped = core.llx
                     + ((target.clamp(lo_bound, hi_bound) - core.llx) / site).round() * site;
                 let x = snapped.clamp(lo_bound, hi_bound);
-                positions[i].0 = x;
+                if x != positions[i].0 {
+                    positions[i].0 = x;
+                    cache.update_nets(problem, positions, &incident[i]);
+                }
             }
         }
         // Pass 2: adjacent swaps (row lists stay sorted by swapping their
@@ -101,21 +107,41 @@ pub fn refine(
                 if nxa + wa > core.urx + 1e-9 || nxa < nxb + wb - 1e-9 {
                     continue;
                 }
-                let cost_before = local_hpwl(problem, positions, &incident[a], &incident[b]);
+                // Touched nets, in the same sorted-deduped order the old
+                // full local recompute used.
+                let mut touched: Vec<u32> = incident[a]
+                    .iter()
+                    .chain(incident[b].iter())
+                    .copied()
+                    .collect();
+                touched.sort_unstable();
+                touched.dedup();
+                let cost_before: f64 = touched
+                    .iter()
+                    .map(|&e| problem.net_weights[e as usize] * cache.net(e))
+                    .sum();
                 positions[a].0 = nxa;
                 positions[b].0 = nxb;
-                let cost_after = local_hpwl(problem, positions, &incident[a], &incident[b]);
+                let fresh: Vec<f64> = touched
+                    .iter()
+                    .map(|&e| crate::hpwl::edge_hpwl(problem, e, positions))
+                    .collect();
+                let cost_after: f64 = touched
+                    .iter()
+                    .zip(&fresh)
+                    .map(|(&e, &h)| problem.net_weights[e as usize] * h)
+                    .sum();
                 if cost_after >= cost_before {
                     positions[a].0 = xa;
                     positions[b].0 = xb;
                 } else {
+                    cache.update_nets(problem, positions, &touched);
                     cells.swap(k, k + 1);
                 }
             }
         }
     }
-    let after = crate::hpwl::raw_hpwl(problem, positions);
-    (before - after).max(0.0)
+    (before - cache.total()).max(0.0)
 }
 
 /// The x minimizing the cell's incident-net HPWL: the median of the other
@@ -148,16 +174,6 @@ fn optimal_x(
     }
     bounds.sort_by(f64::total_cmp);
     bounds[bounds.len() / 2]
-}
-
-/// HPWL over the union of two cells' incident nets.
-fn local_hpwl(problem: &PlacementProblem, positions: &[(f64, f64)], ea: &[u32], eb: &[u32]) -> f64 {
-    let mut seen: Vec<u32> = ea.iter().chain(eb.iter()).copied().collect();
-    seen.sort_unstable();
-    seen.dedup();
-    seen.iter()
-        .map(|&e| problem.net_weights[e as usize] * crate::hpwl::edge_hpwl(problem, e, positions))
-        .sum()
 }
 
 #[cfg(test)]

@@ -1,6 +1,15 @@
 //! Half-perimeter wirelength over a placement problem.
+//!
+//! The full-design sums are parallelized over fixed net chunks with a
+//! fixed-order tree reduction (see `cp-parallel`), so totals are
+//! bit-identical for every `CP_THREADS` setting. [`IncrementalHpwl`]
+//! additionally caches per-net bounding-box lengths so detailed placement
+//! can re-evaluate moves against only the touched nets.
 
 use crate::problem::PlacementProblem;
+
+/// Nets per parallel chunk for full-design HPWL sums.
+const NET_CHUNK: usize = 256;
 
 /// Weighted HPWL of all hyperedges under the given movable positions.
 ///
@@ -20,19 +29,25 @@ use crate::problem::PlacementProblem;
 /// assert!(weighted_hpwl(&p, &center) > 0.0); // port-to-center spans remain
 /// ```
 pub fn weighted_hpwl(problem: &PlacementProblem, positions: &[(f64, f64)]) -> f64 {
-    let mut total = 0.0;
-    for e in 0..problem.hypergraph.edge_count() as u32 {
-        total += problem.net_weights[e as usize] * edge_hpwl(problem, e, positions);
-    }
-    total
+    cp_parallel::par_sum(problem.hypergraph.edge_count(), NET_CHUNK, |r| {
+        let mut s = 0.0;
+        for e in r {
+            s += problem.net_weights[e] * edge_hpwl(problem, e as u32, positions);
+        }
+        s
+    })
 }
 
 /// Unweighted HPWL (every net counted at weight 1) — the metric the paper's
 /// Table 2 reports.
 pub fn raw_hpwl(problem: &PlacementProblem, positions: &[(f64, f64)]) -> f64 {
-    (0..problem.hypergraph.edge_count() as u32)
-        .map(|e| edge_hpwl(problem, e, positions))
-        .sum()
+    cp_parallel::par_sum(problem.hypergraph.edge_count(), NET_CHUNK, |r| {
+        let mut s = 0.0;
+        for e in r {
+            s += edge_hpwl(problem, e as u32, positions);
+        }
+        s
+    })
 }
 
 /// HPWL of one hyperedge.
@@ -49,6 +64,72 @@ pub fn edge_hpwl(problem: &PlacementProblem, e: u32, positions: &[(f64, f64)]) -
         hi = (hi.0.max(x), hi.1.max(y));
     }
     (hi.0 - lo.0) + (hi.1 - lo.1)
+}
+
+/// Per-net HPWL cache with exact delta maintenance.
+///
+/// Detailed placement moves one or two cells at a time, touching only
+/// their incident nets; recomputing the full design HPWL per move is
+/// wasted work. This cache keeps each net's current (unweighted) HPWL
+/// plus the running total, and [`IncrementalHpwl::update_nets`] recomputes
+/// exactly the touched nets, adjusting the total by their deltas.
+///
+/// Cached entries are always *exact recomputes* of [`edge_hpwl`] at the
+/// positions they were updated against — never approximations — so move
+/// accept/reject decisions built on the cache match decisions built on
+/// fresh recomputes bit for bit.
+#[derive(Debug, Clone)]
+pub struct IncrementalHpwl {
+    net: Vec<f64>,
+    total: f64,
+}
+
+impl IncrementalHpwl {
+    /// Builds the cache at `positions` (parallel over net chunks).
+    pub fn new(problem: &PlacementProblem, positions: &[(f64, f64)]) -> Self {
+        let net = cp_parallel::par_map_ranges(problem.hypergraph.edge_count(), NET_CHUNK, |r| {
+            r.map(|e| edge_hpwl(problem, e as u32, positions))
+                .collect::<Vec<f64>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect::<Vec<f64>>();
+        let n = net.len();
+        let total = cp_parallel::par_sum(n, NET_CHUNK, |r| {
+            let mut s = 0.0;
+            for e in r {
+                s += net[e];
+            }
+            s
+        });
+        Self { net, total }
+    }
+
+    /// Current unweighted HPWL total (maintained by exact per-net deltas).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Cached HPWL of one net.
+    pub fn net(&self, e: u32) -> f64 {
+        self.net[e as usize]
+    }
+
+    /// Recomputes the given nets at `positions` and folds their deltas
+    /// into the total. Call after moving a cell, passing its incident
+    /// nets; a net listed twice is simply recomputed twice (idempotent).
+    pub fn update_nets(
+        &mut self,
+        problem: &PlacementProblem,
+        positions: &[(f64, f64)],
+        nets: &[u32],
+    ) {
+        for &e in nets {
+            let fresh = edge_hpwl(problem, e, positions);
+            self.total += fresh - self.net[e as usize];
+            self.net[e as usize] = fresh;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -98,5 +179,30 @@ mod tests {
         let p = toy();
         let pos = vec![(5.0, 5.0), (5.0, 5.0)];
         assert_eq!(edge_hpwl(&p, 0, &pos), 0.0);
+    }
+
+    #[test]
+    fn incremental_tracks_full_recompute() {
+        let p = toy();
+        let mut pos = vec![(0.0, 0.0), (2.0, 1.0)];
+        let mut inc = IncrementalHpwl::new(&p, &pos);
+        assert_eq!(inc.total(), raw_hpwl(&p, &pos));
+        assert_eq!(inc.net(0), 3.0);
+        // Move cell 1 (touches both nets) and update only those.
+        pos[1] = (4.0, 2.0);
+        inc.update_nets(&p, &pos, &[0, 1]);
+        assert_eq!(inc.net(0), edge_hpwl(&p, 0, &pos));
+        assert_eq!(inc.net(1), edge_hpwl(&p, 1, &pos));
+        assert!((inc.total() - raw_hpwl(&p, &pos)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hpwl_is_thread_count_invariant() {
+        let p = toy();
+        let pos = vec![(0.3, 0.7), (2.9, 1.1)];
+        let seq = cp_parallel::with_threads(1, || (raw_hpwl(&p, &pos), weighted_hpwl(&p, &pos)));
+        let par = cp_parallel::with_threads(4, || (raw_hpwl(&p, &pos), weighted_hpwl(&p, &pos)));
+        assert_eq!(seq.0.to_bits(), par.0.to_bits());
+        assert_eq!(seq.1.to_bits(), par.1.to_bits());
     }
 }

@@ -21,6 +21,23 @@ pub enum Axis {
 /// Minimum pin separation for B2B weights, µm (avoids singular weights).
 const MIN_DIST: f64 = 0.5;
 
+/// Hyperedges per parallel chunk when generating B2B pairs.
+const EDGE_CHUNK: usize = 512;
+/// Vector elements per parallel chunk in CG kernels.
+const VEC_CHUNK: usize = 1024;
+
+/// Deterministic parallel dot product (fixed chunks, fixed-order tree
+/// reduction — see `cp-parallel`).
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    cp_parallel::par_sum(a.len().min(b.len()), VEC_CHUNK, |r| {
+        let mut s = 0.0;
+        for i in r {
+            s += a[i] * b[i];
+        }
+        s
+    })
+}
+
 /// A sparse SPD system `A x = b` over the movable objects of one axis.
 #[derive(Debug, Clone)]
 pub struct B2bSystem {
@@ -79,39 +96,55 @@ impl B2bSystem {
                 (false, false) => {}
             }
         };
-        for e in 0..problem.hypergraph.edge_count() as u32 {
-            let verts = problem.hypergraph.edge(e);
-            let p = verts.len();
-            if p < 2 {
-                continue;
-            }
-            let w_net = problem.net_weights[e as usize];
-            // Locate extreme pins on this axis.
-            let (mut lo_i, mut hi_i) = (0usize, 0usize);
-            for (i, &v) in verts.iter().enumerate() {
-                if coord(v) < coord(verts[lo_i]) {
-                    lo_i = i;
+        // Pair generation (extreme-pin search + weight computation) is the
+        // expensive half of the build and is independent per net, so it
+        // runs in parallel over fixed net chunks; each chunk emits its
+        // pairs in the original per-net order and the chunks are scattered
+        // into the system sequentially in chunk order, which reproduces
+        // the serial build bit for bit.
+        let pair_chunks: Vec<Vec<(u32, u32, f64)>> =
+            cp_parallel::par_map_ranges(problem.hypergraph.edge_count(), EDGE_CHUNK, |range| {
+                let mut pairs: Vec<(u32, u32, f64)> = Vec::new();
+                for e in range {
+                    let verts = problem.hypergraph.edge(e as u32);
+                    let p = verts.len();
+                    if p < 2 {
+                        continue;
+                    }
+                    let w_net = problem.net_weights[e];
+                    // Locate extreme pins on this axis.
+                    let (mut lo_i, mut hi_i) = (0usize, 0usize);
+                    for (i, &v) in verts.iter().enumerate() {
+                        if coord(v) < coord(verts[lo_i]) {
+                            lo_i = i;
+                        }
+                        if coord(v) > coord(verts[hi_i]) {
+                            hi_i = i;
+                        }
+                    }
+                    let scale = w_net * 2.0 / (p as f64 - 1.0);
+                    let b2b_w = |a: u32, b: u32| scale / (coord(a) - coord(b)).abs().max(MIN_DIST);
+                    let (lo, hi) = (verts[lo_i], verts[hi_i]);
+                    if lo != hi {
+                        pairs.push((lo, hi, b2b_w(lo, hi)));
+                    }
+                    for (i, &v) in verts.iter().enumerate() {
+                        if i == lo_i || i == hi_i {
+                            continue;
+                        }
+                        if v != lo {
+                            pairs.push((v, lo, b2b_w(v, lo)));
+                        }
+                        if v != hi {
+                            pairs.push((v, hi, b2b_w(v, hi)));
+                        }
+                    }
                 }
-                if coord(v) > coord(verts[hi_i]) {
-                    hi_i = i;
-                }
-            }
-            let scale = w_net * 2.0 / (p as f64 - 1.0);
-            let b2b_w = |a: u32, b: u32| scale / (coord(a) - coord(b)).abs().max(MIN_DIST);
-            let (lo, hi) = (verts[lo_i], verts[hi_i]);
-            if lo != hi {
-                add_pair(&mut sys, lo, hi, b2b_w(lo, hi));
-            }
-            for (i, &v) in verts.iter().enumerate() {
-                if i == lo_i || i == hi_i {
-                    continue;
-                }
-                if v != lo {
-                    add_pair(&mut sys, v, lo, b2b_w(v, lo));
-                }
-                if v != hi {
-                    add_pair(&mut sys, v, hi, b2b_w(v, hi));
-                }
+                pairs
+            });
+        for chunk in &pair_chunks {
+            for &(u, v, w) in chunk {
+                add_pair(&mut sys, u, v, w);
             }
         }
         if let Some(a) = anchors {
@@ -137,27 +170,33 @@ impl B2bSystem {
     }
 
     /// Solves with Jacobi-preconditioned CG from `x0`.
+    ///
+    /// The SpMV, dot products and vector updates run in parallel; dot
+    /// products use fixed-order tree reductions and the element-wise
+    /// kernels keep per-element arithmetic order, so the iterates are
+    /// bit-identical for every thread count.
     pub fn solve(&self, x0: &[f64], max_iters: usize, tol: f64) -> Vec<f64> {
         let n = self.diag.len();
         let mut x = x0.to_vec();
         let mut r = vec![0.0; n];
         let ax = self.apply(&x);
-        for i in 0..n {
-            r[i] = self.rhs[i] - ax[i];
-        }
-        let mut z: Vec<f64> = r.iter().zip(&self.diag).map(|(&ri, &d)| ri / d).collect();
+        cp_parallel::par_chunks_mut(&mut r, VEC_CHUNK, |_, off, slice| {
+            for (k, ri) in slice.iter_mut().enumerate() {
+                *ri = self.rhs[off + k] - ax[off + k];
+            }
+        });
+        let mut z = vec![0.0; n];
+        cp_parallel::par_chunks_mut(&mut z, VEC_CHUNK, |_, off, slice| {
+            for (k, zi) in slice.iter_mut().enumerate() {
+                *zi = r[off + k] / self.diag[off + k];
+            }
+        });
         let mut p = z.clone();
-        let mut rz: f64 = r.iter().zip(&z).map(|(&a, &b)| a * b).sum();
-        let rhs_norm: f64 = self
-            .rhs
-            .iter()
-            .map(|&b| b * b)
-            .sum::<f64>()
-            .sqrt()
-            .max(1e-30);
+        let mut rz = dot(&r, &z);
+        let rhs_norm: f64 = dot(&self.rhs, &self.rhs).sqrt().max(1e-30);
         for _ in 0..max_iters {
             let ap = self.apply(&p);
-            let pap: f64 = p.iter().zip(&ap).map(|(&a, &b)| a * b).sum();
+            let pap = dot(&p, &ap);
             if pap <= 0.0 || !pap.is_finite() {
                 // Zero, negative or NaN curvature: the direction carries no
                 // descent information; stop at the current iterate rather
@@ -168,39 +207,56 @@ impl B2bSystem {
             if !alpha.is_finite() {
                 break;
             }
-            for i in 0..n {
-                x[i] += alpha * p[i];
-                r[i] -= alpha * ap[i];
-            }
-            let rnorm: f64 = r.iter().map(|&v| v * v).sum::<f64>().sqrt();
+            cp_parallel::par_chunks_mut(&mut x, VEC_CHUNK, |_, off, slice| {
+                for (k, xi) in slice.iter_mut().enumerate() {
+                    *xi += alpha * p[off + k];
+                }
+            });
+            cp_parallel::par_chunks_mut(&mut r, VEC_CHUNK, |_, off, slice| {
+                for (k, ri) in slice.iter_mut().enumerate() {
+                    *ri -= alpha * ap[off + k];
+                }
+            });
+            let rnorm = dot(&r, &r).sqrt();
             if rnorm / rhs_norm < tol {
                 break;
             }
-            for i in 0..n {
-                z[i] = r[i] / self.diag[i];
-            }
-            let rz_new: f64 = r.iter().zip(&z).map(|(&a, &b)| a * b).sum();
+            cp_parallel::par_chunks_mut(&mut z, VEC_CHUNK, |_, off, slice| {
+                for (k, zi) in slice.iter_mut().enumerate() {
+                    *zi = r[off + k] / self.diag[off + k];
+                }
+            });
+            let rz_new = dot(&r, &z);
             let beta = rz_new / rz;
             if !beta.is_finite() {
                 break;
             }
             rz = rz_new;
-            for i in 0..n {
-                p[i] = z[i] + beta * p[i];
-            }
+            cp_parallel::par_chunks_mut(&mut p, VEC_CHUNK, |_, off, slice| {
+                for (k, pi) in slice.iter_mut().enumerate() {
+                    *pi = z[off + k] + beta * *pi;
+                }
+            });
         }
         x
     }
 
+    /// Sparse matrix-vector product. Row-parallel with unchanged per-row
+    /// accumulation order, so the output is bit-identical to the serial
+    /// loop at any thread count.
     fn apply(&self, x: &[f64]) -> Vec<f64> {
-        let mut out: Vec<f64> = self.diag.iter().zip(x).map(|(&d, &xi)| d * xi).collect();
-        for (i, list) in self.off.iter().enumerate() {
-            let mut acc = 0.0;
-            for &(j, w) in list {
-                acc -= w * x[j as usize];
+        let n = self.diag.len();
+        let mut out = vec![0.0; n];
+        cp_parallel::par_chunks_mut(&mut out, VEC_CHUNK, |_, off, slice| {
+            for (k, oi) in slice.iter_mut().enumerate() {
+                let i = off + k;
+                let mut acc = self.diag[i] * x[i];
+                for &(j, w) in &self.off[i] {
+                    acc -= w * x[j as usize];
+                }
+                *oi = acc;
             }
-            out[i] += acc;
-        }
+        });
         out
     }
 }

@@ -14,6 +14,10 @@ use cp_netlist::floorplan::Rect;
 const LEAF_CELLS: usize = 10;
 /// Minimum region extent, µm.
 const MIN_EXTENT: f64 = 2.0;
+/// Cells per parallel chunk in the density scatter.
+const CELL_CHUNK: usize = 4096;
+/// Bins per parallel chunk in the overflow reduction.
+const BIN_CHUNK: usize = 256;
 
 /// Spreads `positions` to meet the problem's density target.
 ///
@@ -154,21 +158,39 @@ pub fn density_overflow(problem: &PlacementProblem, positions: &[(f64, f64)]) ->
     let bins = ((m as f64).sqrt() / 2.0).ceil().max(2.0) as usize;
     let core = problem.core;
     let (bw, bh) = (core.width() / bins as f64, core.height() / bins as f64);
+    // Bin scatter: each fixed cell chunk computes (bin, area) contributions
+    // in cell order; the chunks are folded into the grid sequentially in
+    // chunk order, reproducing the serial scatter's addition order exactly.
+    let scatter: Vec<Vec<(u32, f64)>> =
+        cp_parallel::par_map_ranges(positions.len(), CELL_CHUNK, |range| {
+            range
+                .map(|i| {
+                    let (x, y) = positions[i];
+                    let bx = (((x - core.llx) / bw) as usize).min(bins - 1);
+                    let by = (((y - core.lly) / bh) as usize).min(bins - 1);
+                    ((by * bins + bx) as u32, problem.movable[i].area())
+                })
+                .collect()
+        });
     let mut area = vec![0.0f64; bins * bins];
-    for (i, &(x, y)) in positions.iter().enumerate() {
-        let bx = (((x - core.llx) / bw) as usize).min(bins - 1);
-        let by = (((y - core.lly) / bh) as usize).min(bins - 1);
-        area[by * bins + bx] += problem.movable[i].area();
-    }
-    let total: f64 = problem.movable_area().max(1e-12);
-    let mut over = 0.0;
-    for by in 0..bins {
-        for bx in 0..bins {
-            let bin = Rect::new(core.llx + bx as f64 * bw, core.lly + by as f64 * bh, bw, bh);
-            let cap = problem.free_area_in(&bin) * problem.density_target;
-            over += (area[by * bins + bx] - cap).max(0.0);
+    for chunk in &scatter {
+        for &(b, a) in chunk {
+            area[b as usize] += a;
         }
     }
+    let total: f64 = problem.movable_area().max(1e-12);
+    // Per-bin capacity (blockage clipping) dominates; sum overflow with a
+    // deterministic parallel reduction over the row-major bin order.
+    let over = cp_parallel::par_sum(bins * bins, BIN_CHUNK, |range| {
+        let mut s = 0.0;
+        for b in range {
+            let (by, bx) = (b / bins, b % bins);
+            let bin = Rect::new(core.llx + bx as f64 * bw, core.lly + by as f64 * bh, bw, bh);
+            let cap = problem.free_area_in(&bin) * problem.density_target;
+            s += (area[b] - cap).max(0.0);
+        }
+        s
+    });
     over / total
 }
 
