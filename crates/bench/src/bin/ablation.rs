@@ -11,10 +11,15 @@ use cp_bench::{
 use cp_core::flow::{run_default_flow, run_flow, Tool};
 use cp_core::ClusteringOptions;
 
+type Variant = (
+    &'static str,
+    Box<dyn Fn(ClusteringOptions) -> ClusteringOptions>,
+);
+
 fn main() -> Result<(), cp_core::FlowError> {
     println!("# Ablation — PPA-awareness ingredients (scale {})", scale());
     let base = flow_options().tool(Tool::OpenRoadLike);
-    let variants: Vec<(&str, Box<dyn Fn(ClusteringOptions) -> ClusteringOptions>)> = vec![
+    let variants: Vec<Variant> = vec![
         ("full", Box::new(|c| c)),
         (
             "no hierarchy",

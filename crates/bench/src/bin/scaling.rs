@@ -36,7 +36,7 @@ fn main() {
     // 20-candidate V-P&R sweep — a main parallel section — actually runs.
     let mut opts = flow_options().shape_mode(ShapeMode::Vpr);
     opts.vpr_min_instances = 60;
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = cp_parallel::detected_cores();
     println!(
         "# Thread scaling, {} at scale {} ({} cells, {} detected cores)",
         b.name(),

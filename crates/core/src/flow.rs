@@ -16,7 +16,8 @@ use crate::cluster::costs::build_edge_costs;
 use crate::cluster::{ppa_aware_clustering, ClusteringOptions};
 use crate::error::{FlowDiagnostics, FlowError, RecoveryEvent};
 use crate::vpr::ml::MlShapeSelector;
-use crate::vpr::{best_shape, extract_subnetlist, VprOptions};
+use crate::vpr::subnetlist::SubnetlistCache;
+use crate::vpr::{best_shape, best_shape_hybrid, ShapeSearchStats, VprOptions};
 use cp_netlist::clustered::ClusteredNetlist;
 use cp_netlist::floorplan::Rect;
 use cp_netlist::netlist::Netlist;
@@ -57,6 +58,18 @@ pub enum ShapeMode {
     Vpr,
     /// GNN-predicted Total Cost (the ML-accelerated path).
     VprMl(Box<MlShapeSelector>),
+    /// Surrogate-first search: a cheap ranking (the trained selector when
+    /// present, otherwise a low-effort placement proxy) picks `top_k`
+    /// candidates, and exact V-P&R runs only those via successive halving
+    /// with warm-started solves. `top_k >= 20` degenerates to the exact
+    /// sweep, selecting bit-identical shapes to [`ShapeMode::Vpr`].
+    Hybrid {
+        /// Trained surrogate for the ranking step; `None` falls back to
+        /// the placement proxy.
+        selector: Option<Box<MlShapeSelector>>,
+        /// Candidates that survive into exact V-P&R.
+        top_k: usize,
+    },
 }
 
 /// Flow configuration.
@@ -205,6 +218,40 @@ impl StageTimings {
     }
 }
 
+/// Shaping-stage counters: how much exact V-P&R work the configured shape
+/// mode performed versus avoided. All zeros for modes that never invoke
+/// V-P&R (`Uniform`, `Random`) and for the flat flow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShapingStats {
+    /// Clusters that went through shape selection.
+    pub clusters_shaped: usize,
+    /// Exact V-P&R evaluations run.
+    pub exact_evals: usize,
+    /// Candidates pruned before exact evaluation (Hybrid only).
+    pub exact_evals_avoided: usize,
+    /// Low-effort placement-proxy evaluations (untrained Hybrid ranking).
+    pub proxy_evals: usize,
+    /// Batched surrogate forward passes.
+    pub surrogate_batches: usize,
+    /// Samples scored across those batches (clusters × candidates).
+    pub surrogate_samples: usize,
+    /// Exact evaluations warm-started from a previous candidate's solution.
+    pub warm_start_hits: usize,
+    /// Sub-netlist extractions served from the cache.
+    pub subnetlist_cache_hits: usize,
+    /// Sub-netlist extractions that had to run.
+    pub subnetlist_cache_misses: usize,
+}
+
+impl ShapingStats {
+    fn absorb(&mut self, s: &ShapeSearchStats) {
+        self.exact_evals += s.exact_evals;
+        self.exact_evals_avoided += s.exact_evals_avoided;
+        self.proxy_evals += s.proxy_evals;
+        self.warm_start_hits += s.warm_start_hits;
+    }
+}
+
 /// The flow outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowReport {
@@ -224,6 +271,8 @@ pub struct FlowReport {
     pub diagnostics: FlowDiagnostics,
     /// Per-stage wall-clock and thread budget.
     pub timings: StageTimings,
+    /// Shaping-stage work counters.
+    pub shaping: ShapingStats,
 }
 
 /// Pre-flight validation shared by every flow entry point: reject the
@@ -301,6 +350,7 @@ pub fn run_default_flow(
         ppa,
         diagnostics,
         timings,
+        shaping: ShapingStats::default(),
     })
 }
 
@@ -325,19 +375,6 @@ pub fn run_flow(
     )
 }
 
-/// Exact V-P&R shape for one cluster. `None` when the induced sub-netlist
-/// is degenerate or fails to place/route — the caller keeps the uniform
-/// default shape (graceful degradation, recorded as a
-/// [`RecoveryEvent::ShapeFallback`]).
-fn vpr_shape_or_fallback(
-    netlist: &Netlist,
-    cells: &[CellId],
-    vpr: &VprOptions,
-) -> Option<ClusterShape> {
-    let sub = extract_subnetlist(netlist, cells).ok()?;
-    best_shape(&sub, vpr).ok().map(|(shape, _)| shape)
-}
-
 /// Runs the seeded-placement flow for an externally supplied cluster
 /// assignment (used by the baselines of Tables 2 and 5).
 ///
@@ -353,6 +390,32 @@ pub fn run_flow_with_assignment(
     clustering_runtime: f64,
     options: &FlowOptions,
 ) -> Result<FlowReport, FlowError> {
+    let mut cache = SubnetlistCache::new();
+    run_flow_with_assignment_cached(
+        netlist,
+        constraints,
+        assignment,
+        clustering_runtime,
+        options,
+        &mut cache,
+    )
+}
+
+/// [`run_flow_with_assignment`] with a caller-owned [`SubnetlistCache`],
+/// so repeated runs over the same assignment (ablations, the shaping
+/// bench) extract each cluster's sub-netlist once across all of them.
+///
+/// # Errors
+///
+/// See [`run_flow_with_assignment`].
+pub fn run_flow_with_assignment_cached(
+    netlist: &Netlist,
+    constraints: &Constraints,
+    assignment: &[u32],
+    clustering_runtime: f64,
+    options: &FlowOptions,
+    cache: &mut SubnetlistCache,
+) -> Result<FlowReport, FlowError> {
     if assignment.len() != netlist.cell_count() {
         return Err(FlowError::Validation(
             ValidationError::AssignmentLengthMismatch {
@@ -367,14 +430,18 @@ pub fn run_flow_with_assignment(
     let t0 = Instant::now();
 
     // Line 10: clustered netlist; lines 12-13: cluster shapes. Clusters
-    // are independent V-P&R problems, so the Vpr/VprMl arms fan the
+    // are independent V-P&R problems, so the V-P&R modes fan the
     // per-cluster work out in parallel and apply the collected shapes
     // sequentially in cluster order — diagnostics and shape assignment
-    // match the serial loop exactly.
+    // match the serial loop exactly. Sub-netlists come from the shared
+    // cache (extraction is sequential: the cache is `&mut`), so repeated
+    // runs over the same assignment induce each cluster once.
     let t_shape = Instant::now();
+    let (hits0, misses0) = (cache.hits(), cache.misses());
     let mut clustered = ClusteredNetlist::from_assignment(netlist, assignment);
     let shapeable = clustered.shapeable_clusters(options.vpr_min_instances);
     let mut shaped: Vec<u32> = Vec::new();
+    let mut shaping = ShapingStats::default();
     match &options.shape_mode {
         ShapeMode::Uniform => {}
         ShapeMode::Random(seed) => {
@@ -385,25 +452,65 @@ pub fn run_flow_with_assignment(
                 shaped.push(c);
             }
         }
-        ShapeMode::Vpr => {
-            let shapes: Vec<Option<ClusterShape>> = cp_parallel::par_map(&shapeable, 1, |&c| {
-                vpr_shape_or_fallback(netlist, clustered.cells(c), &options.vpr)
-            });
-            for (&c, &shape) in shapeable.iter().zip(&shapes) {
-                match shape {
-                    Some(shape) => clustered.set_shape(c, shape),
-                    None => diagnostics.record(RecoveryEvent::ShapeFallback { cluster: c }),
+        mode @ (ShapeMode::Vpr | ShapeMode::VprMl(_) | ShapeMode::Hybrid { .. }) => {
+            let subs: Vec<Option<std::sync::Arc<Netlist>>> = shapeable
+                .iter()
+                .map(|&c| cache.get_or_extract(netlist, clustered.cells(c)).ok())
+                .collect();
+            // Clusters whose extraction failed fall back to the uniform
+            // shape below; the evaluators only see the ones that induced.
+            let present: Vec<&Netlist> = subs.iter().flatten().map(|a| a.as_ref()).collect();
+            let candidate_count = ClusterShape::candidates().len();
+            let picked: Vec<Option<ClusterShape>> = match mode {
+                ShapeMode::Vpr => {
+                    let shapes = cp_parallel::par_map(&present, 1, |&sub| {
+                        best_shape(sub, &options.vpr).ok().map(|(shape, _)| shape)
+                    });
+                    shaping.exact_evals += shapes.iter().flatten().count() * candidate_count;
+                    shapes
                 }
-                shaped.push(c);
-            }
-        }
-        ShapeMode::VprMl(selector) => {
-            let shapes: Vec<Option<ClusterShape>> = cp_parallel::par_map(&shapeable, 1, |&c| {
-                extract_subnetlist(netlist, clustered.cells(c))
-                    .ok()
-                    .map(|sub| selector.select_shape(&sub))
-            });
-            for (&c, &shape) in shapeable.iter().zip(&shapes) {
+                ShapeMode::VprMl(selector) => {
+                    if !present.is_empty() {
+                        shaping.surrogate_batches += 1;
+                        shaping.surrogate_samples += present.len() * candidate_count;
+                    }
+                    selector
+                        .select_shapes_batched(&present)
+                        .into_iter()
+                        .map(Some)
+                        .collect()
+                }
+                ShapeMode::Hybrid { selector, top_k } => {
+                    let surrogate: Option<Vec<Vec<f64>>> = selector.as_ref().map(|sel| {
+                        if !present.is_empty() {
+                            shaping.surrogate_batches += 1;
+                            shaping.surrogate_samples += present.len() * candidate_count;
+                        }
+                        sel.predicted_candidate_costs(&present)
+                    });
+                    let idx: Vec<usize> = (0..present.len()).collect();
+                    let results = cp_parallel::par_map(&idx, 1, |&i| {
+                        let costs = surrogate.as_ref().map(|m| m[i].as_slice());
+                        best_shape_hybrid(present[i], &options.vpr, *top_k, costs).ok()
+                    });
+                    results
+                        .into_iter()
+                        .map(|r| {
+                            r.map(|(shape, _, stats)| {
+                                shaping.absorb(&stats);
+                                shape
+                            })
+                        })
+                        .collect()
+                }
+                _ => unreachable!("outer match binds only V-P&R modes"),
+            };
+            let mut picked = picked.into_iter();
+            for (&c, sub) in shapeable.iter().zip(&subs) {
+                let shape = match sub {
+                    Some(_) => picked.next().expect("one pick per induced cluster"),
+                    None => None,
+                };
                 match shape {
                     Some(shape) => clustered.set_shape(c, shape),
                     None => diagnostics.record(RecoveryEvent::ShapeFallback { cluster: c }),
@@ -412,6 +519,9 @@ pub fn run_flow_with_assignment(
             }
         }
     }
+    shaping.clusters_shaped = shaped.len();
+    shaping.subnetlist_cache_hits = cache.hits() - hits0;
+    shaping.subnetlist_cache_misses = cache.misses() - misses0;
     timings.record("shaping", t_shape);
 
     // Lines 15-25: seeded placement.
@@ -520,6 +630,7 @@ pub fn run_flow_with_assignment(
         ppa,
         diagnostics,
         timings,
+        shaping,
     })
 }
 

@@ -173,7 +173,10 @@ impl TotalCostModel {
         &self.cfg
     }
 
-    /// Inference: predicted Total Cost per sample.
+    /// Inference: predicted Total Cost per sample, one forward pass per
+    /// sample. [`Self::predict_batched`] is the fast path; this per-sample
+    /// loop is kept as the reference implementation the batched kernel is
+    /// pinned against (bitwise, see the `batched_forward` proptests).
     ///
     /// # Panics
     ///
@@ -190,6 +193,51 @@ impl TotalCostModel {
                 y.get(0, 0)
             })
             .collect()
+    }
+
+    /// Batched inference: packs all samples into one block-diagonal
+    /// sample ([`GraphSample::batch`]) and runs a single forward pass, so
+    /// the row-parallel matmul kernels see `Σ nodes` rows instead of one
+    /// small matrix per sample. Output is bit-identical to [`Self::predict`]:
+    /// block-diagonal propagation touches the same values in the same
+    /// order, the segment mean pool reproduces `column_means` per segment,
+    /// and every head kernel is row-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample's feature width differs from `cfg.in_dim`.
+    pub fn predict_batched(&self, samples: &[GraphSample]) -> Vec<f64> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        for s in samples {
+            assert_eq!(s.features.cols, self.cfg.in_dim, "feature width mismatch");
+        }
+        let refs: Vec<&GraphSample> = samples.iter().collect();
+        let (merged, seg) = GraphSample::batch(&refs);
+        let mut acc = Matrix::zeros(merged.node_count(), self.cfg.out_dim);
+        for b in &self.branches {
+            acc.add_assign(&b.forward_eval(&merged));
+        }
+        // Segment-wise mean pool: sum rows in order, divide once at the
+        // end — the exact operation order of `Matrix::column_means` on the
+        // per-sample slice.
+        let bsz = samples.len();
+        let mut emb = Matrix::zeros(bsz, self.cfg.out_dim);
+        for gi in 0..bsz {
+            let (s, e) = (seg[gi], seg[gi + 1]);
+            let n = (e - s).max(1) as f64;
+            for r in s..e {
+                for c in 0..self.cfg.out_dim {
+                    *emb.get_mut(gi, c) += acc.get(r, c);
+                }
+            }
+            for c in 0..self.cfg.out_dim {
+                *emb.get_mut(gi, c) /= n;
+            }
+        }
+        let y = self.head.forward_eval(&emb);
+        (0..bsz).map(|gi| y.get(gi, 0)).collect()
     }
 
     fn embed_eval(&self, s: &GraphSample) -> Vec<f64> {
@@ -213,23 +261,9 @@ impl TotalCostModel {
         assert!(!batch.is_empty(), "empty batch");
         let bsz = batch.len();
         // Merge the minibatch into one disjoint-union graph.
-        let parts: Vec<&crate::sparse::SparseSym> = batch.iter().map(|(s, _)| &s.adj).collect();
-        let adj = crate::sparse::SparseSym::block_diag(&parts);
-        let total_nodes: usize = batch.iter().map(|(s, _)| s.node_count()).sum();
-        let mut features = Matrix::zeros(total_nodes, self.cfg.in_dim);
-        let mut seg_start = Vec::with_capacity(bsz);
-        {
-            let mut row = 0;
-            for (s, _) in batch {
-                seg_start.push(row);
-                for r in 0..s.node_count() {
-                    features.row_mut(row).copy_from_slice(s.features.row(r));
-                    row += 1;
-                }
-            }
-            seg_start.push(row);
-        }
-        let merged = GraphSample { adj, features };
+        let samples: Vec<&GraphSample> = batch.iter().map(|(s, _)| *s).collect();
+        let (merged, seg_start) = GraphSample::batch(&samples);
+        let total_nodes = merged.node_count();
         // Forward through all branches, accumulating node embeddings.
         let mut branch_caches = Vec::with_capacity(self.branches.len());
         let mut acc = Matrix::zeros(total_nodes, self.cfg.out_dim);
@@ -317,7 +351,7 @@ mod tests {
         let m1 = TotalCostModel::new(&cfg, 11);
         let m2 = TotalCostModel::new(&cfg, 11);
         let s = toy_sample(6, 0.5, &cfg);
-        assert_eq!(m1.predict(&[s.clone()]), m2.predict(&[s]));
+        assert_eq!(m1.predict(std::slice::from_ref(&s)), m2.predict(&[s]));
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Property tests pinning the batched forward pass to the per-sample
+//! reference: packing any set of graphs into one block-diagonal sample
+//! must produce bit-identical predictions, at any thread count.
+
+use cp_gnn::model::{ModelConfig, TotalCostModel};
+use cp_gnn::optim::AdamOptions;
+use cp_gnn::sample::GraphSample;
+use cp_gnn::sparse::SparseSym;
+use cp_gnn::tensor::Matrix;
+use proptest::prelude::*;
+
+const CFG: ModelConfig = ModelConfig {
+    in_dim: 6,
+    hidden_dim: 8,
+    out_dim: 4,
+    branches: 2,
+    head_hidden: 8,
+};
+
+/// A random small graph sample with `CFG.in_dim`-wide features.
+fn arb_sample() -> impl Strategy<Value = GraphSample> {
+    (
+        1usize..10,
+        prop::collection::vec((0u32..16, 0u32..16, 0.1f64..4.0), 0..24),
+        -2.0f64..2.0,
+    )
+        .prop_map(|(n, edges, bias)| {
+            let edges: Vec<(u32, u32, f64)> = edges
+                .into_iter()
+                .map(|(u, v, w)| (u % n as u32, v % n as u32, w))
+                .collect();
+            GraphSample {
+                adj: SparseSym::normalized_from_edges(n, &edges),
+                features: Matrix::from_fn(n, CFG.in_dim, |r, c| {
+                    bias + 0.13 * r as f64 - 0.07 * c as f64
+                }),
+            }
+        })
+}
+
+fn assert_bitwise_eq(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "prediction {i} differs: {x:?} vs {y:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batched_equals_per_sample_bitwise(
+        samples in prop::collection::vec(arb_sample(), 1..6),
+        seed in 0u64..64,
+    ) {
+        let model = TotalCostModel::new(&CFG, seed);
+        let per_sample = model.predict(&samples);
+        let batched = model.predict_batched(&samples);
+        assert_bitwise_eq(&per_sample, &batched);
+    }
+
+    #[test]
+    fn batched_equals_per_sample_after_training(
+        samples in prop::collection::vec(arb_sample(), 1..5),
+        seed in 0u64..64,
+    ) {
+        // A few training steps move the batch-norm running statistics off
+        // their initialization, so the eval path is exercised with
+        // non-trivial state.
+        let mut model = TotalCostModel::new(&CFG, seed);
+        let batch: Vec<(&GraphSample, f64)> = samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s, 0.25 * i as f64))
+            .collect();
+        for _ in 0..3 {
+            model.train_batch(&batch, &AdamOptions::default());
+        }
+        let per_sample = model.predict(&samples);
+        let batched = model.predict_batched(&samples);
+        assert_bitwise_eq(&per_sample, &batched);
+    }
+
+    #[test]
+    fn batched_forward_is_thread_count_invariant(
+        samples in prop::collection::vec(arb_sample(), 1..5),
+        seed in 0u64..64,
+    ) {
+        let model = TotalCostModel::new(&CFG, seed);
+        let seq = cp_parallel::with_threads(1, || model.predict_batched(&samples));
+        let par = cp_parallel::with_threads(4, || model.predict_batched(&samples));
+        assert_bitwise_eq(&seq, &par);
+    }
+}

@@ -55,6 +55,13 @@ pub fn max_threads() -> usize {
     })
 }
 
+/// Hardware cores the OS reports, independent of `CP_THREADS` and
+/// [`with_threads`] overrides. This is what bench reports should record as
+/// `detected_cores`: the machine's capacity, not the configured budget.
+pub fn detected_cores() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 thread_local! {
     static OVERRIDE: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
 }

@@ -194,6 +194,13 @@ impl B2bSystem {
         let mut p = z.clone();
         let mut rz = dot(&r, &z);
         let rhs_norm: f64 = dot(&self.rhs, &self.rhs).sqrt().max(1e-30);
+        // Early exit on an already-converged starting point: warm-started
+        // solves (incremental placement, successive-halving candidates)
+        // often begin at the solution and would otherwise burn a full
+        // SpMV + update sweep to move nowhere.
+        if dot(&r, &r).sqrt() / rhs_norm < tol {
+            return x;
+        }
         for _ in 0..max_iters {
             let ap = self.apply(&p);
             let pap = dot(&p, &ap);
@@ -312,6 +319,22 @@ mod tests {
         assert!(pos[0].0 > -0.5 && pos[0].0 < 9.5, "{pos:?}");
         assert!(pos[1].0 > -0.5 && pos[1].0 < 9.5, "{pos:?}");
         assert!(pos[0].0 <= pos[1].0 + 1e-9, "{pos:?}");
+    }
+
+    #[test]
+    fn converged_start_returns_unchanged() {
+        // Solve to convergence, then re-solve from the solution: the
+        // initial-residual check must return the start bit-for-bit without
+        // taking a CG step.
+        let p = line_problem();
+        let pos = vec![(3.0, 0.0), (6.0, 0.0)];
+        let sys = B2bSystem::build(&p, &pos, Axis::X, None);
+        let solved = sys.solve(&[pos[0].0, pos[1].0], 200, 1e-12);
+        let again = sys.solve(&solved, 200, 1e-12);
+        assert_eq!(
+            solved.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            again.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
     }
 
     #[test]
