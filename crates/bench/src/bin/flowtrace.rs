@@ -1,0 +1,241 @@
+//! Flow observability smoke test and overhead bench (the `cp-trace`
+//! tentpole's acceptance artifact).
+//!
+//! Runs the full clustered flow (surrogate-trained `ShapeMode::Hybrid`)
+//! at the three trace levels and writes three artifacts:
+//!
+//! - `TRACE_report.json` — the structured trace of one fully-traced run
+//!   (spans, instants, convergence series, metrics), validated against
+//!   `schemas/trace_report.schema.json` with the built-in validator;
+//! - `TRACE_chrome.json` — Chrome `trace_event` JSON merging the
+//!   surrogate-training trace and the flow trace into one timeline; load
+//!   it in `chrome://tracing` or <https://ui.perfetto.dev>;
+//! - `BENCH_trace.json` — tracing overhead: min-of-reps flow wall-clock
+//!   at `Off`, `Spans` and `Full`, asserting bitwise-identical HPWL
+//!   across levels and (non-smoke) spans-only overhead below 2%.
+//!
+//! It also checks the trace's internal consistency: the per-stage span
+//! durations must sum to within 5% of the root span's wall-clock.
+//!
+//! Knobs: `CP_SCALE` (design size), `CP_TRACE_REPS` (timing repetitions,
+//! minimum kept; default 3), `CP_TRACE_SMOKE` (reduced effort + skipped
+//! timing assertions for CI). `CP_TRACE` itself is not consulted — this
+//! bin drives the level explicitly through all three settings.
+
+use cp_bench::{flow_options, scale, Bench};
+use cp_core::flow::{run_flow, FlowReport, ShapeMode};
+use cp_core::vpr::ml::{generate_dataset, DatasetConfig, MlShapeSelector};
+use cp_core::ClusteringOptions;
+use cp_core::FlowError;
+use cp_gnn::train::TrainOptions;
+use cp_netlist::generator::DesignProfile;
+use cp_trace::json::{parse, validate};
+use cp_trace::{chrome_trace, Level, TraceReport};
+use std::time::Instant;
+
+/// Repo-root-relative path, resolved from this crate's manifest so the
+/// bin works from any working directory.
+fn repo_path(rel: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn main() -> Result<(), FlowError> {
+    let smoke = std::env::var("CP_TRACE_SMOKE").is_ok();
+    let reps: usize = std::env::var("CP_TRACE_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 1 } else { 3 })
+        .max(1);
+    let b = Bench::generate(DesignProfile::Aes);
+    // Lower the shaping threshold below the scaled cluster sizes so the
+    // V-P&R stage — the most deeply instrumented one — actually runs.
+    let mut opts = flow_options();
+    opts.vpr_min_instances = 60;
+    println!(
+        "# Flow trace, {} at scale {} ({} cells, {} threads, {} reps)",
+        b.name(),
+        scale(),
+        b.netlist.cell_count(),
+        cp_parallel::current_threads(),
+        reps
+    );
+
+    // Surrogate training under its own root, fully traced: the GNN loss
+    // series and the gnn.train span land in a separate report merged into
+    // the Chrome timeline below. Training is offline in the paper's flow,
+    // so it is never part of the overhead measurement.
+    cp_trace::set_level(Level::Full);
+    let train_root = cp_trace::span("training");
+    let dataset = generate_dataset(
+        &b.netlist,
+        &b.constraints,
+        &DatasetConfig {
+            configs: 1,
+            min_cells: opts.vpr_min_instances,
+            max_clusters_per_config: if smoke { 2 } else { 4 },
+            base: ClusteringOptions {
+                seed: 41,
+                ..opts.clustering
+            },
+            vpr: opts.vpr,
+            seed: 31,
+        },
+    )?;
+    let (selector, _) = MlShapeSelector::train(
+        &dataset,
+        &TrainOptions {
+            epochs: if smoke { 3 } else { 12 },
+            ..Default::default()
+        },
+        13,
+    );
+    let training_trace = cp_trace::take_report(train_root).expect("training trace captured");
+    cp_trace::set_level(Level::Off);
+    eprintln!(
+        "training: {} samples, {:.2}s traced",
+        dataset.len(),
+        training_trace.duration_seconds()
+    );
+
+    let run_opts = opts.shape_mode(ShapeMode::Hybrid {
+        selector: Some(Box::new(selector)),
+        top_k: 4,
+    });
+
+    // Overhead: the identical flow at Off / Spans / Full, min wall-clock
+    // of `reps` runs per level. The flow is deterministic and tracing must
+    // not feed back into it, so every run's HPWL must agree bitwise.
+    let levels: [(&str, Level); 3] = [
+        ("off", Level::Off),
+        ("spans", Level::Spans),
+        ("full", Level::Full),
+    ];
+    let mut secs = [f64::INFINITY; 3];
+    let mut baseline: Option<FlowReport> = None;
+    let mut traced: Option<FlowReport> = None;
+    for (li, &(name, level)) in levels.iter().enumerate() {
+        for _ in 0..reps {
+            cp_trace::set_level(level);
+            let t0 = Instant::now();
+            let report = run_flow(&b.netlist, &b.constraints, &run_opts)?;
+            secs[li] = secs[li].min(t0.elapsed().as_secs_f64());
+            cp_trace::set_level(Level::Off);
+            match &baseline {
+                Some(base) => assert!(
+                    base.hpwl.to_bits() == report.hpwl.to_bits() && base.ppa == report.ppa,
+                    "{name}: tracing changed the flow's results"
+                ),
+                None => baseline = Some(report.clone()),
+            }
+            assert_eq!(
+                report.trace.is_some(),
+                level != Level::Off,
+                "{name}: trace presence must follow the level"
+            );
+            if level == Level::Full {
+                traced = Some(report);
+            }
+        }
+        eprintln!("{name}: {:.3}s (min of {reps})", secs[li]);
+    }
+    let traced = traced.expect("full-level run happened");
+    let trace = traced.trace.as_ref().expect("full-level run has a trace");
+    let spans_overhead_pct = (secs[1] - secs[0]) / secs[0] * 100.0;
+    let full_overhead_pct = (secs[2] - secs[0]) / secs[0] * 100.0;
+
+    // Internal consistency: the stage spans partition the root span up to
+    // inter-stage glue (validation, seed building), so their durations
+    // must sum to within 5% of the traced wall-clock.
+    let root_s = trace.duration_seconds();
+    let stage_sum: f64 = trace.stage_seconds().iter().map(|&(_, s)| s).sum();
+    let stage_ratio = stage_sum / root_s.max(1e-12);
+    println!("\n## Trace summary\n");
+    for (name, s) in trace.stage_seconds() {
+        println!("- {name}: {s:.3}s");
+    }
+    println!(
+        "- stages sum to {stage_sum:.3}s of {root_s:.3}s traced ({:.1}%)",
+        stage_ratio * 100.0
+    );
+    let cluster_spans = trace.spans_named("vpr.cluster").count();
+    let candidate_spans = trace.spans_named("vpr.candidate").count();
+    let series_rows = trace.series.len();
+    println!(
+        "- {} spans total, {cluster_spans} vpr.cluster, {candidate_spans} vpr.candidate, \
+         {} instants, {series_rows} series rows, {} metrics",
+        trace.spans.len(),
+        trace.instants.len(),
+        trace.metrics.len()
+    );
+    println!(
+        "- overhead vs off: spans {spans_overhead_pct:+.2}%, full {full_overhead_pct:+.2}% \
+         (min of {reps})"
+    );
+    assert!(
+        (0.95..=1.05).contains(&stage_ratio),
+        "stage spans must sum to within 5% of the root span ({:.1}%)",
+        stage_ratio * 100.0
+    );
+    assert!(cluster_spans > 0, "per-cluster V-P&R spans must be present");
+    assert!(
+        candidate_spans > 0,
+        "per-candidate V-P&R spans must be present"
+    );
+    assert!(
+        trace.series.iter().any(|r| r.name == "place.outer"),
+        "placer convergence series must be present at Full"
+    );
+    if !smoke {
+        assert!(
+            spans_overhead_pct < 2.0,
+            "spans-only tracing must stay under 2% overhead, measured {spans_overhead_pct:.2}%"
+        );
+    }
+
+    // Structured export, checked against the schema the repo ships.
+    let structured = trace.to_json();
+    let doc = parse(&structured).expect("structured trace parses");
+    let schema_src = std::fs::read_to_string(repo_path("schemas/trace_report.schema.json"))
+        .expect("read schemas/trace_report.schema.json");
+    let schema = parse(&schema_src).expect("schema parses");
+    let violations = validate(&doc, &schema);
+    assert!(
+        violations.is_empty(),
+        "trace report violates its schema: {violations:?}"
+    );
+    std::fs::write("TRACE_report.json", &structured).expect("write TRACE_report.json");
+
+    // One merged Chrome timeline: training next to the flow run.
+    let reports: [&TraceReport; 2] = [&training_trace, trace];
+    std::fs::write("TRACE_chrome.json", chrome_trace(&reports)).expect("write TRACE_chrome.json");
+
+    let bench_json = format!(
+        "{{\n  \"bench\": \"trace_overhead\",\n  \"design\": \"{}\",\n  \"scale\": {},\n  \
+         \"cells\": {},\n  \"threads\": {},\n  \"reps\": {},\n  \"off_s\": {:.6},\n  \
+         \"spans_s\": {:.6},\n  \"full_s\": {:.6},\n  \"spans_overhead_pct\": {:.4},\n  \
+         \"full_overhead_pct\": {:.4},\n  \"stage_sum_over_root\": {:.4},\n  \
+         \"spans_recorded\": {},\n  \"vpr_cluster_spans\": {},\n  \"vpr_candidate_spans\": {},\n  \
+         \"series_rows\": {},\n  \"metrics\": {}\n}}\n",
+        b.name(),
+        scale(),
+        b.netlist.cell_count(),
+        cp_parallel::current_threads(),
+        reps,
+        secs[0],
+        secs[1],
+        secs[2],
+        spans_overhead_pct,
+        full_overhead_pct,
+        stage_ratio,
+        trace.spans.len(),
+        cluster_spans,
+        candidate_spans,
+        series_rows,
+        trace.metrics.len(),
+    );
+    std::fs::write("BENCH_trace.json", &bench_json).expect("write BENCH_trace.json");
+    println!("\nwrote TRACE_report.json, TRACE_chrome.json, BENCH_trace.json");
+    Ok(())
+}

@@ -125,23 +125,69 @@ impl fmt::Display for RecoveryEvent {
     }
 }
 
+/// Default cap on stored [`FlowDiagnostics`] events (see
+/// [`crate::flow::FlowOptions::diagnostics_limit`]).
+pub const DEFAULT_DIAGNOSTICS_LIMIT: usize = 256;
+
 /// Recovery events collected over one flow run, reported on
-/// [`crate::flow::FlowReport::diagnostics`].
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// [`crate::flow::FlowReport::diagnostics`]. Storage is capped so a
+/// pathological run (or many runs recording into a reused struct) cannot
+/// grow without bound: past the limit, events are counted in `dropped`
+/// (and in the `flow.diagnostics.dropped` metric) instead of stored.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlowDiagnostics {
-    /// Every recovery, in pipeline order.
+    /// Stored recoveries, in pipeline order (at most the configured limit).
     pub events: Vec<RecoveryEvent>,
+    /// Recoveries that happened but were not stored because the cap was
+    /// reached.
+    pub dropped: usize,
+    limit: usize,
+}
+
+impl Default for FlowDiagnostics {
+    fn default() -> Self {
+        Self::with_limit(DEFAULT_DIAGNOSTICS_LIMIT)
+    }
 }
 
 impl FlowDiagnostics {
-    /// `true` when the flow ran without any recovery.
-    pub fn is_clean(&self) -> bool {
-        self.events.is_empty()
+    /// An empty collection storing at most `limit` events.
+    pub fn with_limit(limit: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            dropped: 0,
+            limit,
+        }
     }
 
-    /// Records one recovery event.
+    /// `true` when the flow ran without any recovery (stored or dropped).
+    pub fn is_clean(&self) -> bool {
+        self.events.is_empty() && self.dropped == 0
+    }
+
+    /// Records one recovery event, dropping (but counting) it past the
+    /// configured limit. Each recovery is also mirrored to the trace as
+    /// an instant event so it shows up on the timeline where it fired.
     pub fn record(&mut self, event: RecoveryEvent) {
-        self.events.push(event);
+        match &event {
+            RecoveryEvent::PlacerReverted { .. } => {
+                cp_trace::instant("recovery.placer_reverted", &[]);
+            }
+            RecoveryEvent::ShapeFallback { cluster } => cp_trace::instant(
+                "recovery.shape_fallback",
+                &[("cluster", cp_trace::ArgValue::U(*cluster as u64))],
+            ),
+            RecoveryEvent::RegionDropped { cluster } => cp_trace::instant(
+                "recovery.region_dropped",
+                &[("cluster", cp_trace::ArgValue::U(*cluster as u64))],
+            ),
+        }
+        if self.events.len() < self.limit {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+            cp_trace::counter_add("flow.diagnostics.dropped", 1);
+        }
     }
 }
 
@@ -189,6 +235,24 @@ mod tests {
         d.record(RecoveryEvent::ShapeFallback { cluster: 3 });
         assert!(!d.is_clean());
         assert_eq!(d.events.len(), 2);
+        assert_eq!(d.dropped, 0);
         assert!(d.events[0].to_string().contains("diverged"));
+    }
+
+    #[test]
+    fn diagnostics_cap_drops_and_counts() {
+        let mut d = FlowDiagnostics::with_limit(2);
+        for c in 0..5 {
+            d.record(RecoveryEvent::ShapeFallback { cluster: c });
+        }
+        assert_eq!(d.events.len(), 2, "cap holds");
+        assert_eq!(d.dropped, 3);
+        assert!(!d.is_clean(), "dropped events still count as recoveries");
+        // A zero limit stores nothing but still counts.
+        let mut z = FlowDiagnostics::with_limit(0);
+        z.record(RecoveryEvent::RegionDropped { cluster: 1 });
+        assert!(z.events.is_empty());
+        assert_eq!(z.dropped, 1);
+        assert!(!z.is_clean());
     }
 }

@@ -14,7 +14,8 @@
 
 use crate::cluster::costs::build_edge_costs;
 use crate::cluster::{ppa_aware_clustering, ClusteringOptions};
-use crate::error::{FlowDiagnostics, FlowError, RecoveryEvent};
+use crate::error::{FlowDiagnostics, FlowError, RecoveryEvent, DEFAULT_DIAGNOSTICS_LIMIT};
+use crate::stages;
 use crate::vpr::ml::MlShapeSelector;
 use crate::vpr::subnetlist::SubnetlistCache;
 use crate::vpr::{best_shape, best_shape_hybrid, ShapeSearchStats, VprOptions};
@@ -32,6 +33,7 @@ use cp_timing::power::power_report;
 use cp_timing::sta::Sta;
 use cp_timing::wire::WireModel;
 use cp_timing::TimingError;
+use cp_trace::{ArgValue, SpanGuard, TraceReport};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::time::Instant;
@@ -108,6 +110,10 @@ pub struct FlowOptions {
     /// overflowed GCells and re-place incrementally (RePlAce-style
     /// routability pass). Applied to both flows.
     pub congestion_driven: bool,
+    /// Cap on stored [`FlowDiagnostics`] events per run; recoveries past
+    /// it are counted (`diagnostics.dropped`, plus the
+    /// `flow.diagnostics.dropped` metric) instead of stored.
+    pub diagnostics_limit: usize,
 }
 
 impl Default for FlowOptions {
@@ -127,6 +133,7 @@ impl Default for FlowOptions {
             macro_blockages: (0, 0.0),
             timing_driven: false,
             congestion_driven: false,
+            diagnostics_limit: DEFAULT_DIAGNOSTICS_LIMIT,
         }
     }
 }
@@ -204,6 +211,25 @@ impl StageTimings {
         self.stages.push((name, since.elapsed().as_secs_f64()));
     }
 
+    /// Replaces the `Instant`-measured stage durations with the ones the
+    /// stage spans measured (when tracing ran), and prepends the
+    /// clustering stage when its runtime came from outside the traced
+    /// region (e.g. a precomputed assignment). Span names equal stage
+    /// labels (see [`stages`]), so the two sources always agree on keys.
+    fn finalize(&mut self, trace: Option<&TraceReport>, clustering_runtime: f64) {
+        if let Some(tr) = trace {
+            self.stages = tr
+                .stage_seconds()
+                .into_iter()
+                .filter(|(n, _)| stages::ALL.contains(n))
+                .collect();
+        }
+        if clustering_runtime > 0.0 && self.get(stages::CLUSTERING).is_none() {
+            self.stages
+                .insert(0, (stages::CLUSTERING, clustering_runtime));
+        }
+    }
+
     /// Seconds spent in the named stage, if it ran.
     pub fn get(&self, name: &str) -> Option<f64> {
         self.stages
@@ -273,6 +299,9 @@ pub struct FlowReport {
     pub timings: StageTimings,
     /// Shaping-stage work counters.
     pub shaping: ShapingStats,
+    /// The run's span/telemetry subtree, when tracing was enabled
+    /// (`CP_TRACE` / [`cp_trace::set_level`]); `None` otherwise.
+    pub trace: Option<TraceReport>,
 }
 
 /// Pre-flight validation shared by every flow entry point: reject the
@@ -303,18 +332,20 @@ pub fn run_default_flow(
     constraints: &Constraints,
     options: &FlowOptions,
 ) -> Result<FlowReport, FlowError> {
+    let root = cp_trace::span(stages::FLOW_FLAT);
     let fp = validated_floorplan(netlist, constraints, options)?;
-    let mut diagnostics = FlowDiagnostics::default();
+    let mut diagnostics = FlowDiagnostics::with_limit(options.diagnostics_limit);
     let mut problem = PlacementProblem::from_netlist(netlist, &fp);
     if options.timing_driven {
         problem.net_weights = timing_net_weights(netlist, constraints)?;
     }
     let mut timings = StageTimings::new();
     let t0 = Instant::now();
+    let s_flat = cp_trace::span(stages::FLAT_PLACEMENT);
     let mut result = GlobalPlacer::new(options.placer).place(&problem)?;
     if result.diverged {
         diagnostics.record(RecoveryEvent::PlacerReverted {
-            stage: "flat placement",
+            stage: stages::FLAT_PLACEMENT,
         });
     }
     if options.congestion_driven {
@@ -327,8 +358,10 @@ pub fn run_default_flow(
             &mut diagnostics,
         )?;
     }
-    timings.record("flat placement", t0);
+    drop(s_flat);
+    timings.record(stages::FLAT_PLACEMENT, t0);
     let t_leg = Instant::now();
+    let s_leg = cp_trace::span(stages::LEGALIZE_REFINE);
     legalize(&problem, &fp, &mut result.positions)?;
     refine(
         &problem,
@@ -336,12 +369,17 @@ pub fn run_default_flow(
         &mut result.positions,
         &DetailedOptions::default(),
     );
-    timings.record("legalize+refine", t_leg);
+    drop(s_leg);
+    timings.record(stages::LEGALIZE_REFINE, t_leg);
     let placement_runtime = t0.elapsed().as_secs_f64();
     let hpwl = raw_hpwl(&problem, &result.positions);
     let t_ppa = Instant::now();
+    let s_ppa = cp_trace::span(stages::PPA);
     let ppa = evaluate_ppa(netlist, constraints, &result.positions, &fp, options)?;
-    timings.record("ppa", t_ppa);
+    drop(s_ppa);
+    timings.record(stages::PPA, t_ppa);
+    let trace = cp_trace::take_report(root);
+    timings.finalize(trace.as_ref(), 0.0);
     Ok(FlowReport {
         hpwl,
         cluster_count: 0,
@@ -351,6 +389,7 @@ pub fn run_default_flow(
         diagnostics,
         timings,
         shaping: ShapingStats::default(),
+        trace,
     })
 }
 
@@ -365,13 +404,19 @@ pub fn run_flow(
     constraints: &Constraints,
     options: &FlowOptions,
 ) -> Result<FlowReport, FlowError> {
+    let root = cp_trace::span(stages::FLOW_CLUSTERED);
+    let s_cluster = cp_trace::span(stages::CLUSTERING);
     let clustering = ppa_aware_clustering(netlist, constraints, &options.clustering)?;
-    run_flow_with_assignment(
+    drop(s_cluster);
+    let mut cache = SubnetlistCache::new();
+    flow_with_assignment_traced(
         netlist,
         constraints,
         &clustering.assignment,
         clustering.runtime,
         options,
+        &mut cache,
+        root,
     )
 }
 
@@ -416,6 +461,31 @@ pub fn run_flow_with_assignment_cached(
     options: &FlowOptions,
     cache: &mut SubnetlistCache,
 ) -> Result<FlowReport, FlowError> {
+    let root = cp_trace::span(stages::FLOW_CLUSTERED);
+    flow_with_assignment_traced(
+        netlist,
+        constraints,
+        assignment,
+        clustering_runtime,
+        options,
+        cache,
+        root,
+    )
+}
+
+/// The clustered-flow body, running under an already-open root span (the
+/// clustering stage may have executed inside it, as in [`run_flow`]).
+/// Consumes `root` at the end to capture the run's trace subtree.
+#[allow(clippy::too_many_lines)]
+fn flow_with_assignment_traced(
+    netlist: &Netlist,
+    constraints: &Constraints,
+    assignment: &[u32],
+    clustering_runtime: f64,
+    options: &FlowOptions,
+    cache: &mut SubnetlistCache,
+    root: SpanGuard,
+) -> Result<FlowReport, FlowError> {
     if assignment.len() != netlist.cell_count() {
         return Err(FlowError::Validation(
             ValidationError::AssignmentLengthMismatch {
@@ -425,7 +495,7 @@ pub fn run_flow_with_assignment_cached(
         ));
     }
     let fp = validated_floorplan(netlist, constraints, options)?;
-    let mut diagnostics = FlowDiagnostics::default();
+    let mut diagnostics = FlowDiagnostics::with_limit(options.diagnostics_limit);
     let mut timings = StageTimings::new();
     let t0 = Instant::now();
 
@@ -437,6 +507,7 @@ pub fn run_flow_with_assignment_cached(
     // cache (extraction is sequential: the cache is `&mut`), so repeated
     // runs over the same assignment induce each cluster once.
     let t_shape = Instant::now();
+    let s_shape = cp_trace::span(stages::SHAPING);
     let (hits0, misses0) = (cache.hits(), cache.misses());
     let mut clustered = ClusteredNetlist::from_assignment(netlist, assignment);
     let shapeable = clustered.shapeable_clusters(options.vpr_min_instances);
@@ -460,11 +531,27 @@ pub fn run_flow_with_assignment_cached(
             // Clusters whose extraction failed fall back to the uniform
             // shape below; the evaluators only see the ones that induced.
             let present: Vec<&Netlist> = subs.iter().flatten().map(|a| a.as_ref()).collect();
+            let present_ids: Vec<u32> = shapeable
+                .iter()
+                .zip(&subs)
+                .filter(|(_, sub)| sub.is_some())
+                .map(|(&c, _)| c)
+                .collect();
             let candidate_count = ClusterShape::candidates().len();
             let picked: Vec<Option<ClusterShape>> = match mode {
                 ShapeMode::Vpr => {
-                    let shapes = cp_parallel::par_map(&present, 1, |&sub| {
-                        best_shape(sub, &options.vpr).ok().map(|(shape, _)| shape)
+                    let idx: Vec<usize> = (0..present.len()).collect();
+                    let shapes = cp_parallel::par_map(&idx, 1, |&i| {
+                        let _span = cp_trace::span_with(
+                            stages::SPAN_VPR_CLUSTER,
+                            &[
+                                ("cluster", ArgValue::U(present_ids[i] as u64)),
+                                ("ranker", ArgValue::S("exact")),
+                            ],
+                        );
+                        best_shape(present[i], &options.vpr)
+                            .ok()
+                            .map(|(shape, _)| shape)
                     });
                     shaping.exact_evals += shapes.iter().flatten().count() * candidate_count;
                     shapes
@@ -474,11 +561,21 @@ pub fn run_flow_with_assignment_cached(
                         shaping.surrogate_batches += 1;
                         shaping.surrogate_samples += present.len() * candidate_count;
                     }
-                    selector
-                        .select_shapes_batched(&present)
-                        .into_iter()
-                        .map(Some)
-                        .collect()
+                    let picks = selector.select_shapes_batched(&present);
+                    if cp_trace::enabled() {
+                        // The batch scores all clusters in one forward pass,
+                        // so per-cluster attribution is an instant, not a span.
+                        for &c in &present_ids {
+                            cp_trace::instant(
+                                stages::SPAN_VPR_CLUSTER,
+                                &[
+                                    ("cluster", ArgValue::U(c as u64)),
+                                    ("ranker", ArgValue::S("surrogate")),
+                                ],
+                            );
+                        }
+                    }
+                    picks.into_iter().map(Some).collect()
                 }
                 ShapeMode::Hybrid { selector, top_k } => {
                     let surrogate: Option<Vec<Vec<f64>>> = selector.as_ref().map(|sel| {
@@ -488,8 +585,20 @@ pub fn run_flow_with_assignment_cached(
                         }
                         sel.predicted_candidate_costs(&present)
                     });
+                    let ranker = if surrogate.is_some() {
+                        "surrogate"
+                    } else {
+                        "proxy"
+                    };
                     let idx: Vec<usize> = (0..present.len()).collect();
                     let results = cp_parallel::par_map(&idx, 1, |&i| {
+                        let _span = cp_trace::span_with(
+                            stages::SPAN_VPR_CLUSTER,
+                            &[
+                                ("cluster", ArgValue::U(present_ids[i] as u64)),
+                                ("ranker", ArgValue::S(ranker)),
+                            ],
+                        );
                         let costs = surrogate.as_ref().map(|m| m[i].as_slice());
                         best_shape_hybrid(present[i], &options.vpr, *top_k, costs).ok()
                     });
@@ -508,7 +617,7 @@ pub fn run_flow_with_assignment_cached(
             let mut picked = picked.into_iter();
             for (&c, sub) in shapeable.iter().zip(&subs) {
                 let shape = match sub {
-                    Some(_) => picked.next().expect("one pick per induced cluster"),
+                    Some(_) => picked.next().flatten(),
                     None => None,
                 };
                 match shape {
@@ -522,21 +631,24 @@ pub fn run_flow_with_assignment_cached(
     shaping.clusters_shaped = shaped.len();
     shaping.subnetlist_cache_hits = cache.hits() - hits0;
     shaping.subnetlist_cache_misses = cache.misses() - misses0;
-    timings.record("shaping", t_shape);
+    drop(s_shape);
+    timings.record(stages::SHAPING, t_shape);
 
     // Lines 15-25: seeded placement.
     if options.tool == Tool::OpenRoadLike {
         clustered.scale_io_net_weights(options.io_weight);
     }
     let t_cluster = Instant::now();
+    let s_cluster = cp_trace::span(stages::CLUSTER_PLACEMENT);
     let cluster_problem = PlacementProblem::from_clustered(&clustered, &fp);
     let cluster_placement = GlobalPlacer::new(options.placer).place(&cluster_problem)?;
     if cluster_placement.diverged {
         diagnostics.record(RecoveryEvent::PlacerReverted {
-            stage: "cluster placement",
+            stage: stages::CLUSTER_PLACEMENT,
         });
     }
-    timings.record("cluster placement", t_cluster);
+    drop(s_cluster);
+    timings.record(stages::CLUSTER_PLACEMENT, t_cluster);
 
     // Instances at their cluster centers, with a deterministic in-cluster
     // jitter so the B2B linearization is non-degenerate.
@@ -589,10 +701,11 @@ pub fn run_flow_with_assignment_cached(
         }
     }
     let t_flat = Instant::now();
+    let s_flat = cp_trace::span(stages::FLAT_PLACEMENT);
     let mut result = GlobalPlacer::new(options.placer).place(&flat_problem)?;
     if result.diverged {
         diagnostics.record(RecoveryEvent::PlacerReverted {
-            stage: "flat placement",
+            stage: stages::FLAT_PLACEMENT,
         });
     }
     // Line 20: remove region constraints before legalization/routing.
@@ -607,8 +720,10 @@ pub fn run_flow_with_assignment_cached(
             &mut diagnostics,
         )?;
     }
-    timings.record("flat placement", t_flat);
+    drop(s_flat);
+    timings.record(stages::FLAT_PLACEMENT, t_flat);
     let t_leg = Instant::now();
+    let s_leg = cp_trace::span(stages::LEGALIZE_REFINE);
     legalize(&free_problem, &fp, &mut result.positions)?;
     refine(
         &free_problem,
@@ -616,12 +731,17 @@ pub fn run_flow_with_assignment_cached(
         &mut result.positions,
         &DetailedOptions::default(),
     );
-    timings.record("legalize+refine", t_leg);
+    drop(s_leg);
+    timings.record(stages::LEGALIZE_REFINE, t_leg);
     let placement_runtime = t0.elapsed().as_secs_f64();
     let hpwl = raw_hpwl(&free_problem, &result.positions);
     let t_ppa = Instant::now();
+    let s_ppa = cp_trace::span(stages::PPA);
     let ppa = evaluate_ppa(netlist, constraints, &result.positions, &fp, options)?;
-    timings.record("ppa", t_ppa);
+    drop(s_ppa);
+    timings.record(stages::PPA, t_ppa);
+    let trace = cp_trace::take_report(root);
+    timings.finalize(trace.as_ref(), clustering_runtime);
     Ok(FlowReport {
         hpwl,
         cluster_count: clustered.cluster_count(),
@@ -631,6 +751,7 @@ pub fn run_flow_with_assignment_cached(
         diagnostics,
         timings,
         shaping,
+        trace,
     })
 }
 
@@ -715,7 +836,7 @@ pub fn congestion_driven_refine(
     .place(&inflated.with_seeds(positions))?;
     if replaced.diverged {
         diagnostics.record(RecoveryEvent::PlacerReverted {
-            stage: "congestion refinement",
+            stage: stages::CONGESTION_REFINEMENT,
         });
     }
     Ok(replaced.positions)

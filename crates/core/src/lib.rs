@@ -49,6 +49,7 @@ pub mod baselines;
 pub mod cluster;
 pub mod error;
 pub mod flow;
+pub mod stages;
 pub mod vpr;
 
 pub use crate::cluster::{ClusteringOptions, ClusteringResult};

@@ -413,6 +413,16 @@ impl MlShapeSelector {
     /// the surrogate ranking consumed by `ShapeMode::Hybrid`.
     pub fn predicted_candidate_costs(&self, subs: &[&Netlist]) -> Vec<Vec<f64>> {
         let candidates = ClusterShape::candidates();
+        let _span = cp_trace::span_with(
+            "vpr.surrogate_batch",
+            &[
+                ("clusters", cp_trace::ArgValue::U(subs.len() as u64)),
+                (
+                    "candidates",
+                    cp_trace::ArgValue::U((subs.len() * candidates.len()) as u64),
+                ),
+            ],
+        );
         let feats = cp_parallel::par_map(subs, 1, |sub| cluster_features(sub));
         let samples: Vec<GraphSample> = feats
             .iter()

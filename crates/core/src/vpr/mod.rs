@@ -13,13 +13,29 @@ pub mod ml;
 pub mod subnetlist;
 
 use crate::error::FlowError;
+use crate::stages;
 use cp_netlist::floorplan::Rect;
 use cp_netlist::netlist::Netlist;
 use cp_netlist::{ClusterShape, Floorplan};
 use cp_place::{GlobalPlacer, PlacementProblem, PlacerOptions};
 use cp_route::{route_placed_netlist, RouterOptions};
+use cp_trace::ArgValue;
 
 pub use subnetlist::extract_subnetlist;
+
+/// Span wrapping one cluster×candidate evaluation; `verdict` names the
+/// ranking tier that paid for it (exact V-P&R, reduced-effort screening,
+/// or the placement proxy).
+fn candidate_span(shape: ClusterShape, verdict: &'static str) -> cp_trace::SpanGuard {
+    cp_trace::span_with(
+        stages::SPAN_VPR_CANDIDATE,
+        &[
+            ("ar", ArgValue::F(shape.aspect_ratio)),
+            ("util", ArgValue::F(shape.utilization)),
+            ("verdict", ArgValue::S(verdict)),
+        ],
+    )
+}
 
 /// V-P&R tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -263,6 +279,7 @@ impl<'a> ClusterVpr<'a> {
     pub fn proxy_costs(&self, options: &VprOptions) -> Result<Vec<f64>, FlowError> {
         let candidates = ClusterShape::candidates();
         let results = cp_parallel::par_map(&candidates, 1, |&shape| -> Result<f64, FlowError> {
+            let _span = candidate_span(shape, "proxy");
             let fp = Floorplan::try_for_netlist(self.sub, shape.utilization, shape.aspect_ratio)?;
             let problem = PlacementProblem::from_netlist(self.sub, &fp);
             let placer = PlacerOptions {
@@ -313,7 +330,10 @@ pub fn best_shape(
 ) -> Result<(ClusterShape, Vec<ShapeCost>), FlowError> {
     let ctx = ClusterVpr::new(sub)?;
     let candidates = ClusterShape::candidates();
-    let results = cp_parallel::par_map(&candidates, 1, |&shape| ctx.evaluate(shape, options));
+    let results = cp_parallel::par_map(&candidates, 1, |&shape| {
+        let _span = candidate_span(shape, "exact");
+        ctx.evaluate(shape, options)
+    });
     let mut costs = Vec::with_capacity(results.len());
     for r in results {
         costs.push(r?);
@@ -417,8 +437,10 @@ pub fn best_shape_hybrid(
         let mut round_warms: Vec<WarmStart> = Vec::new();
         for &ci in &survivors {
             let cost = if last {
+                let _span = candidate_span(candidates[ci], "exact");
                 ctx.evaluate(candidates[ci], options)?
             } else {
+                let _span = candidate_span(candidates[ci], "screening");
                 let (cost, w) =
                     ctx.evaluate_inner(candidates[ci], options, base.as_ref(), effort, false)?;
                 if base.is_some() {

@@ -54,10 +54,17 @@ pub fn train(
     options: &TrainOptions,
 ) -> TrainStats {
     assert!(!data.is_empty(), "no training data");
+    let _span = cp_trace::span_with(
+        "gnn.train",
+        &[
+            ("samples", cp_trace::ArgValue::U(data.len() as u64)),
+            ("epochs", cp_trace::ArgValue::U(options.epochs as u64)),
+        ],
+    );
     let mut rng = StdRng::seed_from_u64(options.seed);
     let mut order: Vec<usize> = (0..data.len()).collect();
     let mut final_loss = 0.0;
-    for _ in 0..options.epochs {
+    for epoch in 0..options.epochs {
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut batches = 0;
@@ -68,6 +75,7 @@ pub fn train(
             batches += 1;
         }
         final_loss = epoch_loss / batches.max(1) as f64;
+        cp_trace::series("gnn.train.loss", epoch as u64, &[("loss", final_loss)]);
     }
     let (samples, labels): (Vec<_>, Vec<f64>) = data.iter().map(|(s, l)| (s.clone(), *l)).unzip();
     let pred = model.predict(&samples);

@@ -185,6 +185,10 @@ fn aggregate(g: &Graph, labels: &[u32], k: usize) -> Graph {
 /// assert!(q > 0.3);
 /// ```
 pub fn louvain(g: &Graph, opts: &CommunityOptions) -> (Vec<u32>, f64) {
+    let _span = cp_trace::span_with(
+        "graph.louvain",
+        &[("nodes", cp_trace::ArgValue::U(g.node_count() as u64))],
+    );
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let n = g.node_count();
     let mut labels: Vec<u32> = (0..n as u32).collect();

@@ -131,6 +131,7 @@ impl Netlist {
     /// Structural pre-flight check: rejects empty netlists, nets without
     /// pins, dangling pin references and degenerate master footprints.
     pub fn validate(&self) -> Result<(), ValidationError> {
+        let _span = cp_trace::span("netlist.validate");
         if self.cell_count() == 0 {
             return Err(ValidationError::EmptyNetlist);
         }

@@ -95,6 +95,10 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
 struct Job {
     task: *const (dyn Fn(usize) + Sync),
     chunks: usize,
+    /// Ambient trace span on the submitting thread; workers adopt it so
+    /// spans opened inside chunks nest under the span that spawned the
+    /// region (0 = tracing off or no ambient span).
+    parent_span: u64,
     /// Next chunk index to steal.
     next: AtomicUsize,
     /// Workers currently inside the region.
@@ -116,30 +120,38 @@ unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
 impl Job {
-    /// Steals and runs chunks until the counter is exhausted. Panics in
-    /// the task are captured into `panicked` so every participant keeps
-    /// draining (a worker must never unwind out of the pool loop).
-    fn run_chunks(&self) {
+    /// Steals and runs chunks until the counter is exhausted, returning
+    /// how many this participant ran. Panics in the task are captured
+    /// into `panicked` so every participant keeps draining (a worker must
+    /// never unwind out of the pool loop).
+    fn run_chunks(&self) -> usize {
         // SAFETY: see the struct-level invariant — the submitter keeps the
         // pointee alive while any participant is registered.
         let task = unsafe { &*self.task };
+        let mut ran = 0;
         loop {
             let i = self.next.fetch_add(1, Ordering::SeqCst);
             if i >= self.chunks {
                 break;
             }
+            ran += 1;
             if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
                 self.panicked.store(true, Ordering::SeqCst);
             }
         }
+        ran
     }
 
     /// Worker-side entry: register, steal chunks unless the region
-    /// already closed, deregister, and wake the submitter when last out.
-    fn run_worker(&self) {
+    /// already closed (running them under the submitter's trace span),
+    /// deregister, and wake the submitter when last out.
+    fn run_worker(&self, worker: u32) {
         self.active.fetch_add(1, Ordering::SeqCst);
         if !self.closed.load(Ordering::SeqCst) {
-            self.run_chunks();
+            let ran = cp_trace::run_with_parent(self.parent_span, || self.run_chunks());
+            if ran > 0 {
+                cp_trace::counter_add_slot("pool.worker.tasks", worker, ran as u64);
+            }
         }
         if self.active.fetch_sub(1, Ordering::SeqCst) == 1 {
             let _guard = lock(&self.done);
@@ -177,9 +189,10 @@ impl Pool {
         let mut n = lock(&self.spawned);
         while *n < want {
             let shared = Arc::clone(&self.shared);
+            let index = *n as u32;
             let spawned = thread::Builder::new()
                 .name(format!("cp-par-{n}"))
-                .spawn(move || worker_loop(&shared));
+                .spawn(move || worker_loop(&shared, index));
             if spawned.is_err() {
                 break;
             }
@@ -188,7 +201,7 @@ impl Pool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, index: u32) {
     loop {
         let job = {
             let mut q = lock(&shared.queue);
@@ -202,7 +215,7 @@ fn worker_loop(shared: &Shared) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        job.run_worker();
+        job.run_worker(index);
     }
 }
 
@@ -244,6 +257,7 @@ pub fn par_for(chunks: usize, task: &(dyn Fn(usize) + Sync)) {
     let job = Arc::new(Job {
         task: task_static as *const _,
         chunks,
+        parent_span: cp_trace::current_span_id(),
         next: AtomicUsize::new(0),
         active: AtomicUsize::new(0),
         closed: AtomicBool::new(false),
@@ -258,7 +272,10 @@ pub fn par_for(chunks: usize, task: &(dyn Fn(usize) + Sync)) {
         }
     }
     p.shared.available.notify_all();
-    job.run_chunks();
+    let ran = job.run_chunks();
+    if ran > 0 {
+        cp_trace::counter_add("pool.submitter.tasks", ran as u64);
+    }
     job.closed.store(true, Ordering::SeqCst);
     {
         let mut guard = lock(&job.done);

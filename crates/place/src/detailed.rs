@@ -41,6 +41,10 @@ pub fn refine(
     if m == 0 {
         return 0.0;
     }
+    let _span = cp_trace::span_with(
+        "place.refine",
+        &[("passes", cp_trace::ArgValue::U(options.passes as u64))],
+    );
     // Incidence: movable -> hyperedges.
     let mut incident: Vec<Vec<u32>> = vec![Vec::new(); m];
     for e in 0..problem.hypergraph.edge_count() as u32 {

@@ -5,6 +5,7 @@ use crate::hpwl::raw_hpwl;
 use crate::problem::PlacementProblem;
 use crate::solver::{Anchors, Axis, B2bSystem};
 use crate::spreading::{density_overflow, spread};
+use cp_trace::ArgValue;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::time::Instant;
@@ -118,6 +119,20 @@ impl GlobalPlacer {
     pub fn place(&self, problem: &PlacementProblem) -> Result<PlacementResult, PlaceError> {
         let start = Instant::now();
         let m = problem.movable_count();
+        let _span = cp_trace::span_with(
+            "place.solve",
+            &[
+                ("movables", ArgValue::U(m as u64)),
+                (
+                    "mode",
+                    ArgValue::S(if problem.seed_positions.is_some() {
+                        "incremental"
+                    } else {
+                        "scratch"
+                    }),
+                ),
+            ],
+        );
         let core = problem.core;
         if !(core.width().is_finite() && core.height().is_finite())
             || core.width() <= 0.0
@@ -217,7 +232,7 @@ impl GlobalPlacer {
             let ty: Vec<f64> = upper.iter().map(|p| p.1).collect();
             let x0: Vec<f64> = pos.iter().map(|p| p.0).collect();
             let y0: Vec<f64> = pos.iter().map(|p| p.1).collect();
-            let sx = B2bSystem::build(
+            let (sx, cg_x) = B2bSystem::build(
                 problem,
                 &pos,
                 Axis::X,
@@ -226,8 +241,8 @@ impl GlobalPlacer {
                     weight: &anchor_w,
                 }),
             )
-            .solve(&x0, opt.cg_iterations, 1e-6);
-            let sy = B2bSystem::build(
+            .solve_with_stats(&x0, opt.cg_iterations, 1e-6);
+            let (sy, cg_y) = B2bSystem::build(
                 problem,
                 &pos,
                 Axis::Y,
@@ -236,7 +251,7 @@ impl GlobalPlacer {
                     weight: &anchor_w,
                 }),
             )
-            .solve(&y0, opt.cg_iterations, 1e-6);
+            .solve_with_stats(&y0, opt.cg_iterations, 1e-6);
             for i in 0..m {
                 pos[i] = (sx[i], sy[i]);
             }
@@ -245,6 +260,7 @@ impl GlobalPlacer {
             }
             // Guard rail 1: the linear solve must stay finite.
             if !all_finite(&pos) {
+                cp_trace::instant("place.revert", &[("iteration", ArgValue::U(it as u64))]);
                 match self.revert(best.take(), &mut upper, &mut hpwl, &mut overflow) {
                     true => {
                         diverged = true;
@@ -257,6 +273,18 @@ impl GlobalPlacer {
             upper = spread(problem, &pos);
             overflow = density_overflow(problem, &upper);
             hpwl = raw_hpwl(problem, &upper);
+            cp_trace::series(
+                "place.outer",
+                it as u64,
+                &[
+                    ("hpwl", hpwl),
+                    ("overflow", overflow),
+                    ("cg_x_iters", cg_x.iterations as f64),
+                    ("cg_x_residual", cg_x.relative_residual),
+                    ("cg_y_iters", cg_y.iterations as f64),
+                    ("cg_y_residual", cg_y.relative_residual),
+                ],
+            );
             // Guard rail 2: HPWL blowing up while overflow regresses means
             // the anchors lost control — revert rather than walk off.
             let blown_up = match &best {
@@ -267,6 +295,7 @@ impl GlobalPlacer {
                 None => !(hpwl.is_finite() && overflow.is_finite()),
             };
             if blown_up {
+                cp_trace::instant("place.revert", &[("iteration", ArgValue::U(it as u64))]);
                 let best_hpwl = best.as_ref().map_or(f64::NAN, |b| b.hpwl);
                 match self.revert(best.take(), &mut upper, &mut hpwl, &mut overflow) {
                     true => {

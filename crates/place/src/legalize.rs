@@ -24,6 +24,13 @@ pub fn legalize(
     floorplan: &Floorplan,
     positions: &mut [(f64, f64)],
 ) -> Result<f64, PlaceError> {
+    let _span = cp_trace::span_with(
+        "place.legalize",
+        &[(
+            "movables",
+            cp_trace::ArgValue::U(problem.movable_count() as u64),
+        )],
+    );
     if positions.len() < problem.movable_count() {
         return Err(PlaceError::InvalidInput {
             reason: format!(

@@ -38,6 +38,26 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
     })
 }
 
+/// Convergence facts from one CG solve, for the telemetry channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgStats {
+    /// CG iterations taken (0 when the start was already converged).
+    pub iterations: usize,
+    /// Final relative residual `‖r‖ / ‖b‖`.
+    pub relative_residual: f64,
+}
+
+/// Feeds one solve's stats into the metrics registry (no-op below trace
+/// level `Full`).
+fn record_cg(stats: &CgStats) {
+    if !cp_trace::telemetry_enabled() {
+        return;
+    }
+    cp_trace::counter_add("place.cg.solves", 1);
+    cp_trace::observe("place.cg.iterations", stats.iterations as f64);
+    cp_trace::observe("place.cg.residual", stats.relative_residual);
+}
+
 /// A sparse SPD system `A x = b` over the movable objects of one axis.
 #[derive(Debug, Clone)]
 pub struct B2bSystem {
@@ -176,6 +196,18 @@ impl B2bSystem {
     /// kernels keep per-element arithmetic order, so the iterates are
     /// bit-identical for every thread count.
     pub fn solve(&self, x0: &[f64], max_iters: usize, tol: f64) -> Vec<f64> {
+        self.solve_with_stats(x0, max_iters, tol).0
+    }
+
+    /// [`B2bSystem::solve`] plus the convergence stats the flow's
+    /// telemetry channel reports per outer placement iteration.
+    pub fn solve_with_stats(&self, x0: &[f64], max_iters: usize, tol: f64) -> (Vec<f64>, CgStats) {
+        let (x, stats) = self.solve_inner(x0, max_iters, tol);
+        record_cg(&stats);
+        (x, stats)
+    }
+
+    fn solve_inner(&self, x0: &[f64], max_iters: usize, tol: f64) -> (Vec<f64>, CgStats) {
         let n = self.diag.len();
         let mut x = x0.to_vec();
         let mut r = vec![0.0; n];
@@ -198,9 +230,18 @@ impl B2bSystem {
         // solves (incremental placement, successive-halving candidates)
         // often begin at the solution and would otherwise burn a full
         // SpMV + update sweep to move nowhere.
-        if dot(&r, &r).sqrt() / rhs_norm < tol {
-            return x;
+        let rel0 = dot(&r, &r).sqrt() / rhs_norm;
+        if rel0 < tol {
+            return (
+                x,
+                CgStats {
+                    iterations: 0,
+                    relative_residual: rel0,
+                },
+            );
         }
+        let mut iterations = 0;
+        let mut relative_residual = rel0;
         for _ in 0..max_iters {
             let ap = self.apply(&p);
             let pap = dot(&p, &ap);
@@ -214,6 +255,7 @@ impl B2bSystem {
             if !alpha.is_finite() {
                 break;
             }
+            iterations += 1;
             cp_parallel::par_chunks_mut(&mut x, VEC_CHUNK, |_, off, slice| {
                 for (k, xi) in slice.iter_mut().enumerate() {
                     *xi += alpha * p[off + k];
@@ -225,7 +267,8 @@ impl B2bSystem {
                 }
             });
             let rnorm = dot(&r, &r).sqrt();
-            if rnorm / rhs_norm < tol {
+            relative_residual = rnorm / rhs_norm;
+            if relative_residual < tol {
                 break;
             }
             cp_parallel::par_chunks_mut(&mut z, VEC_CHUNK, |_, off, slice| {
@@ -245,7 +288,13 @@ impl B2bSystem {
                 }
             });
         }
-        x
+        (
+            x,
+            CgStats {
+                iterations,
+                relative_residual,
+            },
+        )
     }
 
     /// Sparse matrix-vector product. Row-parallel with unchanged per-row

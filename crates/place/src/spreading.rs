@@ -28,6 +28,10 @@ pub fn spread(problem: &PlacementProblem, positions: &[(f64, f64)]) -> Vec<(f64,
     if m == 0 {
         return out;
     }
+    // Spreading runs once per outer placer iteration — including inside
+    // every V-P&R candidate evaluation — so its span is gated to `Full`
+    // to keep the spans-only overhead budget for the coarse stages.
+    let _span = cp_trace::telemetry_enabled().then(|| cp_trace::span("place.spread"));
     let items: Vec<usize> = (0..m).collect();
     rec(problem, problem.core, items, positions, &mut out);
     // Honor region constraints, core bounds and blockages.

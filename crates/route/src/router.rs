@@ -176,6 +176,10 @@ pub fn route_placed_netlist(
     floorplan: &Floorplan,
     options: &RouterOptions,
 ) -> Result<RoutingResult, RouteError> {
+    let _span = cp_trace::span_with(
+        "route.global",
+        &[("nets", cp_trace::ArgValue::U(netlist.net_count() as u64))],
+    );
     let expected = netlist.cell_count() + netlist.port_count();
     if positions.len() < expected {
         return Err(RouteError::PositionCountMismatch {

@@ -101,6 +101,7 @@ impl<'a> Sta<'a> {
     /// Runs STA with per-cell clock arrival times (ps, from CTS); only
     /// entries for sequential cells are read.
     pub fn run_with_clock(&self, wire: &WireModel, clock_arrival: Option<&[f64]>) -> TimingReport {
+        let _span = cp_trace::span("sta.run");
         let nl = self.netlist;
         let nn = nl.net_count();
         let t = self.constraints.clock_period;

@@ -1,0 +1,471 @@
+//! The structured trace report and its two export formats.
+//!
+//! [`TraceReport`] is one root span's subtree (see
+//! [`crate::take_report`]): the spans, instant events and series rows
+//! that ran under it, plus a snapshot of the metrics registry.
+//! [`TraceReport::to_json`] writes the structured report (validated
+//! against `schemas/trace_report.schema.json` in CI) and [`chrome_trace`]
+//! writes Chrome `trace_event` JSON that loads directly in
+//! `chrome://tracing` / [Perfetto](https://ui.perfetto.dev).
+
+use crate::json::{escape, fmt_f64};
+use crate::{ArgValue, InstantRecord, SeriesRow, SpanRecord};
+use std::fmt::Write as _;
+
+/// One metric's state at report time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Static metric name.
+    pub name: &'static str,
+    /// Slot for per-instance metrics (e.g. pool worker index).
+    pub slot: Option<u32>,
+    /// The metric's value.
+    pub value: MetricValue,
+}
+
+/// A snapshot of one counter, gauge or histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Latest-value gauge.
+    Gauge(f64),
+    /// Fixed-bucket histogram.
+    Histogram {
+        /// Observations recorded.
+        count: u64,
+        /// Sum of observations.
+        sum: f64,
+        /// Smallest observation (0 when empty).
+        min: f64,
+        /// Largest observation (0 when empty).
+        max: f64,
+        /// `(upper_bound, count)` per bucket; the last bound is +∞.
+        buckets: Vec<(f64, u64)>,
+    },
+}
+
+/// One captured subtree: the flow run's spans, telemetry and metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Id of the subtree's root span.
+    pub root: u64,
+    /// Spans in start order; the first is the root.
+    pub spans: Vec<SpanRecord>,
+    /// Instant events under the root.
+    pub instants: Vec<InstantRecord>,
+    /// Convergence-series rows under the root.
+    pub series: Vec<SeriesRow>,
+    /// Snapshot of the process metrics registry at capture time.
+    pub metrics: Vec<MetricSnapshot>,
+    /// Events lost to the buffer cap since the last
+    /// [`crate::clear`] (process-cumulative).
+    pub dropped_events: u64,
+}
+
+impl TraceReport {
+    /// The root span record, when captured.
+    pub fn root_span(&self) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.id == self.root)
+    }
+
+    /// Wall-clock seconds covered by the root span.
+    pub fn duration_seconds(&self) -> f64 {
+        self.root_span().map_or(0.0, SpanRecord::seconds)
+    }
+
+    /// `(name, seconds)` of the root's *direct* children in start order —
+    /// the flow's per-stage durations, measured by the stage spans
+    /// themselves.
+    pub fn stage_seconds(&self) -> Vec<(&'static str, f64)> {
+        self.spans
+            .iter()
+            .filter(|s| s.parent == self.root)
+            .map(|s| (s.name, s.seconds()))
+            .collect()
+    }
+
+    /// All spans with the given name.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// Structured JSON export (compact, schema-stable; see
+    /// `schemas/trace_report.schema.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096 + self.spans.len() * 128);
+        out.push_str("{\"version\":1,");
+        let _ = write!(out, "\"root\":{},", self.root);
+        let _ = write!(out, "\"duration_s\":{},", fmt_f64(self.duration_seconds()));
+        let _ = write!(out, "\"dropped_events\":{},", self.dropped_events);
+        out.push_str("\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"parent\":{},\"name\":\"{}\",\"thread\":{},\"start_us\":{},\"dur_us\":{}",
+                s.id,
+                s.parent,
+                escape(s.name),
+                s.thread,
+                fmt_f64(s.start_ns as f64 / 1e3),
+                fmt_f64((s.end_ns.saturating_sub(s.start_ns)) as f64 / 1e3),
+            );
+            if !s.args.is_empty() {
+                out.push_str(",\"args\":");
+                write_args(&mut out, &s.args);
+            }
+            out.push('}');
+        }
+        out.push_str("],\"instants\":[");
+        for (i, e) in self.instants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"span\":{},\"thread\":{},\"ts_us\":{}",
+                escape(e.name),
+                e.span,
+                e.thread,
+                fmt_f64(e.ts_ns as f64 / 1e3),
+            );
+            if !e.args.is_empty() {
+                out.push_str(",\"args\":");
+                write_args(&mut out, &e.args);
+            }
+            out.push('}');
+        }
+        out.push_str("],\"series\":[");
+        // Group rows by (name, span) so each series reads as one object.
+        let mut groups: Vec<(&'static str, u64)> = Vec::new();
+        for r in &self.series {
+            if !groups.contains(&(r.name, r.span)) {
+                groups.push((r.name, r.span));
+            }
+        }
+        for (gi, &(name, span)) in groups.iter().enumerate() {
+            if gi > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"span\":{span},\"rows\":[",
+                escape(name)
+            );
+            let mut first = true;
+            for r in self
+                .series
+                .iter()
+                .filter(|r| r.name == name && r.span == span)
+            {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "{{\"i\":{}", r.iter);
+                for &(k, v) in &r.values {
+                    let _ = write!(out, ",\"{}\":{}", escape(k), fmt_f64(v));
+                }
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":\"{}\"", escape(m.name));
+            if let Some(slot) = m.slot {
+                let _ = write!(out, ",\"slot\":{slot}");
+            }
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, ",\"kind\":\"counter\",\"value\":{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, ",\"kind\":\"gauge\",\"value\":{}", fmt_f64(*v));
+                }
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    min,
+                    max,
+                    buckets,
+                } => {
+                    let _ = write!(
+                        out,
+                        ",\"kind\":\"histogram\",\"count\":{count},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                        fmt_f64(*sum),
+                        fmt_f64(*min),
+                        fmt_f64(*max),
+                    );
+                    for (bi, &(ub, c)) in buckets.iter().enumerate() {
+                        if bi > 0 {
+                            out.push(',');
+                        }
+                        let ub_str = if ub.is_infinite() {
+                            "\"+inf\"".to_string()
+                        } else {
+                            fmt_f64(ub)
+                        };
+                        let _ = write!(out, "[{ub_str},{c}]");
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Chrome `trace_event` export of this report alone (see
+    /// [`chrome_trace`] to merge several reports into one timeline).
+    pub fn to_chrome_json(&self) -> String {
+        chrome_trace(&[self])
+    }
+}
+
+fn write_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push('{');
+    for (i, &(k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":", escape(k));
+        match v {
+            ArgValue::U(u) => {
+                let _ = write!(out, "{u}");
+            }
+            ArgValue::F(f) => {
+                let _ = write!(out, "{}", fmt_f64(f));
+            }
+            ArgValue::S(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+        }
+    }
+    out.push('}');
+}
+
+/// Merges one or more reports into a single Chrome `trace_event` JSON
+/// document (`{"traceEvents":[...]}`), loadable in `chrome://tracing` and
+/// Perfetto. Spans become `"ph":"X"` complete events (timestamps in µs),
+/// instants become `"ph":"i"` thread-scoped instant events.
+pub fn chrome_trace(reports: &[&TraceReport]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+    };
+    for r in reports {
+        for s in &r.spans {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}",
+                escape(s.name),
+                s.thread,
+                fmt_f64(s.start_ns as f64 / 1e3),
+                fmt_f64((s.end_ns.saturating_sub(s.start_ns)) as f64 / 1e3),
+            );
+            if !s.args.is_empty() {
+                out.push_str(",\"args\":");
+                write_args(&mut out, &s.args);
+            }
+            out.push('}');
+        }
+        for e in &r.instants {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{}",
+                escape(e.name),
+                e.thread,
+                fmt_f64(e.ts_ns as f64 / 1e3),
+            );
+            if !e.args.is_empty() {
+                out.push_str(",\"args\":");
+                write_args(&mut out, &e.args);
+            }
+            out.push('}');
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample_report() -> TraceReport {
+        TraceReport {
+            root: 1,
+            spans: vec![
+                SpanRecord {
+                    id: 1,
+                    parent: 0,
+                    name: "flow",
+                    thread: 0,
+                    start_ns: 0,
+                    end_ns: 3_000_000,
+                    args: vec![],
+                },
+                SpanRecord {
+                    id: 2,
+                    parent: 1,
+                    name: "shaping",
+                    thread: 0,
+                    start_ns: 100_000,
+                    end_ns: 1_100_000,
+                    args: vec![
+                        ("cluster", ArgValue::U(3)),
+                        ("verdict", ArgValue::S("exact")),
+                    ],
+                },
+                SpanRecord {
+                    id: 3,
+                    parent: 1,
+                    name: "ppa",
+                    thread: 1,
+                    start_ns: 1_200_000,
+                    end_ns: 2_900_000,
+                    args: vec![],
+                },
+            ],
+            instants: vec![InstantRecord {
+                name: "place.revert",
+                span: 2,
+                thread: 0,
+                ts_ns: 500_000,
+                args: vec![("iteration", ArgValue::U(4))],
+            }],
+            series: vec![
+                SeriesRow {
+                    name: "place.outer",
+                    span: 2,
+                    iter: 0,
+                    values: vec![("hpwl", 10.0), ("overflow", 0.9)],
+                },
+                SeriesRow {
+                    name: "place.outer",
+                    span: 2,
+                    iter: 1,
+                    values: vec![("hpwl", 8.0), ("overflow", 0.5)],
+                },
+            ],
+            metrics: vec![
+                MetricSnapshot {
+                    name: "place.cg.solves",
+                    slot: None,
+                    value: MetricValue::Counter(12),
+                },
+                MetricSnapshot {
+                    name: "pool.worker.tasks",
+                    slot: Some(1),
+                    value: MetricValue::Counter(40),
+                },
+                MetricSnapshot {
+                    name: "place.cg.iterations",
+                    slot: None,
+                    value: MetricValue::Histogram {
+                        count: 2,
+                        sum: 30.0,
+                        min: 10.0,
+                        max: 20.0,
+                        buckets: vec![(10.0, 1), (100.0, 1), (f64::INFINITY, 0)],
+                    },
+                },
+            ],
+            dropped_events: 0,
+        }
+    }
+
+    #[test]
+    fn stage_seconds_lists_direct_children_in_order() {
+        let r = sample_report();
+        let stages = r.stage_seconds();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].0, "shaping");
+        assert!((stages[0].1 - 1e-3).abs() < 1e-12);
+        assert_eq!(stages[1].0, "ppa");
+        assert!((r.duration_seconds() - 3e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn structured_json_parses_back() {
+        let r = sample_report();
+        let doc = parse(&r.to_json()).expect("report JSON parses");
+        let spans = doc.get("spans").and_then(|v| v.as_array()).expect("spans");
+        assert_eq!(spans.len(), 3);
+        assert_eq!(
+            spans[1].get("name").and_then(|v| v.as_str()),
+            Some("shaping")
+        );
+        assert_eq!(
+            spans[1]
+                .get("args")
+                .and_then(|a| a.get("verdict"))
+                .and_then(|v| v.as_str()),
+            Some("exact")
+        );
+        let series = doc
+            .get("series")
+            .and_then(|v| v.as_array())
+            .expect("series");
+        assert_eq!(series.len(), 1, "rows grouped by (name, span)");
+        let rows = series[0]
+            .get("rows")
+            .and_then(|v| v.as_array())
+            .expect("rows");
+        assert_eq!(rows.len(), 2);
+        let metrics = doc
+            .get("metrics")
+            .and_then(|v| v.as_array())
+            .expect("metrics");
+        assert_eq!(metrics.len(), 3);
+        assert_eq!(
+            metrics[1].get("slot").and_then(|v| v.as_f64()),
+            Some(1.0),
+            "slotted metric keeps its slot"
+        );
+    }
+
+    #[test]
+    fn chrome_export_is_well_formed() {
+        let r = sample_report();
+        let doc = parse(&r.to_chrome_json()).expect("chrome JSON parses");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents");
+        // 3 spans + 1 instant.
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert_eq!(events[3].get("ph").and_then(|v| v.as_str()), Some("i"));
+        assert_eq!(
+            events[1].get("ts").and_then(|v| v.as_f64()),
+            Some(100.0),
+            "timestamps are microseconds"
+        );
+        // Merging two reports concatenates their events.
+        let merged = parse(&chrome_trace(&[&r, &r])).expect("merged parses");
+        assert_eq!(
+            merged
+                .get("traceEvents")
+                .and_then(|v| v.as_array())
+                .map(Vec::len),
+            Some(8)
+        );
+    }
+}

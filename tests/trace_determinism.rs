@@ -1,0 +1,187 @@
+//! Tracing must never change results: the flow's outputs are bitwise
+//! identical with tracing off, spans-only and full telemetry, at one
+//! thread and at four. The trace level is process-global state, so every
+//! test here serializes on one mutex before touching it and restores
+//! `Off` when done.
+
+use cp_core::flow::{run_flow, FlowOptions, FlowReport, ShapeMode};
+use cp_core::ClusteringOptions;
+use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+use cp_netlist::{Constraints, Netlist};
+use cp_place::hpwl::raw_hpwl;
+use cp_place::problem::PlacementProblem;
+use cp_place::{GlobalPlacer, PlacerOptions};
+use cp_trace::Level;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that flip the process-global trace level.
+static LEVEL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` at the given trace level, restoring `Off` afterwards (also on
+/// panic, so a failing assertion doesn't poison the next test's level).
+fn at_level<R>(level: Level, f: impl FnOnce() -> R) -> R {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            cp_trace::set_level(Level::Off);
+        }
+    }
+    let _reset = Reset;
+    cp_trace::set_level(level);
+    f()
+}
+
+fn small_design() -> (Netlist, Constraints) {
+    GeneratorConfig::from_profile(DesignProfile::Aes)
+        .scale(1.0 / 128.0)
+        .seed(7)
+        .generate_with_constraints()
+}
+
+fn opts() -> FlowOptions {
+    FlowOptions {
+        clustering: ClusteringOptions {
+            avg_cluster_size: 50,
+            path_count: 1000,
+            ..Default::default()
+        },
+        vpr_min_instances: 60,
+        ..Default::default()
+    }
+}
+
+fn assert_same_outputs(a: &FlowReport, b: &FlowReport) {
+    assert_eq!(a.hpwl.to_bits(), b.hpwl.to_bits());
+    assert_eq!(a.ppa, b.ppa);
+    assert_eq!(a.cluster_count, b.cluster_count);
+    assert_eq!(a.diagnostics, b.diagnostics);
+    assert_eq!(a.shaping, b.shaping);
+}
+
+#[test]
+fn tracing_leaves_flow_outputs_bitwise_identical() {
+    let _guard = LEVEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (n, c) = small_design();
+    let o = opts().shape_mode(ShapeMode::Vpr);
+    let off = at_level(Level::Off, || run_flow(&n, &c, &o).expect("flow runs"));
+    assert!(off.trace.is_none(), "no trace when tracing is off");
+    for (threads, level) in [
+        (1, Level::Spans),
+        (4, Level::Spans),
+        (1, Level::Full),
+        (4, Level::Full),
+    ] {
+        let traced = at_level(level, || {
+            cp_parallel::with_threads(threads, || run_flow(&n, &c, &o).expect("flow runs"))
+        });
+        assert_same_outputs(&off, &traced);
+        let trace = traced
+            .trace
+            .as_ref()
+            .expect("trace present when tracing is on");
+        // The stage spans are the flow's stages, in pipeline order, and
+        // the timings are derived from them (direct root children that
+        // aren't stages — e.g. netlist.validate — are filtered out).
+        let stage_names: Vec<&str> = trace
+            .stage_seconds()
+            .iter()
+            .map(|&(s, _)| s)
+            .filter(|s| cp_core::stages::ALL.contains(s))
+            .collect();
+        assert_eq!(
+            stage_names,
+            [
+                "clustering",
+                "shaping",
+                "cluster placement",
+                "flat placement",
+                "legalize+refine",
+                "ppa"
+            ]
+        );
+        for (name, s) in &traced.timings.stages {
+            assert_eq!(
+                trace
+                    .stage_seconds()
+                    .iter()
+                    .find(|(n2, _)| n2 == name)
+                    .map(|&(_, s2)| s2),
+                Some(*s)
+            );
+        }
+        assert!(
+            trace.spans_named("vpr.cluster").count() > 0,
+            "per-cluster shape-search spans recorded"
+        );
+        if level == Level::Full {
+            assert!(
+                trace.series.iter().any(|r| r.name == "place.outer"),
+                "placer convergence series recorded at Full"
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_off_runs_match_across_thread_counts() {
+    let _guard = LEVEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (n, c) = small_design();
+    let o = opts().shape_mode(ShapeMode::Hybrid {
+        selector: None,
+        top_k: 4,
+    });
+    let seq = at_level(Level::Full, || {
+        cp_parallel::with_threads(1, || run_flow(&n, &c, &o).expect("flow runs"))
+    });
+    let par = at_level(Level::Full, || {
+        cp_parallel::with_threads(4, || run_flow(&n, &c, &o).expect("flow runs"))
+    });
+    assert_same_outputs(&seq, &par);
+    // The traced outputs also match the untraced ones.
+    let off = at_level(Level::Off, || run_flow(&n, &c, &o).expect("flow runs"));
+    assert_same_outputs(&off, &seq);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Placement — the numerically hottest instrumented path (CG solves,
+    /// spreading, series emission) — is bitwise invariant to the trace
+    /// level and the thread budget on random problem seeds.
+    #[test]
+    fn placement_bits_ignore_trace_level(seed in 0u64..500) {
+        let _guard = LEVEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let (n, _) = GeneratorConfig::from_profile(DesignProfile::Aes)
+            .scale(1.0 / 256.0)
+            .seed(seed)
+            .generate_with_constraints();
+        let fp = cp_netlist::Floorplan::try_for_netlist(&n, 0.6, 1.0).expect("floorplan");
+        let problem = PlacementProblem::from_netlist(&n, &fp);
+        let placer = PlacerOptions {
+            max_iterations: 8,
+            cg_iterations: 20,
+            ..Default::default()
+        };
+        let base = at_level(Level::Off, || {
+            GlobalPlacer::new(placer).place(&problem).expect("places")
+        });
+        let base_hpwl = raw_hpwl(&problem, &base.positions);
+        for (threads, level) in [(1usize, Level::Full), (4, Level::Full), (4, Level::Spans)] {
+            let traced = at_level(level, || {
+                cp_parallel::with_threads(threads, || {
+                    GlobalPlacer::new(placer).place(&problem).expect("places")
+                })
+            });
+            for (a, b) in base.positions.iter().zip(&traced.positions) {
+                prop_assert_eq!(a.0.to_bits(), b.0.to_bits());
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+            let hpwl = raw_hpwl(&problem, &traced.positions);
+            prop_assert_eq!(base_hpwl.to_bits(), hpwl.to_bits());
+        }
+        // Drain anything the traced placements buffered so later tests
+        // start from a clean capture state.
+        cp_trace::clear();
+    }
+}
