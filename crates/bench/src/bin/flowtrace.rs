@@ -149,12 +149,14 @@ fn main() -> Result<(), FlowError> {
     // inter-stage glue (validation, seed building), so their durations
     // must sum to within 5% of the traced wall-clock.
     let root_s = trace.duration_seconds();
-    let stage_sum: f64 = trace.stage_seconds().iter().map(|&(_, s)| s).sum();
+    let stage_rows = trace.stage_seconds();
+    let stage_sum: f64 = stage_rows.iter().map(|&(_, s)| s).sum();
     let stage_ratio = stage_sum / root_s.max(1e-12);
     println!("\n## Trace summary\n");
-    for (name, s) in trace.stage_seconds() {
+    for &(name, s) in &stage_rows {
         println!("- {name}: {s:.3}s");
     }
+    println!("- other: {:.3}s (inter-stage glue)", root_s - stage_sum);
     println!(
         "- stages sum to {stage_sum:.3}s of {root_s:.3}s traced ({:.1}%)",
         stage_ratio * 100.0

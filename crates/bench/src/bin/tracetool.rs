@@ -1,0 +1,438 @@
+//! Trace analytics CLI: summarize, diff, flamegraph and QoR-gate
+//! cp-trace reports.
+//!
+//! ```text
+//! tracetool summarize <report.json>
+//! tracetool diff <base.json> <new.json> [--rel R] [--abs S] [--metric-rel M]
+//! tracetool flamegraph <report.json> [-o out.folded]
+//! tracetool gate [--baseline FILE] [--from report.json] [--reps N] [--write]
+//! tracetool bench <report.json> [-o BENCH_analysis.json]
+//! ```
+//!
+//! `gate` runs the pinned gate flow (Aes at scale 0.02, exact V-P&R,
+//! fully traced; see `cp_bench::qor_gate`) `--reps` times, min-of-N
+//! reduces the runtimes, and checks the run's `qor.*` gauges and
+//! per-stage self-time shares against `baselines/QOR_baseline.json`,
+//! exiting 1 on any violation. `--from` gates an existing report file
+//! instead of running the flow; `--write` (re)records the baseline.
+//! `diff` exits 1 when regressions survive the tolerances; `summarize`
+//! and `flamegraph` are read-only.
+
+use cp_bench::qor_gate::{self, Baseline};
+use cp_trace::json::{parse, validate};
+use cp_trace::{Analysis, DiffOptions, TraceDiff};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Repo-root-relative path, resolved from this crate's manifest so the
+/// bin works from any working directory.
+fn repo_path(rel: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn load_analysis(path: &str) -> Result<Analysis, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let doc = parse(&src).map_err(|e| format!("`{path}` is not valid JSON: {e}"))?;
+    Analysis::from_json(&doc).map_err(|e| format!("`{path}` is not a trace report: {e}"))
+}
+
+/// Parses `--flag value` style options out of `args`, returning the
+/// positional arguments. Unknown flags are an error.
+fn split_args(
+    args: &[String],
+    flags: &mut [(&str, &mut Option<String>)],
+    switches: &mut [(&str, &mut bool)],
+) -> Result<Vec<String>, String> {
+    let mut positional = Vec::new();
+    let mut i = 0;
+    'outer: while i < args.len() {
+        let a = &args[i];
+        for (name, slot) in switches.iter_mut() {
+            if a == name {
+                **slot = true;
+                i += 1;
+                continue 'outer;
+            }
+        }
+        for (name, slot) in flags.iter_mut() {
+            if a == name {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("`{name}` needs a value"))?;
+                **slot = Some(v.clone());
+                i += 2;
+                continue 'outer;
+            }
+        }
+        if a.starts_with('-') {
+            return Err(format!("unknown option `{a}`"));
+        }
+        positional.push(a.clone());
+        i += 1;
+    }
+    Ok(positional)
+}
+
+fn summarize(args: &[String]) -> Result<(), String> {
+    let pos = split_args(args, &mut [], &mut [])?;
+    let [path] = pos.as_slice() else {
+        return Err("usage: tracetool summarize <report.json>".into());
+    };
+    let a = load_analysis(path)?;
+    println!(
+        "# {} — {:.3}s, {} spans, {} dropped events",
+        a.root_name(),
+        a.duration_seconds(),
+        a.span_count(),
+        a.dropped_events
+    );
+    println!("\n## Self-time by span name\n");
+    println!("| span | count | wall s | self s | self % |");
+    println!("|---|---|---|---|---|");
+    let total = a.duration_seconds().max(1e-12);
+    for row in a.self_time_by_name().iter().take(20) {
+        println!(
+            "| {} | {} | {:.4} | {:.4} | {:.1}% |",
+            row.name,
+            row.count,
+            row.wall_s,
+            row.self_s,
+            row.self_s / total * 100.0
+        );
+    }
+    println!("\n## Critical path\n");
+    for step in a.critical_path() {
+        println!(
+            "{}- {} ({:.4}s wall, {:.4}s self, thread {})",
+            "  ".repeat(step.depth),
+            step.name,
+            step.wall_s,
+            step.self_s,
+            step.thread
+        );
+    }
+    let qor = a.gauges_with_prefix("qor.");
+    if !qor.is_empty() {
+        println!("\n## QoR gauges\n");
+        for (name, value) in qor {
+            println!("- {name}: {value}");
+        }
+    }
+    let mem = a.gauges_with_prefix("mem.");
+    if !mem.is_empty() {
+        println!("\n## Memory gauges (alloc-telemetry)\n");
+        for (name, value) in mem {
+            println!("- {name}: {value}");
+        }
+    }
+    Ok(())
+}
+
+fn diff(args: &[String]) -> Result<bool, String> {
+    let (mut rel, mut abs, mut metric_rel) = (None, None, None);
+    let pos = split_args(
+        args,
+        &mut [
+            ("--rel", &mut rel),
+            ("--abs", &mut abs),
+            ("--metric-rel", &mut metric_rel),
+        ],
+        &mut [],
+    )?;
+    let [base_path, new_path] = pos.as_slice() else {
+        return Err(
+            "usage: tracetool diff <base.json> <new.json> [--rel R] [--abs S] [--metric-rel M]"
+                .into(),
+        );
+    };
+    let parse_f = |s: Option<String>, what: &str| -> Result<Option<f64>, String> {
+        s.map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| format!("`{what}` must be a number, got `{v}`"))
+        })
+        .transpose()
+    };
+    let mut opts = DiffOptions::default();
+    if let Some(v) = parse_f(rel, "--rel")? {
+        opts.time_rel_tol = v;
+    }
+    if let Some(v) = parse_f(abs, "--abs")? {
+        opts.time_abs_tol_s = v;
+    }
+    if let Some(v) = parse_f(metric_rel, "--metric-rel")? {
+        opts.metric_rel_tol = v;
+    }
+    let base = load_analysis(base_path)?;
+    let new = load_analysis(new_path)?;
+    let d = TraceDiff::between(&base, &new, &opts);
+    if d.is_empty() {
+        println!("no differences beyond tolerances");
+        return Ok(false);
+    }
+    println!("| kind | name | base | new | delta |");
+    println!("|---|---|---|---|---|");
+    for e in &d.entries {
+        println!(
+            "| {:?} | {} | {:.6} | {:.6} | {:+.6} |",
+            e.kind,
+            e.name,
+            e.base,
+            e.new,
+            e.delta()
+        );
+    }
+    let regressions = d.regressions().len();
+    println!(
+        "\n{} entries, {} regression(s)",
+        d.entries.len(),
+        regressions
+    );
+    Ok(regressions > 0)
+}
+
+fn flamegraph(args: &[String]) -> Result<(), String> {
+    let mut out = None;
+    let pos = split_args(args, &mut [("-o", &mut out)], &mut [])?;
+    let [path] = pos.as_slice() else {
+        return Err("usage: tracetool flamegraph <report.json> [-o out.folded]".into());
+    };
+    let folded = load_analysis(path)?.folded();
+    match out {
+        Some(dest) => {
+            std::fs::write(&dest, &folded).map_err(|e| format!("cannot write `{dest}`: {e}"))?;
+            eprintln!(
+                "wrote {} ({} stacks) — load it in speedscope or inferno-flamegraph",
+                dest,
+                folded.lines().count()
+            );
+        }
+        None => print!("{folded}"),
+    }
+    Ok(())
+}
+
+fn gate(args: &[String]) -> Result<bool, String> {
+    let (mut baseline_path, mut from, mut reps) = (None, None, None);
+    let mut write = false;
+    let pos = split_args(
+        args,
+        &mut [
+            ("--baseline", &mut baseline_path),
+            ("--from", &mut from),
+            ("--reps", &mut reps),
+        ],
+        &mut [("--write", &mut write)],
+    )?;
+    if !pos.is_empty() {
+        return Err(format!("gate takes no positional arguments, got {pos:?}"));
+    }
+    let baseline_path = baseline_path
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| repo_path("baselines/QOR_baseline.json"));
+    let reps: usize = reps
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("`--reps` must be an integer, got `{v}`"))
+        })
+        .transpose()?
+        .unwrap_or(2)
+        .max(1);
+
+    // Collect the run(s) to gate: an existing report file, or fresh
+    // min-of-N executions of the pinned gate flow.
+    let analyses: Vec<Analysis> = match &from {
+        Some(path) => vec![load_analysis(path)?],
+        None => {
+            let mut out = Vec::new();
+            for rep in 0..reps {
+                let t0 = Instant::now();
+                let report = qor_gate::run_gate_flow().map_err(|e| format!("gate flow: {e}"))?;
+                let trace = report.trace.as_ref().ok_or("gate flow produced no trace")?;
+                eprintln!(
+                    "gate rep {}/{}: {:.3}s, hpwl {}",
+                    rep + 1,
+                    reps,
+                    t0.elapsed().as_secs_f64(),
+                    report.hpwl
+                );
+                out.push(
+                    Analysis::from_report(trace).map_err(|e| format!("analyze gate trace: {e}"))?,
+                );
+            }
+            out
+        }
+    };
+    // QoR gauges are bitwise-deterministic, so any rep represents them;
+    // the runtime check wants the fastest rep. Pick the one with the
+    // smallest traced duration.
+    let best = analyses
+        .iter()
+        .min_by(|a, b| {
+            a.duration_seconds()
+                .partial_cmp(&b.duration_seconds())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .ok_or("no runs to gate")?;
+
+    if write {
+        let b = Baseline::from_analysis(best, "aes", qor_gate::GATE_SCALE);
+        if let Some(dir) = baseline_path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+        std::fs::write(&baseline_path, b.to_json())
+            .map_err(|e| format!("cannot write `{}`: {e}", baseline_path.display()))?;
+        println!(
+            "wrote baseline {} ({} qor gauges, {} stage shares)",
+            baseline_path.display(),
+            b.qor.len(),
+            b.self_shares.len()
+        );
+        return Ok(false);
+    }
+
+    let src = std::fs::read_to_string(&baseline_path).map_err(|e| {
+        format!(
+            "cannot read `{}`: {e} (generate it with `tracetool gate --write`)",
+            baseline_path.display()
+        )
+    })?;
+    let baseline =
+        Baseline::from_json(&src).map_err(|e| format!("`{}`: {e}", baseline_path.display()))?;
+    let failures = baseline.check(best);
+    if failures.is_empty() {
+        println!(
+            "gate PASS: {} qor gauges and {} stage shares within tolerance of {}",
+            baseline.qor.len(),
+            baseline.self_shares.len(),
+            baseline_path.display()
+        );
+        return Ok(false);
+    }
+    println!("gate FAIL vs {}:", baseline_path.display());
+    for f in &failures {
+        println!("- {f}");
+    }
+    Ok(true)
+}
+
+/// Analysis-cost bench on an existing report (satellite of the PR-4
+/// overhead table): wall-clock of parse, self-time aggregation and a
+/// self-diff, written as `BENCH_analysis.json`.
+fn bench(args: &[String]) -> Result<(), String> {
+    let mut out = None;
+    let pos = split_args(args, &mut [("-o", &mut out)], &mut [])?;
+    let [path] = pos.as_slice() else {
+        return Err("usage: tracetool bench <report.json> [-o BENCH_analysis.json]".into());
+    };
+    let out = out.unwrap_or_else(|| "BENCH_analysis.json".to_string());
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+
+    let t0 = Instant::now();
+    let doc = parse(&src).map_err(|e| format!("`{path}` is not valid JSON: {e}"))?;
+    let parse_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let a = Analysis::from_json(&doc).map_err(|e| format!("`{path}`: {e}"))?;
+    let build_s = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    let rows = a.self_time_by_name();
+    let folded = a.folded();
+    let self_time_s = t2.elapsed().as_secs_f64();
+
+    let t3 = Instant::now();
+    let d = TraceDiff::between(&a, &a, &DiffOptions::default());
+    let diff_s = t3.elapsed().as_secs_f64();
+    if !d.is_empty() {
+        return Err("self-diff must be empty".into());
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"trace_analysis\",\n  \"report\": \"{}\",\n  \
+         \"report_bytes\": {},\n  \"spans\": {},\n  \"span_names\": {},\n  \
+         \"folded_stacks\": {},\n  \"parse_s\": {:.6},\n  \"build_s\": {:.6},\n  \
+         \"self_time_s\": {:.6},\n  \"diff_s\": {:.6}\n}}\n",
+        cp_trace::json::escape(path),
+        src.len(),
+        a.span_count(),
+        rows.len(),
+        folded.lines().count(),
+        parse_s,
+        build_s,
+        self_time_s,
+        diff_s,
+    );
+    std::fs::write(&out, &json).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    println!(
+        "analyzed {} spans: parse {:.3}ms, build {:.3}ms, self-time+folded {:.3}ms, diff {:.3}ms -> {}",
+        a.span_count(),
+        parse_s * 1e3,
+        build_s * 1e3,
+        self_time_s * 1e3,
+        diff_s * 1e3,
+        out
+    );
+    Ok(())
+}
+
+/// Validates a JSON file against a repo schema (used by CI for the
+/// committed baseline).
+fn check_schema(args: &[String]) -> Result<bool, String> {
+    let pos = split_args(args, &mut [], &mut [])?;
+    let [doc_path, schema_path] = pos.as_slice() else {
+        return Err("usage: tracetool check-schema <doc.json> <schema.json>".into());
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read `{p}`: {e}"));
+    let doc = parse(&read(doc_path)?).map_err(|e| format!("`{doc_path}`: {e}"))?;
+    let schema = parse(&read(schema_path)?).map_err(|e| format!("`{schema_path}`: {e}"))?;
+    let violations = validate(&doc, &schema);
+    if violations.is_empty() {
+        println!("{doc_path} conforms to {schema_path}");
+        return Ok(false);
+    }
+    println!("{doc_path} violates {schema_path}:");
+    for v in &violations {
+        println!("- {v}");
+    }
+    Ok(true)
+}
+
+const USAGE: &str = "usage: tracetool <summarize|diff|flamegraph|gate|bench|check-schema> ...\n\
+     \n\
+     summarize <report.json>                    self-time table, critical path, QoR gauges\n\
+     diff <base.json> <new.json>                span/metric diff (--rel/--abs/--metric-rel)\n\
+     flamegraph <report.json> [-o out.folded]   collapsed stacks for speedscope/inferno\n\
+     gate [--baseline F] [--from R] [--reps N] [--write]\n\
+     \x20                                          run the pinned flow and gate vs the baseline\n\
+     bench <report.json> [-o out.json]          analysis-cost bench -> BENCH_analysis.json\n\
+     check-schema <doc.json> <schema.json>      validate a JSON file against a repo schema";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let outcome = match cmd.as_str() {
+        "summarize" => summarize(rest).map(|()| false),
+        "diff" => diff(rest),
+        "flamegraph" => flamegraph(rest).map(|()| false),
+        "gate" => gate(rest),
+        "bench" => bench(rest).map(|()| false),
+        "check-schema" => check_schema(rest),
+        _ => {
+            eprintln!("unknown subcommand `{cmd}`\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match outcome {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("tracetool {cmd}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

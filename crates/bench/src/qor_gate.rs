@@ -1,0 +1,371 @@
+//! QoR regression gating against a committed baseline.
+//!
+//! `tracetool gate` runs the pinned gate flow (or loads an existing
+//! `TRACE_report.json`), extracts every `qor.*` gauge plus per-stage
+//! runtime self-time shares from the trace, and compares them against
+//! [`Baseline`] as committed in `baselines/QOR_baseline.json`.
+//!
+//! The noise model is per-quantity:
+//!
+//! - **QoR gauges** are compared two-sided with a per-metric relative
+//!   tolerance (default [`QOR_REL_TOL`], near-exact). The flow is
+//!   bitwise-deterministic across thread counts, so any drift means the
+//!   algorithm changed — improvements fail the gate too, on purpose: the
+//!   baseline must be regenerated (`tracetool gate --write`) so the
+//!   change is visible in review.
+//! - **Runtime** is gated one-sided (only slower fails) on total traced
+//!   seconds with a generous relative tolerance, and on per-name
+//!   self-time *work shares* (see [`self_shares`]) with an absolute
+//!   tolerance — shares are independent of both machine speed and thread
+//!   count, and min-of-N reduction across repetitions rejects scheduling
+//!   jitter.
+
+use cp_core::flow::{run_flow, FlowOptions, FlowReport, ShapeMode};
+use cp_core::{stages, FlowError};
+use cp_netlist::generator::DesignProfile;
+use cp_trace::json::{escape, fmt_f64, parse, Json};
+use cp_trace::{Analysis, Level};
+
+use crate::support::Bench;
+
+/// Pinned design scale for the gate flow — independent of `CP_SCALE`, so
+/// the committed baseline means the same thing on every machine.
+pub const GATE_SCALE: f64 = 0.02;
+/// Default two-sided relative tolerance on QoR gauges. Near-exact: it
+/// absorbs last-ulp libm variance across toolchains, nothing more.
+pub const QOR_REL_TOL: f64 = 1e-6;
+/// Default one-sided absolute tolerance on per-stage self-time shares.
+pub const SHARE_ABS_TOL: f64 = 0.35;
+/// Default one-sided relative tolerance on total traced seconds. Loose —
+/// the baseline records one machine's wall-clock; the share gates carry
+/// the real signal. This only catches order-of-magnitude blowups.
+pub const TOTAL_REL_TOL: f64 = 25.0;
+
+/// The pinned gate design (Aes at [`GATE_SCALE`], generator defaults).
+pub fn gate_bench() -> Bench {
+    Bench::generate_at(DesignProfile::Aes, GATE_SCALE)
+}
+
+/// The pinned gate flow configuration: reduced-effort settings with the
+/// exact V-P&R sweep, so every stage (and its `qor.*` gauges) runs.
+/// Deterministic — no environment knobs consulted.
+pub fn gate_options() -> FlowOptions {
+    FlowOptions::fast().shape_mode(ShapeMode::Vpr)
+}
+
+/// Runs the gate flow once at [`Level::Full`] and returns the report
+/// (its `trace` is always present).
+///
+/// # Errors
+///
+/// Propagates any [`FlowError`] from the flow.
+pub fn run_gate_flow() -> Result<FlowReport, FlowError> {
+    let b = gate_bench();
+    cp_trace::set_level(Level::Full);
+    let r = run_flow(&b.netlist, &b.constraints, &gate_options());
+    cp_trace::set_level(Level::Off);
+    cp_trace::clear();
+    r
+}
+
+/// One gated QoR gauge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QorEntry {
+    /// Gauge name (`qor.*`).
+    pub name: String,
+    /// Baseline value.
+    pub value: f64,
+    /// Two-sided relative tolerance.
+    pub rel_tol: f64,
+}
+
+/// One gated per-stage self-time share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShareEntry {
+    /// Span name (a stage from [`stages::ALL`] or a heavy leaf span).
+    pub name: String,
+    /// Baseline work share (see [`self_shares`]), in `[0, 1]`.
+    pub share: f64,
+    /// One-sided absolute tolerance (only a larger share fails).
+    pub abs_tol: f64,
+}
+
+/// The committed QoR/runtime baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Design short name (informational).
+    pub design: String,
+    /// Design scale the baseline was recorded at.
+    pub scale: f64,
+    /// Gated QoR gauges, sorted by name.
+    pub qor: Vec<QorEntry>,
+    /// Total traced seconds on the recording machine.
+    pub total_s: f64,
+    /// One-sided relative tolerance on `total_s`.
+    pub total_rel_tol: f64,
+    /// Gated per-stage self-time shares, sorted by name.
+    pub self_shares: Vec<ShareEntry>,
+}
+
+/// Self-time share of a span name below which it is not worth gating
+/// (unless it is a stage name): tiny spans carry no runtime signal.
+pub const SHARE_FLOOR: f64 = 0.02;
+
+/// Per-name *work shares*: each name's clamped-positive self-time over
+/// the total clamped-positive self-time of the whole tree. The
+/// denominator is the work the run performed, which — unlike root
+/// wall-clock — is invariant under the thread count: spans running in
+/// parallel sum their self-time regardless of how they overlap. Covers
+/// every stage name plus any span name at or above [`SHARE_FLOOR`] — the
+/// leaf spans (solver, V-P&R evaluations) hold most of the work, so
+/// gating only stage wrappers would miss real regressions. Sorted by
+/// name.
+pub fn self_shares(a: &Analysis) -> Vec<(String, f64)> {
+    let rows = a.self_time_by_name();
+    let total: f64 = rows.iter().map(|g| g.self_s.max(0.0)).sum();
+    let total = total.max(1e-12);
+    let mut out: Vec<(String, f64)> = rows
+        .into_iter()
+        .map(|g| (g.name, g.self_s.max(0.0) / total))
+        .filter(|(name, share)| stages::ALL.contains(&name.as_str()) || *share >= SHARE_FLOOR)
+        .collect();
+    out.sort_by(|x, y| x.0.cmp(&y.0));
+    out
+}
+
+impl Baseline {
+    /// Records a fresh baseline from an analyzed gate run, with the
+    /// default tolerances.
+    pub fn from_analysis(a: &Analysis, design: &str, scale: f64) -> Self {
+        let mut qor: Vec<QorEntry> = a
+            .gauges_with_prefix(cp_core::qor::PREFIX)
+            .into_iter()
+            .map(|(name, value)| QorEntry {
+                name,
+                value,
+                rel_tol: QOR_REL_TOL,
+            })
+            .collect();
+        qor.sort_by(|x, y| x.name.cmp(&y.name));
+        let self_shares = self_shares(a)
+            .into_iter()
+            .map(|(name, share)| ShareEntry {
+                name,
+                share,
+                abs_tol: SHARE_ABS_TOL,
+            })
+            .collect();
+        Self {
+            design: design.to_string(),
+            scale,
+            qor,
+            total_s: a.duration_seconds(),
+            total_rel_tol: TOTAL_REL_TOL,
+            self_shares,
+        }
+    }
+
+    /// Checks an analyzed run against the baseline. Returns one line per
+    /// violation; empty means the gate passes.
+    pub fn check(&self, a: &Analysis) -> Vec<String> {
+        let mut failures = Vec::new();
+        let gauges = a.gauges_with_prefix(cp_core::qor::PREFIX);
+        for e in &self.qor {
+            let Some(&(_, new)) = gauges.iter().find(|(n, _)| *n == e.name) else {
+                failures.push(format!("qor gauge `{}` missing from the run", e.name));
+                continue;
+            };
+            let limit = (e.rel_tol * e.value.abs()).max(1e-12);
+            if !new.is_finite() || (new - e.value).abs() > limit {
+                failures.push(format!(
+                    "qor gauge `{}` changed: baseline {} -> run {} (tol ±{})",
+                    e.name,
+                    fmt_f64(e.value),
+                    fmt_f64(new),
+                    fmt_f64(limit)
+                ));
+            }
+        }
+        for (name, _) in &gauges {
+            if !self.qor.iter().any(|e| &e.name == name) {
+                failures.push(format!(
+                    "qor gauge `{name}` not in the baseline — regenerate with `tracetool gate --write`"
+                ));
+            }
+        }
+        let total = a.duration_seconds();
+        if total > self.total_s * (1.0 + self.total_rel_tol) {
+            failures.push(format!(
+                "total traced runtime regressed: baseline {:.3}s -> run {:.3}s (limit {:.3}s)",
+                self.total_s,
+                total,
+                self.total_s * (1.0 + self.total_rel_tol)
+            ));
+        }
+        let shares = self_shares(a);
+        for e in &self.self_shares {
+            let new = shares
+                .iter()
+                .find(|(n, _)| *n == e.name)
+                .map_or(0.0, |&(_, s)| s);
+            if new > e.share + e.abs_tol {
+                failures.push(format!(
+                    "stage `{}` self-time share regressed: baseline {:.3} -> run {:.3} (tol +{:.3})",
+                    e.name, e.share, new, e.abs_tol
+                ));
+            }
+        }
+        failures
+    }
+
+    /// Serializes the baseline (validates against
+    /// `schemas/qor_baseline.schema.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"version\": 1.0,\n");
+        out.push_str(&format!("  \"design\": \"{}\",\n", escape(&self.design)));
+        out.push_str(&format!("  \"scale\": {},\n", fmt_f64(self.scale)));
+        out.push_str("  \"qor\": [\n");
+        for (i, e) in self.qor.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"value\": {}, \"rel_tol\": {}}}{}\n",
+                escape(&e.name),
+                fmt_f64(e.value),
+                fmt_f64(e.rel_tol),
+                if i + 1 < self.qor.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"runtime\": {\n");
+        out.push_str(&format!("    \"total_s\": {},\n", fmt_f64(self.total_s)));
+        out.push_str(&format!(
+            "    \"total_rel_tol\": {},\n",
+            fmt_f64(self.total_rel_tol)
+        ));
+        out.push_str("    \"self_shares\": [\n");
+        for (i, e) in self.self_shares.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"name\": \"{}\", \"share\": {}, \"abs_tol\": {}}}{}\n",
+                escape(&e.name),
+                fmt_f64(e.share),
+                fmt_f64(e.abs_tol),
+                if i + 1 < self.self_shares.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("    ]\n");
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a committed baseline.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first structural problem found.
+    pub fn from_json(src: &str) -> Result<Self, String> {
+        let doc = parse(src)?;
+        let str_at = |j: &Json, k: &str| -> Result<String, String> {
+            j.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field `{k}`"))
+        };
+        let num_at = |j: &Json, k: &str| -> Result<f64, String> {
+            j.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing number field `{k}`"))
+        };
+        let design = str_at(&doc, "design")?;
+        let scale = num_at(&doc, "scale")?;
+        let mut qor = Vec::new();
+        for e in doc
+            .get("qor")
+            .and_then(Json::as_array)
+            .ok_or("missing array field `qor`")?
+        {
+            qor.push(QorEntry {
+                name: str_at(e, "name")?,
+                value: num_at(e, "value")?,
+                rel_tol: num_at(e, "rel_tol")?,
+            });
+        }
+        let rt = doc.get("runtime").ok_or("missing object field `runtime`")?;
+        let mut self_shares = Vec::new();
+        for e in rt
+            .get("self_shares")
+            .and_then(Json::as_array)
+            .ok_or("missing array field `runtime.self_shares`")?
+        {
+            self_shares.push(ShareEntry {
+                name: str_at(e, "name")?,
+                share: num_at(e, "share")?,
+                abs_tol: num_at(e, "abs_tol")?,
+            });
+        }
+        Ok(Self {
+            design,
+            scale,
+            qor,
+            total_s: num_at(rt, "total_s")?,
+            total_rel_tol: num_at(rt, "total_rel_tol")?,
+            self_shares,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_baseline() -> Baseline {
+        Baseline {
+            design: "aes".into(),
+            scale: 0.02,
+            qor: vec![
+                QorEntry {
+                    name: "qor.legalized.hpwl".into(),
+                    value: 1000.0,
+                    rel_tol: 1e-6,
+                },
+                QorEntry {
+                    name: "qor.timing.wns".into(),
+                    value: -50.0,
+                    rel_tol: 1e-6,
+                },
+            ],
+            total_s: 1.0,
+            total_rel_tol: 25.0,
+            self_shares: vec![ShareEntry {
+                name: "flat placement".into(),
+                share: 0.4,
+                abs_tol: 0.35,
+            }],
+        }
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let b = sample_baseline();
+        let parsed = Baseline::from_json(&b.to_json()).expect("round trip parses");
+        assert_eq!(b, parsed);
+    }
+
+    #[test]
+    fn baseline_json_matches_schema() {
+        let schema_src = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../schemas/qor_baseline.schema.json"
+        ))
+        .expect("read qor baseline schema");
+        let schema = parse(&schema_src).expect("schema parses");
+        let doc = parse(&sample_baseline().to_json()).expect("baseline parses");
+        let violations = cp_trace::json::validate(&doc, &schema);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

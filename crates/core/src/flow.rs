@@ -15,6 +15,7 @@
 use crate::cluster::costs::build_edge_costs;
 use crate::cluster::{ppa_aware_clustering, ClusteringOptions};
 use crate::error::{FlowDiagnostics, FlowError, RecoveryEvent, DEFAULT_DIAGNOSTICS_LIMIT};
+use crate::qor;
 use crate::stages;
 use crate::vpr::ml::MlShapeSelector;
 use crate::vpr::subnetlist::SubnetlistCache;
@@ -360,6 +361,8 @@ pub fn run_default_flow(
     }
     drop(s_flat);
     timings.record(stages::FLAT_PLACEMENT, t0);
+    qor::record_placement_hpwl(qor::FLAT_PLACEMENT_HPWL, &problem, &result.positions);
+    qor::record_heap();
     let t_leg = Instant::now();
     let s_leg = cp_trace::span(stages::LEGALIZE_REFINE);
     legalize(&problem, &fp, &mut result.positions)?;
@@ -373,6 +376,8 @@ pub fn run_default_flow(
     timings.record(stages::LEGALIZE_REFINE, t_leg);
     let placement_runtime = t0.elapsed().as_secs_f64();
     let hpwl = raw_hpwl(&problem, &result.positions);
+    cp_trace::gauge_set(qor::LEGALIZED_HPWL, hpwl);
+    qor::record_heap();
     let t_ppa = Instant::now();
     let s_ppa = cp_trace::span(stages::PPA);
     let ppa = evaluate_ppa(netlist, constraints, &result.positions, &fp, options)?;
@@ -633,6 +638,8 @@ fn flow_with_assignment_traced(
     shaping.subnetlist_cache_misses = cache.misses() - misses0;
     drop(s_shape);
     timings.record(stages::SHAPING, t_shape);
+    qor::record_shaping(clustered.cluster_count(), &shaping);
+    qor::record_heap();
 
     // Lines 15-25: seeded placement.
     if options.tool == Tool::OpenRoadLike {
@@ -649,6 +656,11 @@ fn flow_with_assignment_traced(
     }
     drop(s_cluster);
     timings.record(stages::CLUSTER_PLACEMENT, t_cluster);
+    qor::record_placement_hpwl(
+        qor::CLUSTER_PLACEMENT_HPWL,
+        &cluster_problem,
+        &cluster_placement.positions,
+    );
 
     // Instances at their cluster centers, with a deterministic in-cluster
     // jitter so the B2B linearization is non-degenerate.
@@ -722,6 +734,8 @@ fn flow_with_assignment_traced(
     }
     drop(s_flat);
     timings.record(stages::FLAT_PLACEMENT, t_flat);
+    qor::record_placement_hpwl(qor::FLAT_PLACEMENT_HPWL, &free_problem, &result.positions);
+    qor::record_heap();
     let t_leg = Instant::now();
     let s_leg = cp_trace::span(stages::LEGALIZE_REFINE);
     legalize(&free_problem, &fp, &mut result.positions)?;
@@ -735,6 +749,8 @@ fn flow_with_assignment_traced(
     timings.record(stages::LEGALIZE_REFINE, t_leg);
     let placement_runtime = t0.elapsed().as_secs_f64();
     let hpwl = raw_hpwl(&free_problem, &result.positions);
+    cp_trace::gauge_set(qor::LEGALIZED_HPWL, hpwl);
+    qor::record_heap();
     let t_ppa = Instant::now();
     let s_ppa = cp_trace::span(stages::PPA);
     let ppa = evaluate_ppa(netlist, constraints, &result.positions, &fp, options)?;
@@ -867,14 +883,25 @@ pub fn evaluate_ppa(
     let timing = sta.run_with_clock(&wire, Some(&tree.arrival));
     let activity = propagate_activity(netlist, constraints);
     let power = power_report(netlist, constraints, &activity, &wire);
-    Ok(PpaReport {
+    cp_trace::gauge_set(
+        qor::ROUTE_MAX_UTILIZATION,
+        routed.congestion.max_utilization(),
+    );
+    cp_trace::gauge_set(
+        qor::ROUTE_OVERFLOW_EDGES,
+        routed.congestion.overflow_edges() as f64,
+    );
+    let report = PpaReport {
         rwl: routed.wirelength + tree.wirelength,
         wns: timing.wns,
         tns: timing.tns,
         power: power.total(),
         skew: tree.skew,
         hold_wns: timing.hold_wns,
-    })
+    };
+    qor::record_ppa(&report);
+    qor::record_heap();
+    Ok(report)
 }
 
 /// Seed-position helper exposed for examples: each cell at its cluster's

@@ -45,10 +45,13 @@
 //! assert!(ours.diagnostics.is_clean());
 //! ```
 
+#[cfg(feature = "alloc-telemetry")]
+pub mod alloc;
 pub mod baselines;
 pub mod cluster;
 pub mod error;
 pub mod flow;
+pub mod qor;
 pub mod stages;
 pub mod vpr;
 

@@ -36,9 +36,11 @@
 //! root span's subtree into a [`TraceReport`], which exports structured
 //! JSON and Chrome `trace_event` JSON (Perfetto-loadable).
 
+pub mod analysis;
 pub mod json;
 pub mod report;
 
+pub use analysis::{Analysis, DiffEntry, DiffKind, DiffOptions, NameAgg, PathStep, TraceDiff};
 pub use report::{chrome_trace, MetricSnapshot, MetricValue, TraceReport};
 
 use std::cell::Cell;

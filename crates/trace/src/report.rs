@@ -74,13 +74,27 @@ impl TraceReport {
         self.root_span().map_or(0.0, SpanRecord::seconds)
     }
 
-    /// `(name, seconds)` of the root's *direct* children in start order —
-    /// the flow's per-stage durations, measured by the stage spans
-    /// themselves.
+    /// `(name, seconds)` of the flow's stage spans in start order,
+    /// measured by the stage spans themselves.
+    ///
+    /// These are the root's *direct* children — except that a direct
+    /// child that is itself a flow root (a `flow.*`-named span, i.e. a
+    /// clustered/flat flow whose root got captured under an outer span)
+    /// is transparent: its own direct children are surfaced in its
+    /// place. That keeps the flat and clustered paths exposing the same
+    /// stage set whether the flow ran at top level or nested one level
+    /// below the captured root.
     pub fn stage_seconds(&self) -> Vec<(&'static str, f64)> {
+        let is_flow_root = |s: &SpanRecord| s.name.starts_with("flow.");
+        let nested: Vec<u64> = self
+            .spans
+            .iter()
+            .filter(|s| s.parent == self.root && is_flow_root(s))
+            .map(|s| s.id)
+            .collect();
         self.spans
             .iter()
-            .filter(|s| s.parent == self.root)
+            .filter(|s| (s.parent == self.root && !is_flow_root(s)) || nested.contains(&s.parent))
             .map(|s| (s.name, s.seconds()))
             .collect()
     }
@@ -400,6 +414,41 @@ mod tests {
         assert!((stages[0].1 - 1e-3).abs() < 1e-12);
         assert_eq!(stages[1].0, "ppa");
         assert!((r.duration_seconds() - 3e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_seconds_expands_nested_flow_roots() {
+        // An outer capture (e.g. a bench harness span) with a clustered
+        // flow nested under it: the stages sit one level below the root
+        // but must still be surfaced, exactly as on the flat path.
+        let span = |id, parent, name: &'static str, start_ns, end_ns| SpanRecord {
+            id,
+            parent,
+            name,
+            thread: 0,
+            start_ns,
+            end_ns,
+            args: vec![],
+        };
+        let r = TraceReport {
+            root: 1,
+            spans: vec![
+                span(1, 0, "harness", 0, 4_000_000),
+                span(2, 1, "setup", 0, 500_000),
+                span(3, 1, "flow.clustered", 500_000, 3_800_000),
+                span(4, 3, "clustering", 500_000, 1_500_000),
+                span(5, 3, "shaping", 1_500_000, 3_700_000),
+                span(6, 5, "vpr.cluster", 1_600_000, 2_000_000),
+            ],
+            instants: vec![],
+            series: vec![],
+            metrics: vec![],
+            dropped_events: 0,
+        };
+        let names: Vec<&str> = r.stage_seconds().iter().map(|&(n, _)| n).collect();
+        // The flow root itself is transparent; its stages appear next to
+        // the outer root's other direct children, grandchildren stay out.
+        assert_eq!(names, ["setup", "clustering", "shaping"]);
     }
 
     #[test]
