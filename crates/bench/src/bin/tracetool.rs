@@ -5,7 +5,8 @@
 //! tracetool summarize <report.json>
 //! tracetool diff <base.json> <new.json> [--rel R] [--abs S] [--metric-rel M]
 //! tracetool flamegraph <report.json> [-o out.folded]
-//! tracetool gate [--baseline FILE] [--from report.json] [--reps N] [--write]
+//! tracetool gate [--baseline FILE] [--from report.json] [--reps N] [--write] [--timeout-s S]
+//! tracetool chaos [--seeds N] [--timeout-s S] [--site SUBSTR]
 //! tracetool bench <report.json> [-o BENCH_analysis.json]
 //! ```
 //!
@@ -14,15 +15,23 @@
 //! reduces the runtimes, and checks the run's `qor.*` gauges and
 //! per-stage self-time shares against `baselines/QOR_baseline.json`,
 //! exiting 1 on any violation. `--from` gates an existing report file
-//! instead of running the flow; `--write` (re)records the baseline.
-//! `diff` exits 1 when regressions survive the tolerances; `summarize`
-//! and `flamegraph` are read-only.
+//! instead of running the flow; `--write` (re)records the baseline;
+//! `--timeout-s` bounds the flow's wall-clock and exits 3 (distinct
+//! from the gate-fail exit 1) when exceeded. `chaos` sweeps the
+//! fault-injection sites (needs `--features fault-injection`) and exits
+//! 1 when any case violates the resilience contract. `diff` exits 1
+//! when regressions survive the tolerances; `summarize` and
+//! `flamegraph` are read-only.
 
 use cp_bench::qor_gate::{self, Baseline};
 use cp_trace::json::{parse, validate};
 use cp_trace::{Analysis, DiffOptions, TraceDiff};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Exit code when `gate --timeout-s` expires — distinct from the
+/// gate-fail exit (1) and the usage/error exit (2).
+const EXIT_TIMEOUT: u8 = 3;
 
 /// Repo-root-relative path, resolved from this crate's manifest so the
 /// bin works from any working directory.
@@ -213,8 +222,44 @@ fn flamegraph(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn gate(args: &[String]) -> Result<bool, String> {
-    let (mut baseline_path, mut from, mut reps) = (None, None, None);
+/// Runs the min-of-N gate flow reps, optionally bounded by a wall-clock
+/// deadline enforced from a watchdog thread. `Ok(None)` means the
+/// deadline expired before every rep finished.
+fn gate_reps(reps: usize, timeout: Option<Duration>) -> Result<Option<Vec<Analysis>>, String> {
+    let run_all = move || -> Result<Vec<Analysis>, String> {
+        let mut out = Vec::new();
+        for rep in 0..reps {
+            let t0 = Instant::now();
+            let report = qor_gate::run_gate_flow().map_err(|e| format!("gate flow: {e}"))?;
+            let trace = report.trace.as_ref().ok_or("gate flow produced no trace")?;
+            eprintln!(
+                "gate rep {}/{}: {:.3}s, hpwl {}",
+                rep + 1,
+                reps,
+                t0.elapsed().as_secs_f64(),
+                report.hpwl
+            );
+            out.push(Analysis::from_report(trace).map_err(|e| format!("analyze gate trace: {e}"))?);
+        }
+        Ok(out)
+    };
+    match timeout {
+        None => run_all().map(Some),
+        Some(limit) => {
+            let (tx, rx) = std::sync::mpsc::channel();
+            std::thread::spawn(move || {
+                let _ = tx.send(run_all());
+            });
+            match rx.recv_timeout(limit) {
+                Ok(result) => result.map(Some),
+                Err(_) => Ok(None),
+            }
+        }
+    }
+}
+
+fn gate(args: &[String]) -> Result<u8, String> {
+    let (mut baseline_path, mut from, mut reps, mut timeout_s) = (None, None, None, None);
     let mut write = false;
     let pos = split_args(
         args,
@@ -222,6 +267,7 @@ fn gate(args: &[String]) -> Result<bool, String> {
             ("--baseline", &mut baseline_path),
             ("--from", &mut from),
             ("--reps", &mut reps),
+            ("--timeout-s", &mut timeout_s),
         ],
         &mut [("--write", &mut write)],
     )?;
@@ -239,30 +285,29 @@ fn gate(args: &[String]) -> Result<bool, String> {
         .transpose()?
         .unwrap_or(2)
         .max(1);
+    let timeout = timeout_s
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| format!("`--timeout-s` must be a number, got `{v}`"))
+        })
+        .transpose()?
+        .map(Duration::from_secs_f64);
 
     // Collect the run(s) to gate: an existing report file, or fresh
     // min-of-N executions of the pinned gate flow.
     let analyses: Vec<Analysis> = match &from {
         Some(path) => vec![load_analysis(path)?],
-        None => {
-            let mut out = Vec::new();
-            for rep in 0..reps {
-                let t0 = Instant::now();
-                let report = qor_gate::run_gate_flow().map_err(|e| format!("gate flow: {e}"))?;
-                let trace = report.trace.as_ref().ok_or("gate flow produced no trace")?;
-                eprintln!(
-                    "gate rep {}/{}: {:.3}s, hpwl {}",
-                    rep + 1,
+        None => match gate_reps(reps, timeout)? {
+            Some(out) => out,
+            None => {
+                println!(
+                    "gate TIMEOUT: {} rep(s) did not finish within {}s",
                     reps,
-                    t0.elapsed().as_secs_f64(),
-                    report.hpwl
+                    timeout.map_or(0.0, |t| t.as_secs_f64())
                 );
-                out.push(
-                    Analysis::from_report(trace).map_err(|e| format!("analyze gate trace: {e}"))?,
-                );
+                return Ok(EXIT_TIMEOUT);
             }
-            out
-        }
+        },
     };
     // QoR gauges are bitwise-deterministic, so any rep represents them;
     // the runtime check wants the fastest rep. Pick the one with the
@@ -289,7 +334,7 @@ fn gate(args: &[String]) -> Result<bool, String> {
             b.qor.len(),
             b.self_shares.len()
         );
-        return Ok(false);
+        return Ok(0);
     }
 
     let src = std::fs::read_to_string(&baseline_path).map_err(|e| {
@@ -308,13 +353,51 @@ fn gate(args: &[String]) -> Result<bool, String> {
             baseline.self_shares.len(),
             baseline_path.display()
         );
-        return Ok(false);
+        return Ok(0);
     }
     println!("gate FAIL vs {}:", baseline_path.display());
     for f in &failures {
         println!("- {f}");
     }
-    Ok(true)
+    Ok(1)
+}
+
+/// Deterministic fault-injection sweep: arm each site at seed-derived
+/// hit indices and assert the resilience contract (typed error, clean
+/// recorded recovery, or bitwise-identical resume — never a panic, hang
+/// or silent QoR drift). Needs `--features fault-injection`.
+fn chaos(args: &[String]) -> Result<u8, String> {
+    let (mut seeds, mut timeout_s, mut site) = (None, None, None);
+    let pos = split_args(
+        args,
+        &mut [
+            ("--seeds", &mut seeds),
+            ("--timeout-s", &mut timeout_s),
+            ("--site", &mut site),
+        ],
+        &mut [],
+    )?;
+    if !pos.is_empty() {
+        return Err(format!("chaos takes no positional arguments, got {pos:?}"));
+    }
+    let seeds: u64 = seeds
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("`--seeds` must be an integer, got `{v}`"))
+        })
+        .transpose()?
+        .unwrap_or(3)
+        .max(1);
+    let timeout = timeout_s
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| format!("`--timeout-s` must be a number, got `{v}`"))
+        })
+        .transpose()?
+        .map_or(Duration::from_secs(120), Duration::from_secs_f64);
+    let report = cp_bench::chaos::run_chaos(seeds, timeout, site.as_deref())?;
+    print!("{}", report.render());
+    Ok(u8::from(report.failures() > 0))
 }
 
 /// Analysis-cost bench on an existing report (satellite of the PR-4
@@ -399,13 +482,16 @@ fn check_schema(args: &[String]) -> Result<bool, String> {
     Ok(true)
 }
 
-const USAGE: &str = "usage: tracetool <summarize|diff|flamegraph|gate|bench|check-schema> ...\n\
+const USAGE: &str = "usage: tracetool <summarize|diff|flamegraph|gate|chaos|bench|check-schema> ...\n\
      \n\
      summarize <report.json>                    self-time table, critical path, QoR gauges\n\
      diff <base.json> <new.json>                span/metric diff (--rel/--abs/--metric-rel)\n\
      flamegraph <report.json> [-o out.folded]   collapsed stacks for speedscope/inferno\n\
-     gate [--baseline F] [--from R] [--reps N] [--write]\n\
+     gate [--baseline F] [--from R] [--reps N] [--write] [--timeout-s S]\n\
      \x20                                          run the pinned flow and gate vs the baseline\n\
+     \x20                                          (exit 3 when the wall-clock timeout expires)\n\
+     chaos [--seeds N] [--timeout-s S] [--site SUBSTR]\n\
+     \x20                                          fault-injection sweep (needs --features fault-injection)\n\
      bench <report.json> [-o out.json]          analysis-cost bench -> BENCH_analysis.json\n\
      check-schema <doc.json> <schema.json>      validate a JSON file against a repo schema";
 
@@ -416,20 +502,20 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let outcome = match cmd.as_str() {
-        "summarize" => summarize(rest).map(|()| false),
-        "diff" => diff(rest),
-        "flamegraph" => flamegraph(rest).map(|()| false),
+        "summarize" => summarize(rest).map(|()| 0),
+        "diff" => diff(rest).map(u8::from),
+        "flamegraph" => flamegraph(rest).map(|()| 0),
         "gate" => gate(rest),
-        "bench" => bench(rest).map(|()| false),
-        "check-schema" => check_schema(rest),
+        "chaos" => chaos(rest),
+        "bench" => bench(rest).map(|()| 0),
+        "check-schema" => check_schema(rest).map(u8::from),
         _ => {
             eprintln!("unknown subcommand `{cmd}`\n{USAGE}");
             return ExitCode::from(2);
         }
     };
     match outcome {
-        Ok(false) => ExitCode::SUCCESS,
-        Ok(true) => ExitCode::FAILURE,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("tracetool {cmd}: {e}");
             ExitCode::from(2)

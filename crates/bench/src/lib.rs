@@ -6,6 +6,7 @@
 //! environment variable (default 1/32 of the paper's instance counts) —
 //! crank it up on a bigger machine to approach the paper's sizes.
 
+pub mod chaos;
 pub mod qor_gate;
 pub mod support;
 

@@ -1,0 +1,585 @@
+//! Stage-granular flow checkpoints.
+//!
+//! A checkpoint is a single progressive JSON file rewritten after each
+//! completed pipeline stage (clustering → shaping → cluster placement →
+//! flat placement). It captures exactly the state the remaining stages
+//! consume — the cluster assignment, the chosen shapes, the placement
+//! position vectors — so a resumed run recomputes nothing that already
+//! completed and reproduces the original run's report **bitwise** (see
+//! [`crate::flow::FlowReport::deterministic_eq`]).
+//!
+//! Bitwise fidelity hinges on two properties:
+//!
+//! - `f64` values are serialized with Rust's shortest round-trip
+//!   formatting ([`cp_trace::json::fmt_f64`]), so every position and HPWL
+//!   survives the JSON round trip bit-exactly.
+//! - Everything downstream of the restored state is deterministic
+//!   (including across thread counts, by the `cp-parallel` contract), so
+//!   replaying the remaining stages from bit-identical inputs yields
+//!   bit-identical outputs.
+//!
+//! Checkpoints are guarded by a FNV-1a **fingerprint** over the netlist
+//! and flow options: resuming against a different design or configuration
+//! is rejected with a typed [`FlowError::Checkpoint`](crate::error::FlowError)
+//! instead of silently producing garbage. The on-disk format is validated
+//! against `schemas/checkpoint.schema.json` (embedded at compile time) on
+//! every load.
+
+use crate::error::RecoveryEvent;
+use crate::flow::{FlowOptions, ShapingStats};
+use crate::stages;
+use cp_netlist::netlist::Netlist;
+use cp_netlist::ClusterShape;
+use cp_trace::json::{self, Json};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// On-disk format version; bumped on breaking layout changes.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// A placement stage's output: the position vector and whether the run
+/// diverged and reverted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementState {
+    /// One `(x, y)` per object, bit-exact.
+    pub positions: Vec<(f64, f64)>,
+    /// Whether the placer reverted to its best snapshot.
+    pub diverged: bool,
+}
+
+/// The shaping stage's output: the selected shape per shaped cluster plus
+/// the stage's work counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapingState {
+    /// `(cluster, shape)` for clusters that got a non-default shape.
+    pub shapes: Vec<(u32, ClusterShape)>,
+    /// Every cluster that went through shape selection (including ones
+    /// that fell back to the uniform default).
+    pub shaped: Vec<u32>,
+    /// The stage's counters, restored verbatim into the report.
+    pub stats: ShapingStats,
+}
+
+/// A progressive stage checkpoint (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// FNV-1a fingerprint of the netlist + options (see [`fingerprint`]).
+    pub fingerprint: u64,
+    /// Last *completed* stage (a [`stages`] constant).
+    pub stage: &'static str,
+    /// The clustering assignment (one cluster id per cell).
+    pub assignment: Vec<u32>,
+    /// Seconds the clustering stage took in the original run.
+    pub clustering_runtime: f64,
+    /// Recovery events collected up to (and including) `stage`.
+    pub events: Vec<RecoveryEvent>,
+    /// Recoveries dropped past the diagnostics cap.
+    pub dropped: usize,
+    /// Present once shaping completed.
+    pub shaping: Option<ShapingState>,
+    /// Present once cluster placement completed.
+    pub cluster_placement: Option<PlacementState>,
+    /// Present once flat placement (incl. congestion refinement)
+    /// completed.
+    pub flat_placement: Option<PlacementState>,
+}
+
+/// The embedded checkpoint schema, parsed.
+fn schema() -> Json {
+    // The schema is a compile-time constant known to parse.
+    json::parse(include_str!("../../../schemas/checkpoint.schema.json")).unwrap_or(Json::Null)
+}
+
+/// FNV-1a over the netlist's structure (cell and net names, pin counts)
+/// and the full flow configuration, so a checkpoint can only resume the
+/// run that wrote it.
+pub fn fingerprint(netlist: &Netlist, options: &FlowOptions) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(&(netlist.cell_count() as u64).to_le_bytes());
+    eat(&(netlist.net_count() as u64).to_le_bytes());
+    for cell in netlist.cells() {
+        eat(cell.name.as_bytes());
+        eat(&[0]);
+    }
+    for net in netlist.nets() {
+        eat(net.name.as_bytes());
+        eat(&(net.pin_count() as u64).to_le_bytes());
+    }
+    // The Debug form covers every option field (placer seeds, shape mode,
+    // clustering knobs, …) with round-trip float formatting, so any
+    // configuration change invalidates the checkpoint.
+    eat(format!("{options:?}").as_bytes());
+    h
+}
+
+impl Checkpoint {
+    /// A fresh clustering-stage checkpoint.
+    pub fn after_clustering(
+        fingerprint: u64,
+        assignment: Vec<u32>,
+        clustering_runtime: f64,
+    ) -> Self {
+        Self {
+            fingerprint,
+            stage: stages::CLUSTERING,
+            assignment,
+            clustering_runtime,
+            events: Vec::new(),
+            dropped: 0,
+            shaping: None,
+            cluster_placement: None,
+            flat_placement: None,
+        }
+    }
+
+    /// Serializes to the schema-conformant JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"version\": {CHECKPOINT_VERSION},");
+        let _ = writeln!(s, "  \"fingerprint\": \"{:016x}\",", self.fingerprint);
+        let _ = writeln!(s, "  \"stage\": \"{}\",", json::escape(self.stage));
+        s.push_str("  \"clustering\": { \"assignment\": [");
+        for (i, c) in self.assignment.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{c}");
+        }
+        let _ = writeln!(
+            s,
+            "], \"runtime\": {} }},",
+            json::fmt_f64(self.clustering_runtime)
+        );
+        s.push_str("  \"diagnostics\": { \"events\": [");
+        let mut first = true;
+        for e in &self.events {
+            let Some(obj) = event_to_json(e) else {
+                continue;
+            };
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&obj);
+        }
+        let _ = write!(s, "], \"dropped\": {} }}", self.dropped);
+        if let Some(sh) = &self.shaping {
+            s.push_str(",\n  \"shaping\": { \"shapes\": [");
+            for (i, (c, shape)) in sh.shapes.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"cluster\":{c},\"aspect_ratio\":{},\"utilization\":{}}}",
+                    json::fmt_f64(shape.aspect_ratio),
+                    json::fmt_f64(shape.utilization)
+                );
+            }
+            s.push_str("], \"shaped\": [");
+            for (i, c) in sh.shaped.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{c}");
+            }
+            let st = &sh.stats;
+            let _ = write!(
+                s,
+                "], \"stats\": {{\"clusters_shaped\":{},\"exact_evals\":{},\
+                 \"exact_evals_avoided\":{},\"proxy_evals\":{},\
+                 \"surrogate_batches\":{},\"surrogate_samples\":{},\
+                 \"warm_start_hits\":{},\"subnetlist_cache_hits\":{},\
+                 \"subnetlist_cache_misses\":{}}} }}",
+                st.clusters_shaped,
+                st.exact_evals,
+                st.exact_evals_avoided,
+                st.proxy_evals,
+                st.surrogate_batches,
+                st.surrogate_samples,
+                st.warm_start_hits,
+                st.subnetlist_cache_hits,
+                st.subnetlist_cache_misses
+            );
+        }
+        if let Some(p) = &self.cluster_placement {
+            s.push_str(",\n  \"cluster_placement\": ");
+            placement_to_json(&mut s, p);
+        }
+        if let Some(p) = &self.flat_placement {
+            s.push_str(",\n  \"flat_placement\": ");
+            placement_to_json(&mut s, p);
+        }
+        s.push_str("\n}\n");
+        s
+    }
+
+    /// Parses and schema-validates a checkpoint document.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when the document is malformed, fails
+    /// schema validation, or carries an unknown version or stage.
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let value = json::parse(input).map_err(|e| format!("malformed JSON: {e}"))?;
+        let errors = json::validate(&value, &schema());
+        if !errors.is_empty() {
+            return Err(format!("schema violations: {}", errors.join("; ")));
+        }
+        let version = get_u64(&value, "version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+            ));
+        }
+        let fp_hex = value
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .ok_or("missing fingerprint")?;
+        let fingerprint = u64::from_str_radix(fp_hex, 16)
+            .map_err(|_| format!("fingerprint '{fp_hex}' is not hex"))?;
+        let stage = stage_static(
+            value
+                .get("stage")
+                .and_then(Json::as_str)
+                .ok_or("missing stage")?,
+        )?;
+        let clustering = value.get("clustering").ok_or("missing clustering")?;
+        let assignment = clustering
+            .get("assignment")
+            .and_then(Json::as_array)
+            .ok_or("missing assignment")?
+            .iter()
+            .map(|j| j.as_f64().map(|f| f as u32).ok_or("non-numeric assignment"))
+            .collect::<Result<Vec<u32>, _>>()?;
+        let clustering_runtime = clustering
+            .get("runtime")
+            .and_then(Json::as_f64)
+            .ok_or("missing clustering runtime")?;
+        let diag = value.get("diagnostics").ok_or("missing diagnostics")?;
+        let events = diag
+            .get("events")
+            .and_then(Json::as_array)
+            .ok_or("missing events")?
+            .iter()
+            .map(event_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let dropped = get_u64(diag, "dropped")? as usize;
+        let shaping = match value.get("shaping") {
+            Some(sh) => Some(shaping_from_json(sh)?),
+            None => None,
+        };
+        let cluster_placement = match value.get("cluster_placement") {
+            Some(p) => Some(placement_from_json(p)?),
+            None => None,
+        };
+        let flat_placement = match value.get("flat_placement") {
+            Some(p) => Some(placement_from_json(p)?),
+            None => None,
+        };
+        Ok(Self {
+            fingerprint,
+            stage,
+            assignment,
+            clustering_runtime,
+            events,
+            dropped,
+            shaping,
+            cluster_placement,
+            flat_placement,
+        })
+    }
+
+    /// Writes the checkpoint atomically (temp file + rename), so an
+    /// interrupted write never leaves a truncated checkpoint behind.
+    ///
+    /// # Errors
+    ///
+    /// The I/O failure, stringified.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json())
+            .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("rename to {}: {e}", path.display()))
+    }
+
+    /// Loads and validates a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::from_json`]; additionally the I/O failure when the
+    /// file cannot be read.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::from_json(&text)
+    }
+}
+
+fn placement_to_json(s: &mut String, p: &PlacementState) {
+    s.push_str("{ \"positions\": [");
+    for (i, &(x, y)) in p.positions.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "[{},{}]", json::fmt_f64(x), json::fmt_f64(y));
+    }
+    let _ = write!(s, "], \"diverged\": {} }}", p.diverged);
+}
+
+fn placement_from_json(j: &Json) -> Result<PlacementState, String> {
+    let positions = j
+        .get("positions")
+        .and_then(Json::as_array)
+        .ok_or("missing positions")?
+        .iter()
+        .map(|pair| {
+            let a = pair.as_array().ok_or("position is not a pair")?;
+            match (
+                a.first().and_then(Json::as_f64),
+                a.get(1).and_then(Json::as_f64),
+            ) {
+                (Some(x), Some(y)) => Ok((x, y)),
+                _ => Err("non-numeric position".to_string()),
+            }
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let diverged = matches!(j.get("diverged"), Some(Json::Bool(true)));
+    Ok(PlacementState {
+        positions,
+        diverged,
+    })
+}
+
+fn shaping_from_json(j: &Json) -> Result<ShapingState, String> {
+    let shapes = j
+        .get("shapes")
+        .and_then(Json::as_array)
+        .ok_or("missing shapes")?
+        .iter()
+        .map(|s| {
+            let cluster = get_u64(s, "cluster")? as u32;
+            let ar = s
+                .get("aspect_ratio")
+                .and_then(Json::as_f64)
+                .ok_or("missing aspect_ratio")?;
+            let util = s
+                .get("utilization")
+                .and_then(Json::as_f64)
+                .ok_or("missing utilization")?;
+            let ar_ok = ar.is_finite() && ar > 0.0;
+            let util_ok = util.is_finite() && util > 0.0 && util <= 1.0;
+            if !ar_ok || !util_ok {
+                return Err(format!("invalid shape ar={ar} util={util}"));
+            }
+            Ok((cluster, ClusterShape::new(ar, util)))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let shaped = j
+        .get("shaped")
+        .and_then(Json::as_array)
+        .ok_or("missing shaped")?
+        .iter()
+        .map(|c| c.as_f64().map(|f| f as u32).ok_or("non-numeric cluster id"))
+        .collect::<Result<Vec<u32>, _>>()?;
+    let st = j.get("stats").ok_or("missing stats")?;
+    let stats = ShapingStats {
+        clusters_shaped: get_u64(st, "clusters_shaped")? as usize,
+        exact_evals: get_u64(st, "exact_evals")? as usize,
+        exact_evals_avoided: get_u64(st, "exact_evals_avoided")? as usize,
+        proxy_evals: get_u64(st, "proxy_evals")? as usize,
+        surrogate_batches: get_u64(st, "surrogate_batches")? as usize,
+        surrogate_samples: get_u64(st, "surrogate_samples")? as usize,
+        warm_start_hits: get_u64(st, "warm_start_hits")? as usize,
+        subnetlist_cache_hits: get_u64(st, "subnetlist_cache_hits")? as usize,
+        subnetlist_cache_misses: get_u64(st, "subnetlist_cache_misses")? as usize,
+    };
+    Ok(ShapingState {
+        shapes,
+        shaped,
+        stats,
+    })
+}
+
+fn get_u64(j: &Json, key: &str) -> Result<u64, String> {
+    j.get(key)
+        .and_then(Json::as_f64)
+        .filter(|f| f.fract() == 0.0 && *f >= 0.0)
+        .map(|f| f as u64)
+        .ok_or_else(|| format!("missing or non-integer '{key}'"))
+}
+
+/// Serializes a recovery event; bookkeeping and interrupt events return
+/// `None` (they describe a particular run's execution, not the pipeline
+/// state, and are not replayed on resume).
+fn event_to_json(e: &RecoveryEvent) -> Option<String> {
+    match e {
+        RecoveryEvent::PlacerReverted { stage } => Some(format!(
+            "{{\"kind\":\"placer_reverted\",\"stage\":\"{}\"}}",
+            json::escape(stage)
+        )),
+        RecoveryEvent::ShapeFallback { cluster } => Some(format!(
+            "{{\"kind\":\"shape_fallback\",\"cluster\":{cluster}}}"
+        )),
+        RecoveryEvent::RegionDropped { cluster } => Some(format!(
+            "{{\"kind\":\"region_dropped\",\"cluster\":{cluster}}}"
+        )),
+        RecoveryEvent::Cancelled { .. }
+        | RecoveryEvent::DeadlineExceeded { .. }
+        | RecoveryEvent::CheckpointWritten { .. }
+        | RecoveryEvent::Resumed { .. } => None,
+    }
+}
+
+fn event_from_json(j: &Json) -> Result<RecoveryEvent, String> {
+    let kind = j.get("kind").and_then(Json::as_str).ok_or("missing kind")?;
+    match kind {
+        "placer_reverted" => {
+            let stage = j
+                .get("stage")
+                .and_then(Json::as_str)
+                .ok_or("missing stage")?;
+            Ok(RecoveryEvent::PlacerReverted {
+                stage: stage_static(stage)?,
+            })
+        }
+        "shape_fallback" => Ok(RecoveryEvent::ShapeFallback {
+            cluster: get_u64(j, "cluster")? as u32,
+        }),
+        "region_dropped" => Ok(RecoveryEvent::RegionDropped {
+            cluster: get_u64(j, "cluster")? as u32,
+        }),
+        other => Err(format!("unknown event kind '{other}'")),
+    }
+}
+
+/// Maps a stage name back to its `'static` constant.
+fn stage_static(name: &str) -> Result<&'static str, String> {
+    stages::ALL
+        .iter()
+        .chain(std::iter::once(&stages::CONGESTION_REFINEMENT))
+        .find(|&&s| s == name)
+        .copied()
+        .ok_or_else(|| format!("unknown stage '{name}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            fingerprint: 0xdead_beef_0123_4567,
+            stage: stages::CLUSTER_PLACEMENT,
+            assignment: vec![0, 1, 1, 0, 2],
+            clustering_runtime: 0.125,
+            events: vec![
+                RecoveryEvent::ShapeFallback { cluster: 1 },
+                RecoveryEvent::PlacerReverted {
+                    stage: stages::CLUSTER_PLACEMENT,
+                },
+            ],
+            dropped: 0,
+            shaping: Some(ShapingState {
+                shapes: vec![(0, ClusterShape::new(1.25, 0.8))],
+                shaped: vec![0, 1],
+                stats: ShapingStats {
+                    clusters_shaped: 2,
+                    exact_evals: 40,
+                    ..Default::default()
+                },
+            }),
+            cluster_placement: Some(PlacementState {
+                positions: vec![
+                    (1.5, -2.25),
+                    (0.1 + 0.2, f64::MIN_POSITIVE),
+                    (1.0 / 3.0, -0.0),
+                ],
+                diverged: true,
+            }),
+            flat_placement: None,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_bitwise() {
+        let cp = sample();
+        let text = cp.to_json();
+        let back = Checkpoint::from_json(&text).expect("round trip parses");
+        assert_eq!(back.fingerprint, cp.fingerprint);
+        assert_eq!(back.stage, cp.stage);
+        assert_eq!(back.assignment, cp.assignment);
+        assert_eq!(
+            back.clustering_runtime.to_bits(),
+            cp.clustering_runtime.to_bits()
+        );
+        assert_eq!(back.events, cp.events);
+        let (a, b) = (
+            cp.cluster_placement.expect("present"),
+            back.cluster_placement.expect("present"),
+        );
+        assert_eq!(a.diverged, b.diverged);
+        for (pa, pb) in a.positions.iter().zip(&b.positions) {
+            assert_eq!(pa.0.to_bits(), pb.0.to_bits());
+            assert_eq!(pa.1.to_bits(), pb.1.to_bits());
+        }
+        let (sa, sb) = (cp.shaping.expect("present"), back.shaping.expect("present"));
+        assert_eq!(sa.stats, sb.stats);
+        assert_eq!(sa.shaped, sb.shaped);
+        assert_eq!(sa.shapes.len(), sb.shapes.len());
+    }
+
+    #[test]
+    fn schema_rejects_malformed_documents() {
+        assert!(Checkpoint::from_json("{}").is_err());
+        assert!(Checkpoint::from_json("not json").is_err());
+        let bad_stage = sample().to_json().replace("cluster placement", "warp");
+        assert!(Checkpoint::from_json(&bad_stage).is_err());
+        let bad_version = sample()
+            .to_json()
+            .replace("\"version\": 1", "\"version\": 99");
+        assert!(Checkpoint::from_json(&bad_version).is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_netlist_and_options() {
+        let (n1, _) = GeneratorConfig::from_profile(DesignProfile::Aes)
+            .scale(0.005)
+            .seed(1)
+            .generate_with_constraints();
+        let (n2, _) = GeneratorConfig::from_profile(DesignProfile::Aes)
+            .scale(0.005)
+            .seed(2)
+            .generate_with_constraints();
+        let opts = FlowOptions::fast();
+        let f1 = fingerprint(&n1, &opts);
+        assert_eq!(f1, fingerprint(&n1, &opts), "stable for identical inputs");
+        assert_ne!(f1, fingerprint(&n2, &opts), "netlist changes invalidate");
+        let mut other = FlowOptions::fast();
+        other.placer.seed += 1;
+        assert_ne!(f1, fingerprint(&n1, &other), "option changes invalidate");
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("cp-checkpoint-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("ckpt.json");
+        let cp = sample();
+        cp.save(&path).expect("saves");
+        let back = Checkpoint::load(&path).expect("loads");
+        assert_eq!(back.stage, cp.stage);
+        assert_eq!(back.assignment, cp.assignment);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -12,22 +12,29 @@
 //! the flow performed on its own (divergence reverts, shape fallbacks,
 //! dropped regions) are reported on [`FlowReport::diagnostics`].
 
+use crate::checkpoint::{self, Checkpoint, PlacementState, ShapingState};
 use crate::cluster::costs::build_edge_costs;
 use crate::cluster::{ppa_aware_clustering, ClusteringOptions};
-use crate::error::{FlowDiagnostics, FlowError, RecoveryEvent, DEFAULT_DIAGNOSTICS_LIMIT};
+use crate::error::{
+    FlowDiagnostics, FlowError, InterruptedFlow, RecoveryEvent, DEFAULT_DIAGNOSTICS_LIMIT,
+};
 use crate::qor;
 use crate::stages;
 use crate::vpr::ml::MlShapeSelector;
 use crate::vpr::subnetlist::SubnetlistCache;
-use crate::vpr::{best_shape, best_shape_hybrid, ShapeSearchStats, VprOptions};
+use crate::vpr::{
+    best_shape_hybrid_with_control, best_shape_with_control, ShapeSearchStats, VprOptions,
+};
 use cp_netlist::clustered::ClusteredNetlist;
 use cp_netlist::floorplan::Rect;
 use cp_netlist::netlist::Netlist;
 use cp_netlist::{CellId, ClusterShape, Constraints, Floorplan, ValidationError};
+use cp_parallel::RegionError;
 use cp_place::cts::{synthesize_clock_tree, CtsOptions};
 use cp_place::detailed::{refine, DetailedOptions};
 use cp_place::hpwl::raw_hpwl;
-use cp_place::{legalize, GlobalPlacer, PlacementProblem, PlacerOptions};
+use cp_place::{legalize, BestSnapshot, GlobalPlacer, PlaceError, PlacementProblem, PlacerOptions};
+use cp_resilience::{sites, Interrupt, InterruptKind, RunControl};
 use cp_route::{route_placed_netlist, RouterOptions};
 use cp_timing::activity::propagate_activity;
 use cp_timing::power::power_report;
@@ -37,6 +44,7 @@ use cp_timing::TimingError;
 use cp_trace::{ArgValue, SpanGuard, TraceReport};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Which tool's seeded-placement recipe to follow (Algorithm 1, lines
@@ -305,6 +313,33 @@ pub struct FlowReport {
     pub trace: Option<TraceReport>,
 }
 
+impl FlowReport {
+    /// Bitwise equality of everything a resumed or re-executed run must
+    /// reproduce: HPWL and PPA bits, cluster count, shaping counters and
+    /// the non-bookkeeping recovery events. Wall-clock fields (runtimes,
+    /// stage timings) and the trace are excluded — they describe a
+    /// particular execution, not its result — as are the
+    /// checkpoint/resume bookkeeping events, which differ by construction
+    /// between an original and a resumed run.
+    pub fn deterministic_eq(&self, other: &Self) -> bool {
+        let bits = |a: f64, b: f64| a.to_bits() == b.to_bits();
+        fn events(d: &FlowDiagnostics) -> Vec<&RecoveryEvent> {
+            d.events.iter().filter(|e| !e.is_bookkeeping()).collect()
+        }
+        bits(self.hpwl, other.hpwl)
+            && self.cluster_count == other.cluster_count
+            && bits(self.ppa.rwl, other.ppa.rwl)
+            && bits(self.ppa.wns, other.ppa.wns)
+            && bits(self.ppa.tns, other.ppa.tns)
+            && bits(self.ppa.power, other.ppa.power)
+            && bits(self.ppa.skew, other.ppa.skew)
+            && bits(self.ppa.hold_wns, other.ppa.hold_wns)
+            && self.shaping == other.shaping
+            && events(&self.diagnostics) == events(&other.diagnostics)
+            && self.diagnostics.dropped == other.diagnostics.dropped
+    }
+}
+
 /// Pre-flight validation shared by every flow entry point: reject the
 /// netlist, constraints and floorplan request before any stage runs.
 fn validated_floorplan(
@@ -422,6 +457,7 @@ pub fn run_flow(
         options,
         &mut cache,
         root,
+        &mut ExecContext::passive(),
     )
 }
 
@@ -475,13 +511,235 @@ pub fn run_flow_with_assignment_cached(
         options,
         cache,
         root,
+        &mut ExecContext::passive(),
     )
+}
+
+/// Cancellation, deadline and memory-budget limits plus checkpoint wiring
+/// for [`run_flow_resilient`]. The default is fully passive: an unlimited
+/// control, no checkpointing, no resume.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceOptions {
+    /// Cooperative cancellation / deadline / memory-budget control,
+    /// checked at stage boundaries, per placer iteration and per V-P&R
+    /// candidate.
+    pub control: RunControl,
+    /// When set, a stage-granular checkpoint is (re)written here after
+    /// each completed stage (atomically — see [`Checkpoint::save`]).
+    pub checkpoint: Option<PathBuf>,
+    /// When set, completed stages are restored from this checkpoint
+    /// instead of recomputed; the resumed run's report is bitwise
+    /// identical to an uninterrupted one
+    /// ([`FlowReport::deterministic_eq`]).
+    pub resume_from: Option<PathBuf>,
+}
+
+/// [`run_flow`] under a [`RunControl`], with optional checkpoint/resume.
+///
+/// An interruption surfaces as [`FlowError::Cancelled`],
+/// [`FlowError::DeadlineExceeded`] or [`FlowError::BudgetExceeded`]
+/// carrying the diagnostics collected so far, the placer's best-so-far
+/// snapshot when one exists, and the path of the last written checkpoint
+/// — so callers can resume instead of restarting.
+///
+/// # Errors
+///
+/// See [`run_flow`]; additionally the interrupt variants above and
+/// [`FlowError::Checkpoint`] when `resume_from` names a checkpoint that
+/// is unreadable, malformed, or fingerprinted for a different
+/// netlist/configuration.
+pub fn run_flow_resilient(
+    netlist: &Netlist,
+    constraints: &Constraints,
+    options: &FlowOptions,
+    resilience: &ResilienceOptions,
+) -> Result<FlowReport, FlowError> {
+    install_heap_probe();
+    let fingerprint = checkpoint::fingerprint(netlist, options);
+    let resume = match &resilience.resume_from {
+        Some(path) => {
+            let cp = Checkpoint::load(path).map_err(|reason| FlowError::Checkpoint { reason })?;
+            if cp.fingerprint != fingerprint {
+                return Err(FlowError::Checkpoint {
+                    reason: format!(
+                        "fingerprint mismatch: checkpoint {:016x} vs run {fingerprint:016x} \
+                         (different netlist or options)",
+                        cp.fingerprint
+                    ),
+                });
+            }
+            Some(cp)
+        }
+        None => None,
+    };
+    let mut exec = ExecContext {
+        control: resilience.control.clone(),
+        checkpoint_path: resilience.checkpoint.clone(),
+        fingerprint,
+        resume,
+    };
+    let mut preflight = FlowDiagnostics::with_limit(options.diagnostics_limit);
+    exec.check(sites::FLOW_START, stages::CLUSTERING, &mut preflight)?;
+    let root = cp_trace::span(stages::FLOW_CLUSTERED);
+    let (assignment, clustering_runtime) = match &exec.resume {
+        Some(cp) => (cp.assignment.clone(), cp.clustering_runtime),
+        None => {
+            let s_cluster = cp_trace::span(stages::CLUSTERING);
+            let clustering = ppa_aware_clustering(netlist, constraints, &options.clustering)?;
+            drop(s_cluster);
+            (clustering.assignment, clustering.runtime)
+        }
+    };
+    let mut cache = SubnetlistCache::new();
+    flow_with_assignment_traced(
+        netlist,
+        constraints,
+        &assignment,
+        clustering_runtime,
+        options,
+        &mut cache,
+        root,
+        &mut exec,
+    )
+}
+
+/// Points the interruption machinery's heap gauge at the counting
+/// allocator when it is compiled in; without `alloc-telemetry` this is a
+/// no-op and memory budgets never trip.
+fn install_heap_probe() {
+    #[cfg(feature = "alloc-telemetry")]
+    cp_resilience::install_heap_probe(|| crate::alloc::heap_stats().current_bytes);
+}
+
+/// Per-run execution context threaded through the flow body: the run's
+/// interruption control, the checkpoint sink and the checkpoint being
+/// resumed from. The plain entry points run with [`ExecContext::passive`],
+/// whose unlimited control makes every check a cheap no-op.
+struct ExecContext {
+    control: RunControl,
+    checkpoint_path: Option<PathBuf>,
+    fingerprint: u64,
+    resume: Option<Checkpoint>,
+}
+
+impl ExecContext {
+    fn passive() -> Self {
+        Self {
+            control: RunControl::unlimited(),
+            checkpoint_path: None,
+            fingerprint: 0,
+            resume: None,
+        }
+    }
+
+    /// Stage-boundary interruption check; on interruption records the
+    /// recovery event and builds the typed flow error carrying everything
+    /// collected so far.
+    fn check(
+        &self,
+        site: &'static str,
+        stage: &'static str,
+        diagnostics: &mut FlowDiagnostics,
+    ) -> Result<(), FlowError> {
+        self.control
+            .check(site)
+            .map_err(|interrupt| self.interrupt_error(interrupt, stage, diagnostics, None))
+    }
+
+    fn interrupt_error(
+        &self,
+        interrupt: Interrupt,
+        stage: &'static str,
+        diagnostics: &mut FlowDiagnostics,
+        best: Option<BestSnapshot>,
+    ) -> FlowError {
+        match interrupt.kind {
+            InterruptKind::Cancelled => diagnostics.record(RecoveryEvent::Cancelled {
+                site: interrupt.site,
+            }),
+            InterruptKind::DeadlineExceeded => {
+                diagnostics.record(RecoveryEvent::DeadlineExceeded {
+                    site: interrupt.site,
+                });
+            }
+            InterruptKind::BudgetExceeded => {}
+        }
+        FlowError::from_interrupted(InterruptedFlow {
+            interrupt,
+            stage,
+            diagnostics: diagnostics.clone(),
+            best,
+            checkpoint: self.checkpoint_path.clone(),
+        })
+    }
+
+    /// Routes a placer failure: an interruption becomes the flow-level
+    /// interrupt (keeping the placer's best-so-far snapshot); anything
+    /// else stays a placement error.
+    fn place_error(
+        &self,
+        error: PlaceError,
+        stage: &'static str,
+        diagnostics: &mut FlowDiagnostics,
+    ) -> FlowError {
+        match error {
+            PlaceError::Interrupted {
+                interrupt, best, ..
+            } => self.interrupt_error(interrupt, stage, diagnostics, best),
+            other => FlowError::Place(other),
+        }
+    }
+
+    /// Routes a parallel-region failure: a contained worker panic becomes
+    /// [`FlowError::WorkerPanic`], an interruption the flow-level
+    /// interrupt.
+    fn region_error(
+        &self,
+        error: RegionError,
+        stage: &'static str,
+        diagnostics: &mut FlowDiagnostics,
+    ) -> FlowError {
+        match error {
+            RegionError::Panicked { message } => FlowError::WorkerPanic { stage, message },
+            RegionError::Interrupted(interrupt) => {
+                self.interrupt_error(interrupt, stage, diagnostics, None)
+            }
+        }
+    }
+
+    /// Persists the checkpoint draft (when checkpointing is on) and
+    /// records the write. A failed write is reported as telemetry but
+    /// never fails the flow — the run's result outranks its checkpoint.
+    fn save_draft(&self, draft: &mut Option<Checkpoint>, diagnostics: &mut FlowDiagnostics) {
+        let (Some(path), Some(cp)) = (self.checkpoint_path.as_ref(), draft.as_mut()) else {
+            return;
+        };
+        cp.events.clone_from(&diagnostics.events);
+        cp.dropped = diagnostics.dropped;
+        match cp.save(path) {
+            Ok(()) => diagnostics.record(RecoveryEvent::CheckpointWritten { stage: cp.stage }),
+            Err(_reason) => cp_trace::instant(
+                "recovery.checkpoint_failed",
+                &[("stage", ArgValue::S(cp.stage))],
+            ),
+        }
+    }
+}
+
+/// Extracts the interruption from a per-cluster shape-search failure, if
+/// it was one; a genuine evaluation failure returns `None` and falls back
+/// to the uniform shape like any other V-P&R failure.
+fn shape_interrupt(error: &FlowError) -> Option<Interrupt> {
+    match error {
+        FlowError::Place(PlaceError::Interrupted { interrupt, .. }) => Some(interrupt.clone()),
+        other => other.interrupted().map(|i| i.interrupt.clone()),
+    }
 }
 
 /// The clustered-flow body, running under an already-open root span (the
 /// clustering stage may have executed inside it, as in [`run_flow`]).
 /// Consumes `root` at the end to capture the run's trace subtree.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn flow_with_assignment_traced(
     netlist: &Netlist,
     constraints: &Constraints,
@@ -490,6 +748,7 @@ fn flow_with_assignment_traced(
     options: &FlowOptions,
     cache: &mut SubnetlistCache,
     root: SpanGuard,
+    exec: &mut ExecContext,
 ) -> Result<FlowReport, FlowError> {
     if assignment.len() != netlist.cell_count() {
         return Err(FlowError::Validation(
@@ -501,6 +760,24 @@ fn flow_with_assignment_traced(
     }
     let fp = validated_floorplan(netlist, constraints, options)?;
     let mut diagnostics = FlowDiagnostics::with_limit(options.diagnostics_limit);
+    let resume = exec.resume.take();
+    if let Some(cp) = &resume {
+        diagnostics.restore(cp.events.clone(), cp.dropped);
+        diagnostics.record(RecoveryEvent::Resumed { stage: cp.stage });
+    }
+    // The progressive checkpoint draft, rewritten after each completed
+    // stage (only when a checkpoint path is configured). A resumed run
+    // continues from the loaded checkpoint so earlier stages' state stays
+    // in the file.
+    let mut draft: Option<Checkpoint> = exec.checkpoint_path.as_ref().map(|_| match &resume {
+        Some(cp) => cp.clone(),
+        None => {
+            Checkpoint::after_clustering(exec.fingerprint, assignment.to_vec(), clustering_runtime)
+        }
+    });
+    if resume.is_none() {
+        exec.save_draft(&mut draft, &mut diagnostics);
+    }
     let mut timings = StageTimings::new();
     let t0 = Instant::now();
 
@@ -511,133 +788,187 @@ fn flow_with_assignment_traced(
     // match the serial loop exactly. Sub-netlists come from the shared
     // cache (extraction is sequential: the cache is `&mut`), so repeated
     // runs over the same assignment induce each cluster once.
-    let t_shape = Instant::now();
-    let s_shape = cp_trace::span(stages::SHAPING);
+    exec.check(sites::FLOW_SHAPING, stages::SHAPING, &mut diagnostics)?;
     let (hits0, misses0) = (cache.hits(), cache.misses());
     let mut clustered = ClusteredNetlist::from_assignment(netlist, assignment);
-    let shapeable = clustered.shapeable_clusters(options.vpr_min_instances);
     let mut shaped: Vec<u32> = Vec::new();
     let mut shaping = ShapingStats::default();
-    match &options.shape_mode {
-        ShapeMode::Uniform => {}
-        ShapeMode::Random(seed) => {
-            let mut rng = StdRng::seed_from_u64(*seed);
-            let cands = ClusterShape::candidates();
-            for &c in &shapeable {
-                clustered.set_shape(c, cands[rng.random_range(0..cands.len())]);
-                shaped.push(c);
-            }
+    if let Some(state) = resume.as_ref().and_then(|r| r.shaping.as_ref()) {
+        for &(c, shape) in &state.shapes {
+            clustered.set_shape(c, shape);
         }
-        mode @ (ShapeMode::Vpr | ShapeMode::VprMl(_) | ShapeMode::Hybrid { .. }) => {
-            let subs: Vec<Option<std::sync::Arc<Netlist>>> = shapeable
-                .iter()
-                .map(|&c| cache.get_or_extract(netlist, clustered.cells(c)).ok())
-                .collect();
-            // Clusters whose extraction failed fall back to the uniform
-            // shape below; the evaluators only see the ones that induced.
-            let present: Vec<&Netlist> = subs.iter().flatten().map(|a| a.as_ref()).collect();
-            let present_ids: Vec<u32> = shapeable
-                .iter()
-                .zip(&subs)
-                .filter(|(_, sub)| sub.is_some())
-                .map(|(&c, _)| c)
-                .collect();
-            let candidate_count = ClusterShape::candidates().len();
-            let picked: Vec<Option<ClusterShape>> = match mode {
-                ShapeMode::Vpr => {
-                    let idx: Vec<usize> = (0..present.len()).collect();
-                    let shapes = cp_parallel::par_map(&idx, 1, |&i| {
-                        let _span = cp_trace::span_with(
-                            stages::SPAN_VPR_CLUSTER,
-                            &[
-                                ("cluster", ArgValue::U(present_ids[i] as u64)),
-                                ("ranker", ArgValue::S("exact")),
-                            ],
-                        );
-                        best_shape(present[i], &options.vpr)
-                            .ok()
-                            .map(|(shape, _)| shape)
-                    });
-                    shaping.exact_evals += shapes.iter().flatten().count() * candidate_count;
-                    shapes
+        shaped.clone_from(&state.shaped);
+        shaping = state.stats;
+    } else {
+        let t_shape = Instant::now();
+        let s_shape = cp_trace::span(stages::SHAPING);
+        let shapeable = clustered.shapeable_clusters(options.vpr_min_instances);
+        match &options.shape_mode {
+            ShapeMode::Uniform => {}
+            ShapeMode::Random(seed) => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let cands = ClusterShape::candidates();
+                for &c in &shapeable {
+                    clustered.set_shape(c, cands[rng.random_range(0..cands.len())]);
+                    shaped.push(c);
                 }
-                ShapeMode::VprMl(selector) => {
-                    if !present.is_empty() {
-                        shaping.surrogate_batches += 1;
-                        shaping.surrogate_samples += present.len() * candidate_count;
-                    }
-                    let picks = selector.select_shapes_batched(&present);
-                    if cp_trace::enabled() {
-                        // The batch scores all clusters in one forward pass,
-                        // so per-cluster attribution is an instant, not a span.
-                        for &c in &present_ids {
-                            cp_trace::instant(
+            }
+            mode @ (ShapeMode::Vpr | ShapeMode::VprMl(_) | ShapeMode::Hybrid { .. }) => {
+                let subs: Vec<Option<std::sync::Arc<Netlist>>> = shapeable
+                    .iter()
+                    .map(|&c| cache.get_or_extract(netlist, clustered.cells(c)).ok())
+                    .collect();
+                // Clusters whose extraction failed fall back to the uniform
+                // shape below; the evaluators only see the ones that induced.
+                let present: Vec<&Netlist> = subs.iter().flatten().map(|a| a.as_ref()).collect();
+                let present_ids: Vec<u32> = shapeable
+                    .iter()
+                    .zip(&subs)
+                    .filter(|(_, sub)| sub.is_some())
+                    .map(|(&c, _)| c)
+                    .collect();
+                let candidate_count = ClusterShape::candidates().len();
+                let picked: Vec<Option<ClusterShape>> = match mode {
+                    ShapeMode::Vpr => {
+                        let idx: Vec<usize> = (0..present.len()).collect();
+                        let results = cp_parallel::try_par_map(&idx, 1, &exec.control, |&i| {
+                            let _span = cp_trace::span_with(
                                 stages::SPAN_VPR_CLUSTER,
                                 &[
-                                    ("cluster", ArgValue::U(c as u64)),
-                                    ("ranker", ArgValue::S("surrogate")),
+                                    ("cluster", ArgValue::U(present_ids[i] as u64)),
+                                    ("ranker", ArgValue::S("exact")),
                                 ],
                             );
+                            best_shape_with_control(present[i], &options.vpr, Some(&exec.control))
+                                .map(|(shape, _)| shape)
+                        })
+                        .map_err(|e| exec.region_error(e, stages::SHAPING, &mut diagnostics))?;
+                        let mut shapes = Vec::with_capacity(results.len());
+                        for r in results {
+                            match r {
+                                Ok(shape) => shapes.push(Some(shape)),
+                                Err(e) => match shape_interrupt(&e) {
+                                    Some(interrupt) => {
+                                        return Err(exec.interrupt_error(
+                                            interrupt,
+                                            stages::SHAPING,
+                                            &mut diagnostics,
+                                            None,
+                                        ))
+                                    }
+                                    None => shapes.push(None),
+                                },
+                            }
                         }
+                        shaping.exact_evals += shapes.iter().flatten().count() * candidate_count;
+                        shapes
                     }
-                    picks.into_iter().map(Some).collect()
-                }
-                ShapeMode::Hybrid { selector, top_k } => {
-                    let surrogate: Option<Vec<Vec<f64>>> = selector.as_ref().map(|sel| {
+                    ShapeMode::VprMl(selector) => {
                         if !present.is_empty() {
                             shaping.surrogate_batches += 1;
                             shaping.surrogate_samples += present.len() * candidate_count;
                         }
-                        sel.predicted_candidate_costs(&present)
-                    });
-                    let ranker = if surrogate.is_some() {
-                        "surrogate"
-                    } else {
-                        "proxy"
-                    };
-                    let idx: Vec<usize> = (0..present.len()).collect();
-                    let results = cp_parallel::par_map(&idx, 1, |&i| {
-                        let _span = cp_trace::span_with(
-                            stages::SPAN_VPR_CLUSTER,
-                            &[
-                                ("cluster", ArgValue::U(present_ids[i] as u64)),
-                                ("ranker", ArgValue::S(ranker)),
-                            ],
-                        );
-                        let costs = surrogate.as_ref().map(|m| m[i].as_slice());
-                        best_shape_hybrid(present[i], &options.vpr, *top_k, costs).ok()
-                    });
-                    results
-                        .into_iter()
-                        .map(|r| {
-                            r.map(|(shape, _, stats)| {
-                                shaping.absorb(&stats);
-                                shape
-                            })
+                        let picks = selector.select_shapes_batched(&present);
+                        if cp_trace::enabled() {
+                            // The batch scores all clusters in one forward pass,
+                            // so per-cluster attribution is an instant, not a span.
+                            for &c in &present_ids {
+                                cp_trace::instant(
+                                    stages::SPAN_VPR_CLUSTER,
+                                    &[
+                                        ("cluster", ArgValue::U(c as u64)),
+                                        ("ranker", ArgValue::S("surrogate")),
+                                    ],
+                                );
+                            }
+                        }
+                        picks.into_iter().map(Some).collect()
+                    }
+                    ShapeMode::Hybrid { selector, top_k } => {
+                        let surrogate: Option<Vec<Vec<f64>>> = selector.as_ref().map(|sel| {
+                            if !present.is_empty() {
+                                shaping.surrogate_batches += 1;
+                                shaping.surrogate_samples += present.len() * candidate_count;
+                            }
+                            sel.predicted_candidate_costs(&present)
+                        });
+                        let ranker = if surrogate.is_some() {
+                            "surrogate"
+                        } else {
+                            "proxy"
+                        };
+                        let idx: Vec<usize> = (0..present.len()).collect();
+                        let results = cp_parallel::try_par_map(&idx, 1, &exec.control, |&i| {
+                            let _span = cp_trace::span_with(
+                                stages::SPAN_VPR_CLUSTER,
+                                &[
+                                    ("cluster", ArgValue::U(present_ids[i] as u64)),
+                                    ("ranker", ArgValue::S(ranker)),
+                                ],
+                            );
+                            let costs = surrogate.as_ref().map(|m| m[i].as_slice());
+                            best_shape_hybrid_with_control(
+                                present[i],
+                                &options.vpr,
+                                *top_k,
+                                costs,
+                                Some(&exec.control),
+                            )
                         })
-                        .collect()
-                }
-                _ => unreachable!("outer match binds only V-P&R modes"),
-            };
-            let mut picked = picked.into_iter();
-            for (&c, sub) in shapeable.iter().zip(&subs) {
-                let shape = match sub {
-                    Some(_) => picked.next().flatten(),
-                    None => None,
+                        .map_err(|e| exec.region_error(e, stages::SHAPING, &mut diagnostics))?;
+                        let mut shapes = Vec::with_capacity(results.len());
+                        for r in results {
+                            match r {
+                                Ok((shape, _, stats)) => {
+                                    shaping.absorb(&stats);
+                                    shapes.push(Some(shape));
+                                }
+                                Err(e) => match shape_interrupt(&e) {
+                                    Some(interrupt) => {
+                                        return Err(exec.interrupt_error(
+                                            interrupt,
+                                            stages::SHAPING,
+                                            &mut diagnostics,
+                                            None,
+                                        ))
+                                    }
+                                    None => shapes.push(None),
+                                },
+                            }
+                        }
+                        shapes
+                    }
+                    _ => unreachable!("outer match binds only V-P&R modes"),
                 };
-                match shape {
-                    Some(shape) => clustered.set_shape(c, shape),
-                    None => diagnostics.record(RecoveryEvent::ShapeFallback { cluster: c }),
+                let mut picked = picked.into_iter();
+                for (&c, sub) in shapeable.iter().zip(&subs) {
+                    let shape = match sub {
+                        Some(_) => picked.next().flatten(),
+                        None => None,
+                    };
+                    match shape {
+                        Some(shape) => clustered.set_shape(c, shape),
+                        None => diagnostics.record(RecoveryEvent::ShapeFallback { cluster: c }),
+                    }
+                    shaped.push(c);
                 }
-                shaped.push(c);
             }
         }
+        shaping.clusters_shaped = shaped.len();
+        shaping.subnetlist_cache_hits = cache.hits() - hits0;
+        shaping.subnetlist_cache_misses = cache.misses() - misses0;
+        drop(s_shape);
+        timings.record(stages::SHAPING, t_shape);
+        if let Some(cp) = &mut draft {
+            cp.stage = stages::SHAPING;
+            cp.shaping = Some(ShapingState {
+                shapes: shaped.iter().map(|&c| (c, clustered.shape(c))).collect(),
+                shaped: shaped.clone(),
+                stats: shaping,
+            });
+        }
+        exec.save_draft(&mut draft, &mut diagnostics);
     }
-    shaping.clusters_shaped = shaped.len();
-    shaping.subnetlist_cache_hits = cache.hits() - hits0;
-    shaping.subnetlist_cache_misses = cache.misses() - misses0;
-    drop(s_shape);
-    timings.record(stages::SHAPING, t_shape);
     qor::record_shaping(clustered.cluster_count(), &shaping);
     qor::record_heap();
 
@@ -645,115 +976,167 @@ fn flow_with_assignment_traced(
     if options.tool == Tool::OpenRoadLike {
         clustered.scale_io_net_weights(options.io_weight);
     }
-    let t_cluster = Instant::now();
-    let s_cluster = cp_trace::span(stages::CLUSTER_PLACEMENT);
+    exec.check(
+        sites::FLOW_CLUSTER_PLACEMENT,
+        stages::CLUSTER_PLACEMENT,
+        &mut diagnostics,
+    )?;
     let cluster_problem = PlacementProblem::from_clustered(&clustered, &fp);
-    let cluster_placement = GlobalPlacer::new(options.placer).place(&cluster_problem)?;
-    if cluster_placement.diverged {
-        diagnostics.record(RecoveryEvent::PlacerReverted {
-            stage: stages::CLUSTER_PLACEMENT,
-        });
-    }
-    drop(s_cluster);
-    timings.record(stages::CLUSTER_PLACEMENT, t_cluster);
+    let cluster_positions: Vec<(f64, f64)> =
+        if let Some(state) = resume.as_ref().and_then(|r| r.cluster_placement.as_ref()) {
+            state.positions.clone()
+        } else {
+            let t_cluster = Instant::now();
+            let s_cluster = cp_trace::span(stages::CLUSTER_PLACEMENT);
+            let placement = GlobalPlacer::new(options.placer)
+                .place_with_control(&cluster_problem, &exec.control)
+                .map_err(|e| exec.place_error(e, stages::CLUSTER_PLACEMENT, &mut diagnostics))?;
+            if placement.diverged {
+                diagnostics.record(RecoveryEvent::PlacerReverted {
+                    stage: stages::CLUSTER_PLACEMENT,
+                });
+            }
+            drop(s_cluster);
+            timings.record(stages::CLUSTER_PLACEMENT, t_cluster);
+            if let Some(cp) = &mut draft {
+                cp.stage = stages::CLUSTER_PLACEMENT;
+                cp.cluster_placement = Some(PlacementState {
+                    positions: placement.positions.clone(),
+                    diverged: placement.diverged,
+                });
+            }
+            exec.save_draft(&mut draft, &mut diagnostics);
+            placement.positions
+        };
     qor::record_placement_hpwl(
         qor::CLUSTER_PLACEMENT_HPWL,
         &cluster_problem,
-        &cluster_placement.positions,
+        &cluster_positions,
     );
 
-    // Instances at their cluster centers, with a deterministic in-cluster
-    // jitter so the B2B linearization is non-degenerate.
-    let mut seeds = vec![(0.0, 0.0); netlist.cell_count()];
-    for (i, &c) in clustered.cluster_of_cell().iter().enumerate() {
-        let center = cluster_placement.positions[c as usize];
-        let (w, h) = clustered.dims(c);
-        let golden = (i as f64 * 0.618_033_988_749_895).fract() - 0.5;
-        let golden2 = (i as f64 * 0.381_966_011_250_105).fract() - 0.5;
-        seeds[i] = fp.core.clamp(center.0 + golden * w, center.1 + golden2 * h);
-    }
-
-    let mut flat_problem = PlacementProblem::from_netlist(netlist, &fp).with_seeds(seeds);
-    if options.timing_driven {
-        flat_problem.net_weights = timing_net_weights(netlist, constraints)?;
-    }
-    if options.tool == Tool::InnovusLike {
-        // Line 18: region constraints for shaped clusters.
-        for &c in &shaped {
-            let (w, h) = clustered.dims(c);
-            let (cx, cy) = cluster_placement.positions[c as usize];
-            // Regions get 25% slack over the macro footprint so clusters
-            // whose seed placements overlap slightly still have room.
-            let (hw, hh) = (w * 0.625, h * 0.625);
-            let region = Rect {
-                llx: (cx - hw).max(fp.core.llx),
-                lly: (cy - hh).max(fp.core.lly),
-                urx: (cx + hw).min(fp.core.urx),
-                ury: (cy + hh).min(fp.core.ury),
-            };
-            // A region clamped down to less than its cluster's cell area
-            // (or collapsed entirely) would wedge the spreader against an
-            // unsatisfiable constraint — drop it instead and let those
-            // cells place freely.
-            let member_area: f64 = clustered
-                .cells(c)
-                .iter()
-                .map(|&cell| flat_problem.movable[cell.index()].area())
-                .sum();
-            let feasible = region.width() > 0.0
-                && region.height() > 0.0
-                && region.width() * region.height() >= member_area;
-            if !feasible {
-                diagnostics.record(RecoveryEvent::RegionDropped { cluster: c });
-                continue;
-            }
-            for &cell in clustered.cells(c) {
-                flat_problem.set_region(cell.index(), region);
-            }
-        }
-    }
-    let t_flat = Instant::now();
-    let s_flat = cp_trace::span(stages::FLAT_PLACEMENT);
-    let mut result = GlobalPlacer::new(options.placer).place(&flat_problem)?;
-    if result.diverged {
-        diagnostics.record(RecoveryEvent::PlacerReverted {
-            stage: stages::FLAT_PLACEMENT,
-        });
-    }
-    // Line 20: remove region constraints before legalization/routing.
+    exec.check(
+        sites::FLOW_FLAT_PLACEMENT,
+        stages::FLAT_PLACEMENT,
+        &mut diagnostics,
+    )?;
+    // Line 20: region constraints are removed before legalization/routing,
+    // so downstream stages always work on the free problem.
     let free_problem = PlacementProblem::from_netlist(netlist, &fp);
-    if options.congestion_driven {
-        result.positions = congestion_driven_refine(
-            netlist,
-            &fp,
-            &free_problem,
-            result.positions,
-            options,
-            &mut diagnostics,
-        )?;
-    }
-    drop(s_flat);
-    timings.record(stages::FLAT_PLACEMENT, t_flat);
-    qor::record_placement_hpwl(qor::FLAT_PLACEMENT_HPWL, &free_problem, &result.positions);
+    let mut positions: Vec<(f64, f64)> =
+        if let Some(state) = resume.as_ref().and_then(|r| r.flat_placement.as_ref()) {
+            state.positions.clone()
+        } else {
+            // Instances at their cluster centers, with a deterministic
+            // in-cluster jitter so the B2B linearization is non-degenerate.
+            let mut seeds = vec![(0.0, 0.0); netlist.cell_count()];
+            for (i, &c) in clustered.cluster_of_cell().iter().enumerate() {
+                let center = cluster_positions[c as usize];
+                let (w, h) = clustered.dims(c);
+                let golden = (i as f64 * 0.618_033_988_749_895).fract() - 0.5;
+                let golden2 = (i as f64 * 0.381_966_011_250_105).fract() - 0.5;
+                seeds[i] = fp.core.clamp(center.0 + golden * w, center.1 + golden2 * h);
+            }
+
+            let mut flat_problem = PlacementProblem::from_netlist(netlist, &fp).with_seeds(seeds);
+            if options.timing_driven {
+                flat_problem.net_weights = timing_net_weights(netlist, constraints)?;
+            }
+            if options.tool == Tool::InnovusLike {
+                // Line 18: region constraints for shaped clusters.
+                for &c in &shaped {
+                    let (w, h) = clustered.dims(c);
+                    let (cx, cy) = cluster_positions[c as usize];
+                    // Regions get 25% slack over the macro footprint so
+                    // clusters whose seed placements overlap slightly
+                    // still have room.
+                    let (hw, hh) = (w * 0.625, h * 0.625);
+                    let region = Rect {
+                        llx: (cx - hw).max(fp.core.llx),
+                        lly: (cy - hh).max(fp.core.lly),
+                        urx: (cx + hw).min(fp.core.urx),
+                        ury: (cy + hh).min(fp.core.ury),
+                    };
+                    // A region clamped down to less than its cluster's
+                    // cell area (or collapsed entirely) would wedge the
+                    // spreader against an unsatisfiable constraint — drop
+                    // it instead and let those cells place freely.
+                    let member_area: f64 = clustered
+                        .cells(c)
+                        .iter()
+                        .map(|&cell| flat_problem.movable[cell.index()].area())
+                        .sum();
+                    let feasible = region.width() > 0.0
+                        && region.height() > 0.0
+                        && region.width() * region.height() >= member_area;
+                    if !feasible {
+                        diagnostics.record(RecoveryEvent::RegionDropped { cluster: c });
+                        continue;
+                    }
+                    for &cell in clustered.cells(c) {
+                        flat_problem.set_region(cell.index(), region);
+                    }
+                }
+            }
+            let t_flat = Instant::now();
+            let s_flat = cp_trace::span(stages::FLAT_PLACEMENT);
+            let result = GlobalPlacer::new(options.placer)
+                .place_with_control(&flat_problem, &exec.control)
+                .map_err(|e| exec.place_error(e, stages::FLAT_PLACEMENT, &mut diagnostics))?;
+            if result.diverged {
+                diagnostics.record(RecoveryEvent::PlacerReverted {
+                    stage: stages::FLAT_PLACEMENT,
+                });
+            }
+            let diverged = result.diverged;
+            let mut positions = result.positions;
+            if options.congestion_driven {
+                positions = congestion_driven_refine(
+                    netlist,
+                    &fp,
+                    &free_problem,
+                    positions,
+                    options,
+                    &mut diagnostics,
+                )?;
+            }
+            drop(s_flat);
+            timings.record(stages::FLAT_PLACEMENT, t_flat);
+            if let Some(cp) = &mut draft {
+                cp.stage = stages::FLAT_PLACEMENT;
+                cp.flat_placement = Some(PlacementState {
+                    positions: positions.clone(),
+                    diverged,
+                });
+            }
+            exec.save_draft(&mut draft, &mut diagnostics);
+            positions
+        };
+    qor::record_placement_hpwl(qor::FLAT_PLACEMENT_HPWL, &free_problem, &positions);
     qor::record_heap();
+    exec.check(
+        sites::FLOW_LEGALIZE,
+        stages::LEGALIZE_REFINE,
+        &mut diagnostics,
+    )?;
     let t_leg = Instant::now();
     let s_leg = cp_trace::span(stages::LEGALIZE_REFINE);
-    legalize(&free_problem, &fp, &mut result.positions)?;
+    legalize(&free_problem, &fp, &mut positions)?;
     refine(
         &free_problem,
         &fp,
-        &mut result.positions,
+        &mut positions,
         &DetailedOptions::default(),
     );
     drop(s_leg);
     timings.record(stages::LEGALIZE_REFINE, t_leg);
     let placement_runtime = t0.elapsed().as_secs_f64();
-    let hpwl = raw_hpwl(&free_problem, &result.positions);
+    let hpwl = raw_hpwl(&free_problem, &positions);
     cp_trace::gauge_set(qor::LEGALIZED_HPWL, hpwl);
     qor::record_heap();
+    exec.check(sites::FLOW_PPA, stages::PPA, &mut diagnostics)?;
     let t_ppa = Instant::now();
     let s_ppa = cp_trace::span(stages::PPA);
-    let ppa = evaluate_ppa(netlist, constraints, &result.positions, &fp, options)?;
+    let ppa = evaluate_ppa(netlist, constraints, &positions, &fp, options)?;
     drop(s_ppa);
     timings.record(stages::PPA, t_ppa);
     let trace = cp_trace::take_report(root);
@@ -1129,6 +1512,204 @@ mod helper_tests {
         assert!(flat.ppa.rwl > 0.0);
         assert!(ours.ppa.rwl > 0.0);
         assert!(ours.cluster_count > 1);
+    }
+}
+
+#[cfg(test)]
+mod resilience_tests {
+    use super::*;
+    use cp_netlist::generator::{DesignProfile, GeneratorConfig};
+
+    fn setup(scale: f64) -> (Netlist, Constraints) {
+        GeneratorConfig::from_profile(DesignProfile::Aes)
+            .scale(scale)
+            .seed(21)
+            .generate_with_constraints()
+    }
+
+    fn ckpt_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("cp-flow-resilience-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn resilient_flow_without_limits_matches_plain_run() {
+        let (n, c) = setup(0.01);
+        let plain = run_flow(&n, &c, &FlowOptions::fast()).expect("flow runs");
+        let res = run_flow_resilient(&n, &c, &FlowOptions::fast(), &ResilienceOptions::default())
+            .expect("flow runs");
+        assert!(
+            plain.deterministic_eq(&res),
+            "passive control must be a no-op"
+        );
+    }
+
+    #[test]
+    fn cancellation_surfaces_as_typed_error_with_diagnostics() {
+        let (n, c) = setup(0.01);
+        let resilience = ResilienceOptions {
+            control: RunControl::unlimited().cancel_after_checks(3),
+            ..Default::default()
+        };
+        let err =
+            run_flow_resilient(&n, &c, &FlowOptions::fast(), &resilience).expect_err("must cancel");
+        assert!(matches!(err, FlowError::Cancelled(_)), "got {err:?}");
+        let flow = err.interrupted().expect("interrupt carries state");
+        assert_eq!(flow.interrupt.kind, InterruptKind::Cancelled);
+        assert!(flow
+            .diagnostics
+            .events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::Cancelled { .. })));
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_before_any_stage() {
+        let (n, c) = setup(0.01);
+        let resilience = ResilienceOptions {
+            control: RunControl::unlimited().with_deadline(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        let err = run_flow_resilient(&n, &c, &FlowOptions::fast(), &resilience)
+            .expect_err("must time out");
+        assert!(matches!(err, FlowError::DeadlineExceeded(_)), "got {err:?}");
+        let flow = err.interrupted().expect("interrupt carries state");
+        assert_eq!(flow.stage, stages::CLUSTERING, "nothing ran yet");
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bitwise_identical() {
+        let (n, c) = setup(0.01);
+        let opts = FlowOptions::fast();
+        let path = ckpt_path("full-run.json");
+        let full = run_flow_resilient(
+            &n,
+            &c,
+            &opts,
+            &ResilienceOptions {
+                checkpoint: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .expect("flow runs");
+        assert!(full
+            .diagnostics
+            .events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::CheckpointWritten { .. })));
+        // The file holds the flat-placement checkpoint; resuming replays
+        // only legalization onward and must reproduce the report bitwise.
+        let resumed = run_flow_resilient(
+            &n,
+            &c,
+            &opts,
+            &ResilienceOptions {
+                resume_from: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .expect("flow resumes");
+        assert!(
+            full.deterministic_eq(&resumed),
+            "resume must be bitwise: {} vs {}",
+            full.hpwl,
+            resumed.hpwl
+        );
+        assert!(resumed
+            .diagnostics
+            .events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::Resumed { .. })));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cancelled_run_leaves_resumable_checkpoint() {
+        let (n, c) = setup(0.01);
+        let opts = FlowOptions::fast();
+        let path = ckpt_path("cancelled-run.json");
+        let err = run_flow_resilient(
+            &n,
+            &c,
+            &opts,
+            &ResilienceOptions {
+                control: RunControl::unlimited().cancel_after_checks(3),
+                checkpoint: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .expect_err("must cancel");
+        let flow = err.interrupted().expect("interrupt carries state");
+        assert_eq!(flow.checkpoint.as_deref(), Some(path.as_path()));
+        let cp = Checkpoint::load(&path).expect("checkpoint is readable");
+        assert_eq!(
+            cp.stage,
+            stages::SHAPING,
+            "shaping completed before the cut"
+        );
+        // Resuming the interrupted run completes it and matches a clean
+        // uninterrupted run bit for bit — no partially-mutated state leaks.
+        let resumed = run_flow_resilient(
+            &n,
+            &c,
+            &opts,
+            &ResilienceOptions {
+                resume_from: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .expect("flow resumes");
+        let clean = run_flow(&n, &c, &opts).expect("flow runs");
+        assert!(clean.deterministic_eq(&resumed));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_with_wrong_fingerprint_is_rejected() {
+        let (n, c) = setup(0.01);
+        let opts = FlowOptions::fast();
+        let path = ckpt_path("fingerprint.json");
+        run_flow_resilient(
+            &n,
+            &c,
+            &opts,
+            &ResilienceOptions {
+                checkpoint: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .expect("flow runs");
+        let mut other = FlowOptions::fast();
+        other.placer.seed += 1;
+        let err = run_flow_resilient(
+            &n,
+            &c,
+            &other,
+            &ResilienceOptions {
+                resume_from: Some(path.clone()),
+                ..Default::default()
+            },
+        )
+        .expect_err("must reject");
+        assert!(matches!(err, FlowError::Checkpoint { .. }), "got {err:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn vpr_shaping_cancellation_interrupts_the_sweep() {
+        let (n, c) = setup(0.01);
+        let opts = FlowOptions::fast().shape_mode(ShapeMode::Vpr);
+        // Checks 1-2 pass the flow-start and shaping boundaries; the
+        // shaping fan-out then trips on an uncounted poll or a later
+        // counted check, depending on scheduling — either way the run
+        // must end in the typed cancellation, never a partial report.
+        let resilience = ResilienceOptions {
+            control: RunControl::unlimited().cancel_after_checks(3),
+            ..Default::default()
+        };
+        let err = run_flow_resilient(&n, &c, &opts, &resilience).expect_err("must cancel");
+        assert!(matches!(err, FlowError::Cancelled(_)), "got {err:?}");
     }
 }
 

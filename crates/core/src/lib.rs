@@ -48,6 +48,7 @@
 #[cfg(feature = "alloc-telemetry")]
 pub mod alloc;
 pub mod baselines;
+pub mod checkpoint;
 pub mod cluster;
 pub mod error;
 pub mod flow;
@@ -55,6 +56,11 @@ pub mod qor;
 pub mod stages;
 pub mod vpr;
 
+pub use crate::checkpoint::Checkpoint;
 pub use crate::cluster::{ClusteringOptions, ClusteringResult};
-pub use crate::error::{FlowDiagnostics, FlowError, RecoveryEvent};
-pub use crate::flow::{run_default_flow, run_flow, FlowOptions, FlowReport, PpaReport, Tool};
+pub use crate::error::{FlowDiagnostics, FlowError, InterruptedFlow, RecoveryEvent};
+pub use crate::flow::{
+    run_default_flow, run_flow, run_flow_resilient, FlowOptions, FlowReport, PpaReport,
+    ResilienceOptions, Tool,
+};
+pub use cp_resilience::{Interrupt, InterruptKind, RunControl};

@@ -28,13 +28,59 @@
 //! the submitting thread always participates, so progress never depends
 //! on another region finishing first).
 
+use cp_resilience::{Interrupt, RunControl};
+use std::any::Any;
 use std::collections::VecDeque;
+use std::fmt;
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread;
+
+/// Why a fallible parallel region ([`try_par_for`], [`try_par_map`])
+/// terminated without completing every chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegionError {
+    /// A chunk's task panicked; the panic was contained by the pool's
+    /// `catch_unwind` (siblings kept their work, the pool survives) and
+    /// is re-raised here as a typed error with the payload preserved.
+    Panicked {
+        /// The panic payload's message (`&str`/`String` payloads; other
+        /// payload types surface as a placeholder).
+        message: String,
+    },
+    /// The region's [`RunControl`] was interrupted; remaining chunks were
+    /// drained without running.
+    Interrupted(Interrupt),
+}
+
+impl fmt::Display for RegionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Panicked { message } => write!(f, "a parallel task panicked: {message}"),
+            Self::Interrupted(i) => write!(f, "parallel region interrupted: {i}"),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+/// Extracts a human-readable message from a panic payload.
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// The panic message used when the worker-panic fault fires (see
+/// [`cp_resilience::sites::WORKER_PANIC`]).
+const INJECTED_PANIC_MSG: &str = "injected fault: parallel.worker.panic";
 
 /// Locks ignoring poisoning: a panicked task is already being reported
 /// through the job's panic flag, so the guarded data stays usable.
@@ -99,6 +145,9 @@ struct Job {
     /// spans opened inside chunks nest under the span that spawned the
     /// region (0 = tracing off or no ambient span).
     parent_span: u64,
+    /// Cancellation/deadline/budget handle for fallible regions. `None`
+    /// for the infallible primitives, whose behavior is unchanged.
+    control: Option<RunControl>,
     /// Next chunk index to steal.
     next: AtomicUsize,
     /// Workers currently inside the region.
@@ -107,6 +156,14 @@ struct Job {
     /// workers that see it never touch `task`.
     closed: AtomicBool,
     panicked: AtomicBool,
+    /// Once set, remaining chunks are claimed but not run (fast drain
+    /// after the first panic or interrupt).
+    abandoned: AtomicBool,
+    /// First captured panic, keyed by chunk index — the lowest-indexed
+    /// chunk's message wins so reporting is stable under scheduling.
+    panic_slot: Mutex<Option<(usize, String)>>,
+    /// First observed interrupt.
+    interrupt_slot: Mutex<Option<Interrupt>>,
     done: Mutex<()>,
     done_cv: Condvar,
 }
@@ -122,8 +179,10 @@ unsafe impl Sync for Job {}
 impl Job {
     /// Steals and runs chunks until the counter is exhausted, returning
     /// how many this participant ran. Panics in the task are captured
-    /// into `panicked` so every participant keeps draining (a worker must
-    /// never unwind out of the pool loop).
+    /// into `panic_slot` so every participant keeps draining (a worker
+    /// must never unwind out of the pool loop); after the first panic or
+    /// interrupt the region is abandoned and remaining chunks are claimed
+    /// without running.
     fn run_chunks(&self) -> usize {
         // SAFETY: see the struct-level invariant — the submitter keeps the
         // pointee alive while any participant is registered.
@@ -134,12 +193,52 @@ impl Job {
             if i >= self.chunks {
                 break;
             }
+            if self.abandoned.load(Ordering::SeqCst) {
+                continue;
+            }
+            if let Some(ctl) = &self.control {
+                if let Err(interrupt) = ctl.poll(cp_resilience::sites::POOL_CHUNK) {
+                    self.record_interrupt(interrupt);
+                    continue;
+                }
+            }
             ran += 1;
-            if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
-                self.panicked.store(true, Ordering::SeqCst);
+            let inject = self.control.is_some()
+                && cp_resilience::faultpoint!(cp_resilience::sites::WORKER_PANIC);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if inject {
+                    panic!("{INJECTED_PANIC_MSG}");
+                }
+                task(i)
+            }));
+            if let Err(payload) = outcome {
+                self.record_panic(i, payload_message(payload.as_ref()));
             }
         }
         ran
+    }
+
+    /// Records a contained panic (lowest chunk index wins) and abandons
+    /// the region.
+    fn record_panic(&self, chunk: usize, message: String) {
+        self.panicked.store(true, Ordering::SeqCst);
+        if self.control.is_some() {
+            self.abandoned.store(true, Ordering::SeqCst);
+        }
+        let mut slot = lock(&self.panic_slot);
+        match &*slot {
+            Some((c, _)) if *c <= chunk => {}
+            _ => *slot = Some((chunk, message)),
+        }
+    }
+
+    /// Records the first observed interrupt and abandons the region.
+    fn record_interrupt(&self, interrupt: Interrupt) {
+        self.abandoned.store(true, Ordering::SeqCst);
+        let mut slot = lock(&self.interrupt_slot);
+        if slot.is_none() {
+            *slot = Some(interrupt);
+        }
     }
 
     /// Worker-side entry: register, steal chunks unless the region
@@ -231,17 +330,48 @@ fn worker_loop(shared: &Shared, index: u32) {
 /// # Panics
 ///
 /// Panics if any chunk's task panicked, after all participants have left
-/// the region (the original payload is not preserved).
+/// the region. The lowest-indexed panicking chunk's payload message is
+/// preserved in the new panic's message.
 pub fn par_for(chunks: usize, task: &(dyn Fn(usize) + Sync)) {
+    match par_for_region(chunks, None, task) {
+        Ok(()) => {}
+        Err(RegionError::Panicked { message }) => {
+            panic!("cp-parallel: a parallel task panicked: {message}");
+        }
+        // Unreachable: regions without a control are never interrupted.
+        Err(RegionError::Interrupted(i)) => {
+            panic!("cp-parallel: control-free region interrupted: {i}");
+        }
+    }
+}
+
+/// Fallible [`par_for`]: runs chunks under `control`, checking it before
+/// each chunk ([`cp_resilience::sites::POOL_CHUNK`], uncounted so the
+/// schedule-dependent number of polls never perturbs deterministic
+/// check counting). On the first panic or interrupt the region is
+/// abandoned — remaining chunks are claimed but not run — and the typed
+/// error is returned after every participant has left. A contained panic
+/// preserves the payload message; the pool itself always survives.
+pub fn try_par_for(
+    chunks: usize,
+    control: &RunControl,
+    task: &(dyn Fn(usize) + Sync),
+) -> Result<(), RegionError> {
+    par_for_region(chunks, Some(control), task)
+}
+
+/// Shared region driver for [`par_for`] and [`try_par_for`].
+fn par_for_region(
+    chunks: usize,
+    control: Option<&RunControl>,
+    task: &(dyn Fn(usize) + Sync),
+) -> Result<(), RegionError> {
     if chunks == 0 {
-        return;
+        return Ok(());
     }
     let budget = current_threads().min(chunks);
     if budget <= 1 {
-        for i in 0..chunks {
-            task(i);
-        }
-        return;
+        return inline_region(chunks, control, task);
     }
     let p = pool();
     p.ensure_workers(budget - 1);
@@ -258,10 +388,14 @@ pub fn par_for(chunks: usize, task: &(dyn Fn(usize) + Sync)) {
         task: task_static as *const _,
         chunks,
         parent_span: cp_trace::current_span_id(),
+        control: control.cloned(),
         next: AtomicUsize::new(0),
         active: AtomicUsize::new(0),
         closed: AtomicBool::new(false),
         panicked: AtomicBool::new(false),
+        abandoned: AtomicBool::new(false),
+        panic_slot: Mutex::new(None),
+        interrupt_slot: Mutex::new(None),
         done: Mutex::new(()),
         done_cv: Condvar::new(),
     });
@@ -287,8 +421,49 @@ pub fn par_for(chunks: usize, task: &(dyn Fn(usize) + Sync)) {
         }
     }
     if job.panicked.load(Ordering::SeqCst) {
-        panic!("cp-parallel: a parallel task panicked");
+        let message = lock(&job.panic_slot)
+            .take()
+            .map(|(_, m)| m)
+            .unwrap_or_else(|| "opaque panic payload".to_string());
+        return Err(RegionError::Panicked { message });
     }
+    if let Some(interrupt) = lock(&job.interrupt_slot).take() {
+        return Err(RegionError::Interrupted(interrupt));
+    }
+    Ok(())
+}
+
+/// Sequential fallback for a budget of one (or a single chunk). The
+/// control-free path calls the task directly — panics unwind natively —
+/// so the infallible primitives keep their zero-overhead inline path.
+fn inline_region(
+    chunks: usize,
+    control: Option<&RunControl>,
+    task: &(dyn Fn(usize) + Sync),
+) -> Result<(), RegionError> {
+    let Some(ctl) = control else {
+        for i in 0..chunks {
+            task(i);
+        }
+        return Ok(());
+    };
+    for i in 0..chunks {
+        ctl.poll(cp_resilience::sites::POOL_CHUNK)
+            .map_err(RegionError::Interrupted)?;
+        let inject = cp_resilience::faultpoint!(cp_resilience::sites::WORKER_PANIC);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if inject {
+                panic!("{INJECTED_PANIC_MSG}");
+            }
+            task(i)
+        }));
+        if let Err(payload) = outcome {
+            return Err(RegionError::Panicked {
+                message: payload_message(payload.as_ref()),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Number of fixed-size chunks covering `n` items (`chunk` clamped to at
@@ -366,6 +541,45 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], chunk: usize, f: impl Fn(&T) -> R 
     let mut out = ManuallyDrop::new(out);
     // SAFETY: all `n` slots were initialized exactly once above.
     unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<R>(), n, out.capacity()) }
+}
+
+/// Fallible [`par_map`]: maps `f` over `items` under `control`. `Ok`
+/// means every element was produced, so partial results can never leak
+/// out of an interrupted or panicked region; on `Err` the intermediate
+/// buffer is discarded without dropping element contents (initialized
+/// slots leak their heap allocations — safe, if wasteful, and only on
+/// the error path).
+pub fn try_par_map<T: Sync, R: Send>(
+    items: &[T],
+    chunk: usize,
+    control: &RunControl,
+    f: impl Fn(&T) -> R + Sync,
+) -> Result<Vec<R>, RegionError> {
+    let n = items.len();
+    let chunk = chunk.max(1);
+    let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit slots need no initialization.
+    unsafe { out.set_len(n) };
+    let ptr = SendPtr(out.as_mut_ptr());
+    let result = par_for_region(chunk_count(n, chunk), Some(control), &|ci| {
+        let start = ci * chunk;
+        let end = (start + chunk).min(n);
+        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+            // SAFETY: index `i` belongs to exactly one chunk.
+            unsafe { ptr.get().add(i).write(MaybeUninit::new(f(item))) };
+        }
+    });
+    match result {
+        Ok(()) => {
+            let mut out = ManuallyDrop::new(out);
+            // SAFETY: Ok means every chunk completed, so all `n` slots
+            // were initialized exactly once above.
+            Ok(unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<R>(), n, out.capacity()) })
+        }
+        // Dropping Vec<MaybeUninit<R>> frees the buffer without running
+        // any R destructors — safe even with uninitialized slots.
+        Err(e) => Err(e),
+    }
 }
 
 /// Splits `data` into fixed-size chunks and hands each chunk mutably to
@@ -514,6 +728,79 @@ mod tests {
                 }
             });
         });
+    }
+
+    #[test]
+    fn try_par_for_preserves_panic_message() {
+        let ctl = RunControl::unlimited();
+        for threads in [1, 4] {
+            let err = with_threads(threads, || {
+                try_par_for(16, &ctl, &|i| {
+                    if i == 5 {
+                        panic!("task {i} exploded");
+                    }
+                })
+            })
+            .expect_err("panicking region must fail");
+            match err {
+                RegionError::Panicked { message } => {
+                    assert!(message.contains("exploded"), "got: {message}")
+                }
+                other => panic!("expected Panicked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_par_for_pool_survives_contained_panic() {
+        let ctl = RunControl::unlimited();
+        let _ = with_threads(4, || try_par_for(8, &ctl, &|_| panic!("boom")));
+        // The pool must still run subsequent regions to completion.
+        let ok = AtomicU64::new(0);
+        with_threads(4, || {
+            par_for(32, &|_| {
+                ok.fetch_add(1, Ordering::SeqCst);
+            })
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn try_par_for_observes_cancellation() {
+        for threads in [1, 4] {
+            let ctl = RunControl::unlimited();
+            ctl.cancel();
+            let ran = AtomicU64::new(0);
+            let err = with_threads(threads, || {
+                try_par_for(64, &ctl, &|_| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .expect_err("cancelled region must fail");
+            assert!(matches!(err, RegionError::Interrupted(_)), "got {err:?}");
+            assert_eq!(ran.load(Ordering::SeqCst), 0, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_matches_par_map_when_uninterrupted() {
+        let items: Vec<u64> = (0..500).collect();
+        let ctl = RunControl::unlimited();
+        for threads in [1, 4] {
+            let out = with_threads(threads, || try_par_map(&items, 7, &ctl, |&x| x * 3))
+                .expect("uninterrupted map succeeds");
+            assert_eq!(out, (0..500).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn try_par_map_cancelled_yields_no_partial_results() {
+        let ctl = RunControl::unlimited();
+        ctl.cancel();
+        let items: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let err = with_threads(4, || try_par_map(&items, 4, &ctl, |s| format!("out-{s}")))
+            .expect_err("cancelled map must fail");
+        assert!(matches!(err, RegionError::Interrupted(_)));
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Deterministic fault-injection registry (`fault-injection` feature).
+//!
+//! Faults are armed per *site* and fire on a specific global hit index:
+//! `arm("place.solver.nan", 3)` makes the third execution of that
+//! `faultpoint!` return `true` (exactly once). Hit counting is a single
+//! process-wide counter per site, so a given `(site, hit)` pair names a
+//! reproducible program point — modulo worker scheduling, which can
+//! reorder *which thread* reaches the n-th hit, but never whether it
+//! happens.
+//!
+//! The registry is process-global and test-friendly: [`disarm_all`]
+//! resets everything between chaos cases.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+#[derive(Debug, Clone, Copy)]
+struct ArmState {
+    /// 1-based hit index the fault fires on.
+    at_hit: u64,
+    /// Hits observed so far.
+    hits: u64,
+    /// Times the fault actually fired.
+    fired: u64,
+}
+
+fn registry() -> MutexGuard<'static, HashMap<String, ArmState>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, ArmState>>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arms `site` to fire on its `at_hit`-th hit (1-based; 0 is clamped to
+/// 1). Re-arming a site resets its counters.
+pub fn arm(site: &str, at_hit: u64) {
+    registry().insert(
+        site.to_string(),
+        ArmState {
+            at_hit: at_hit.max(1),
+            hits: 0,
+            fired: 0,
+        },
+    );
+}
+
+/// Disarms every site and clears all counters.
+pub fn disarm_all() {
+    registry().clear();
+}
+
+/// One hit of `site`: returns `true` exactly when the armed hit index is
+/// reached. Unarmed sites are free: one map lookup under a mutex.
+pub fn fires(site: &str) -> bool {
+    let mut reg = registry();
+    let Some(state) = reg.get_mut(site) else {
+        return false;
+    };
+    state.hits += 1;
+    let fire = state.hits == state.at_hit;
+    if fire {
+        state.fired += 1;
+    }
+    fire
+}
+
+/// Hits observed at `site` since it was armed (0 when unarmed).
+pub fn hits(site: &str) -> u64 {
+    registry().get(site).map_or(0, |s| s.hits)
+}
+
+/// Times `site` actually fired since it was armed.
+pub fn fired(site: &str) -> u64 {
+    registry().get(site).map_or(0, |s| s.fired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_exactly_on_the_armed_hit() {
+        disarm_all();
+        arm("test.site", 3);
+        assert!(!fires("test.site"));
+        assert!(!fires("test.site"));
+        assert!(fires("test.site"));
+        assert!(!fires("test.site"));
+        assert_eq!(hits("test.site"), 4);
+        assert_eq!(fired("test.site"), 1);
+        disarm_all();
+        assert!(!fires("test.site"));
+        assert_eq!(hits("test.site"), 0);
+    }
+
+    #[test]
+    fn unarmed_sites_never_fire() {
+        disarm_all();
+        assert!(!fires("test.other"));
+        assert_eq!(fired("test.other"), 0);
+    }
+}

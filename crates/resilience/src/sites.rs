@@ -1,0 +1,49 @@
+//! Canonical names for check sites and fault-injection sites.
+//!
+//! Check sites label where a [`RunControl`](crate::RunControl) check
+//! observed an interrupt; fault sites are the `faultpoint!` locations the
+//! chaos harness arms. One constant per site, so the harness, the flow
+//! and the docs can never drift apart on names.
+
+/// Pre-flight check before any stage runs.
+pub const FLOW_START: &str = "flow.start";
+/// Boundary check before the shaping stage.
+pub const FLOW_SHAPING: &str = "flow.shaping";
+/// Boundary check before cluster placement.
+pub const FLOW_CLUSTER_PLACEMENT: &str = "flow.cluster_placement";
+/// Boundary check before the flat placement.
+pub const FLOW_FLAT_PLACEMENT: &str = "flow.flat_placement";
+/// Boundary check before legalization + refinement.
+pub const FLOW_LEGALIZE: &str = "flow.legalize";
+/// Boundary check before CTS/route/STA.
+pub const FLOW_PPA: &str = "flow.ppa";
+/// Per-outer-iteration check inside the global placer's CG loop.
+pub const PLACE_OUTER: &str = "place.outer";
+/// Per-candidate check inside the V-P&R shape sweep.
+pub const VPR_CANDIDATE: &str = "vpr.candidate";
+/// Uncounted per-chunk poll inside `cp-parallel` worker loops.
+pub const POOL_CHUNK: &str = "parallel.chunk";
+
+/// Fault: poison the global placer's solve with a NaN.
+pub const SOLVER_NAN: &str = "place.solver.nan";
+/// Fault: fail one V-P&R candidate evaluation with a typed error.
+pub const VPR_CANDIDATE_FAIL: &str = "vpr.candidate.fail";
+/// Fault: panic inside a fallible `cp-parallel` chunk (contained by the
+/// pool's `catch_unwind` and re-raised as a typed error).
+pub const WORKER_PANIC: &str = "parallel.worker.panic";
+/// Fault: force a budget interrupt at the next counted check.
+pub const FAULT_BUDGET_TRIP: &str = "flow.budget.trip";
+/// Fault: request cancellation at the next counted check.
+pub const FAULT_CANCEL: &str = "flow.cancel";
+/// Fault: force a deadline interrupt at the next counted check.
+pub const FAULT_DEADLINE: &str = "flow.deadline";
+
+/// Every fault-injection site the chaos harness sweeps.
+pub const FAULTS: [&str; 6] = [
+    SOLVER_NAN,
+    VPR_CANDIDATE_FAIL,
+    WORKER_PANIC,
+    FAULT_BUDGET_TRIP,
+    FAULT_CANCEL,
+    FAULT_DEADLINE,
+];
