@@ -1,23 +1,90 @@
-//! Thread-scaling of the clustered flow (the tentpole's acceptance
-//! artifact): runs the full V-P&R-shaped flow at 1/2/4/8 threads via
-//! `cp_parallel::with_threads` and writes `BENCH_parallel.json` with the
-//! per-stage wall-clock each run's `FlowReport` recorded.
+//! Large-scale scaling bench (the tentpole's acceptance artifact): runs
+//! the full clustered flow at a ladder of design sizes — from the 1/32
+//! harness scale up to the paper's full-size BlackParrot (~769k cells) —
+//! at every thread count the host supports, and writes
+//! `BENCH_parallel.json` with per-scale wall-clock, per-stage timings and
+//! the top trace self-time spans (the hot spots) per scale.
 //!
-//! Speedups are only meaningful up to the detected core count, which the
-//! report includes; on a single-core host every thread count serializes
-//! and the ratios hover around 1.0.
+//! Honesty rules:
+//!
+//! - Thread counts above `detected_cores` serialize on the pool, so they
+//!   are not run and no speedup is claimed for them.
+//! - On a single-core host *no* parallel speedup is measurable;
+//!   `speedup_vs_1t` is `null`, a `note` says why, and the bench prints
+//!   a warning instead of a ~1.0 "speedup" table.
+//! - Metrics must be bitwise-identical across thread counts (asserted);
+//!   every run is traced at the same level so timings are comparable.
+//!
+//! ```text
+//! scaling [--max-cells N]
+//! ```
+//!
+//! `--max-cells` truncates the ladder (CI smoke runs the ≥50k-cell prefix
+//! without paying for the ~769k-cell tier).
 
-use cp_bench::{flow_options, print_table, scale, Bench};
-use cp_core::flow::{run_flow, FlowReport, ShapeMode};
+use cp_bench::{print_table, Bench};
+use cp_core::flow::{run_flow, FlowOptions, FlowReport};
 use cp_netlist::generator::DesignProfile;
+use cp_trace::{Analysis, Level};
 use std::time::Instant;
 
-const THREADS: [usize; 4] = [1, 2, 4, 8];
+const THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
+/// Hot spans reported per scale.
+const TOP_SPANS: usize = 8;
+
+/// One rung of the size ladder.
+struct ScalePoint {
+    profile: DesignProfile,
+    scale: f64,
+}
+
+/// The default ladder: ~500 cells to ~769k cells (BlackParrot at the
+/// paper's full instance count).
+fn ladder() -> Vec<ScalePoint> {
+    vec![
+        ScalePoint {
+            profile: DesignProfile::Aes,
+            scale: 1.0 / 32.0,
+        },
+        ScalePoint {
+            profile: DesignProfile::Aes,
+            scale: 1.0,
+        },
+        ScalePoint {
+            profile: DesignProfile::Jpeg,
+            scale: 1.0,
+        },
+        ScalePoint {
+            profile: DesignProfile::Ariane,
+            scale: 1.0,
+        },
+        ScalePoint {
+            profile: DesignProfile::BlackParrot,
+            scale: 1.0,
+        },
+    ]
+}
+
+/// Identical reduced-effort options at every scale, so the sweep compares
+/// sizes, not configurations. `fast()` keeps the ~769k-cell tier in
+/// minutes; the clustering stage pre-coarsens above its threshold.
+fn sweep_options() -> FlowOptions {
+    FlowOptions::fast()
+}
 
 struct Run {
     threads: usize,
-    total: f64,
+    total_s: f64,
     report: FlowReport,
+}
+
+struct ScaleResult {
+    name: &'static str,
+    scale: f64,
+    cells: usize,
+    runs: Vec<Run>,
+    /// `(name, self_s, share)` of the top self-time spans, 1-thread run.
+    hot: Vec<(String, f64, f64)>,
 }
 
 fn json_stages(report: &FlowReport) -> String {
@@ -30,90 +97,210 @@ fn json_stages(report: &FlowReport) -> String {
         .join(", ")
 }
 
-fn main() {
-    let b = Bench::generate(DesignProfile::Aes);
-    // Lower the shaping threshold below the scaled cluster sizes so the
-    // 20-candidate V-P&R sweep — a main parallel section — actually runs.
-    let mut opts = flow_options().shape_mode(ShapeMode::Vpr);
-    opts.vpr_min_instances = 60;
-    let cores = cp_parallel::detected_cores();
-    println!(
-        "# Thread scaling, {} at scale {} ({} cells, {} detected cores)",
-        b.name(),
-        scale(),
-        b.netlist.cell_count(),
-        cores
-    );
+/// Top self-time spans of a traced run as `(name, self_s, share)`.
+fn hot_spans(a: &Analysis) -> Vec<(String, f64, f64)> {
+    let rows = a.self_time_by_name();
+    let total: f64 = rows.iter().map(|r| r.self_s.max(0.0)).sum();
+    let total = total.max(1e-12);
+    rows.into_iter()
+        .take(TOP_SPANS)
+        .map(|r| (r.name, r.self_s, r.self_s.max(0.0) / total))
+        .collect()
+}
 
+fn run_point(point: &ScalePoint, threads: &[usize], opts: &FlowOptions) -> ScaleResult {
+    let b = Bench::generate_at(point.profile, point.scale);
+    let cells = b.netlist.cell_count();
+    eprintln!("## {} @ scale {} — {} cells", b.name(), point.scale, cells);
     let mut runs = Vec::new();
-    for &t in &THREADS {
+    let mut hot = Vec::new();
+    for &t in threads {
+        cp_trace::set_level(Level::Spans);
         let t0 = Instant::now();
         let report = cp_parallel::with_threads(t, || {
-            run_flow(&b.netlist, &b.constraints, &opts).expect("flow runs")
+            run_flow(&b.netlist, &b.constraints, opts).expect("flow runs")
         });
-        let total = t0.elapsed().as_secs_f64();
-        eprintln!("{t} thread(s): {total:.2}s");
+        let total_s = t0.elapsed().as_secs_f64();
+        cp_trace::set_level(Level::Off);
+        cp_trace::clear();
+        eprintln!("  {t} thread(s): {total_s:.2}s, hpwl {:.0}", report.hpwl);
+        if t == 1 {
+            if let Some(trace) = report.trace.as_ref() {
+                hot = hot_spans(&Analysis::from_report(trace).expect("trace analyzes"));
+            }
+        }
         runs.push(Run {
             threads: t,
-            total,
+            total_s,
             report,
         });
     }
-
     let base = &runs[0];
     assert!(
         runs.iter()
             .all(|r| r.report.hpwl.to_bits() == base.report.hpwl.to_bits()
                 && r.report.ppa == base.report.ppa),
-        "thread counts disagree on flow metrics"
+        "thread counts disagree on flow metrics at {} cells",
+        cells
     );
+    ScaleResult {
+        name: b.name(),
+        scale: point.scale,
+        cells,
+        runs,
+        hot,
+    }
+}
 
-    let rows: Vec<Vec<String>> = runs
+fn scale_json(r: &ScaleResult, speedups_meaningful: bool) -> String {
+    let runs_json = r
+        .runs
         .iter()
-        .map(|r| {
-            vec![
-                r.threads.to_string(),
-                format!("{:.2}", r.total),
-                format!("{:.2}", base.total / r.total),
-                format!("{:.2}", r.report.timings.total()),
-            ]
-        })
-        .collect();
-    print_table(
-        "Flow wall-clock by thread count (identical metrics asserted)",
-        &["Threads", "Total s", "Speedup vs 1T", "Staged s"],
-        &rows,
-    );
-
-    let runs_json = runs
-        .iter()
-        .map(|r| {
+        .map(|run| {
             format!(
-                "    {{\"threads\": {}, \"total_s\": {:.6}, \"hpwl\": {:.3}, \"stages_s\": {{{}}}}}",
-                r.threads,
-                r.total,
-                r.report.hpwl,
-                json_stages(&r.report)
+                "        {{\"threads\": {}, \"total_s\": {:.6}, \"hpwl\": {:.3}, \"stages_s\": {{{}}}}}",
+                run.threads,
+                run.total_s,
+                run.report.hpwl,
+                json_stages(&run.report)
             )
         })
         .collect::<Vec<_>>()
         .join(",\n");
-    let speedups = runs
+    let speedup = if speedups_meaningful {
+        let base = &r.runs[0];
+        let entries = r
+            .runs
+            .iter()
+            .map(|run| format!("\"{}\": {:.3}", run.threads, base.total_s / run.total_s))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("{{{entries}}}")
+    } else {
+        "null".to_string()
+    };
+    let hot_json = r
+        .hot
         .iter()
-        .map(|r| format!("\"{}\": {:.3}", r.threads, base.total / r.total))
+        .map(|(name, self_s, share)| {
+            format!(
+                "        {{\"name\": \"{}\", \"self_s\": {:.6}, \"share\": {:.4}}}",
+                cp_trace::json::escape(name),
+                self_s,
+                share
+            )
+        })
         .collect::<Vec<_>>()
-        .join(", ");
+        .join(",\n");
+    format!
+        (
+        "    {{\n      \"design\": \"{}\",\n      \"scale\": {},\n      \"cells\": {},\n      \
+         \"runs\": [\n{}\n      ],\n      \"speedup_vs_1t\": {},\n      \"hot_spans\": [\n{}\n      ]\n    }}",
+        r.name, r.scale, r.cells, runs_json, speedup, hot_json
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_cells = usize::MAX;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-cells" => {
+                let v = args.get(i + 1).expect("--max-cells needs a value");
+                max_cells = v.parse().expect("--max-cells must be an integer");
+                i += 2;
+            }
+            other => panic!("unknown option `{other}` (usage: scaling [--max-cells N])"),
+        }
+    }
+
+    let cores = cp_parallel::detected_cores();
+    let threads: Vec<usize> = THREAD_LADDER
+        .iter()
+        .copied()
+        .filter(|&t| t == 1 || t <= cores)
+        .collect();
+    let speedups_meaningful = threads.len() > 1;
+    println!(
+        "# Scale sweep ({} detected cores; thread counts {:?})",
+        cores, threads
+    );
+    if !speedups_meaningful {
+        eprintln!(
+            "WARNING: host exposes {cores} core(s); thread counts above it serialize on the \
+             pool, so no parallel speedup is measurable here. BENCH_parallel.json will carry \
+             \"speedup_vs_1t\": null — rerun on a multi-core host for real speedup curves."
+        );
+    }
+
+    let opts = sweep_options();
+    let results: Vec<ScaleResult> = ladder()
+        .iter()
+        .filter(|p| {
+            let est = (p.profile.table1_insts() as f64 * p.scale) as usize;
+            est <= max_cells
+        })
+        .map(|p| run_point(p, &threads, &opts))
+        .collect();
+    assert!(!results.is_empty(), "--max-cells excluded every scale");
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .flat_map(|r| {
+            r.runs.iter().map(|run| {
+                vec![
+                    r.name.to_string(),
+                    r.cells.to_string(),
+                    run.threads.to_string(),
+                    format!("{:.2}", run.total_s),
+                    if speedups_meaningful {
+                        format!("{:.2}", r.runs[0].total_s / run.total_s)
+                    } else {
+                        "n/a (1 core)".to_string()
+                    },
+                    r.hot.first().map_or(String::new(), |(n, _, s)| {
+                        format!("{n} ({:.0}%)", s * 100.0)
+                    }),
+                ]
+            })
+        })
+        .collect();
+    print_table(
+        "Flow wall-clock by design size and thread count",
+        &[
+            "Design",
+            "Cells",
+            "Threads",
+            "Total s",
+            "Speedup vs 1T",
+            "Hottest span",
+        ],
+        &rows,
+    );
+
+    let scales_json = results
+        .iter()
+        .map(|r| scale_json(r, speedups_meaningful))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let note = if speedups_meaningful {
+        String::new()
+    } else {
+        format!(
+            "\n  \"note\": \"host exposes {cores} core(s); thread counts above it serialize, \
+             so per-thread speedups are not measurable and speedup_vs_1t is null\","
+        )
+    };
     let json = format!(
-        "{{\n  \"bench\": \"parallel_scaling\",\n  \"design\": \"{}\",\n  \"scale\": {},\n  \
-         \"cells\": {},\n  \"detected_cores\": {},\n  \"metrics_identical\": true,\n  \
-         \"runs\": [\n{}\n  ],\n  \"speedup_vs_1t\": {{{}}}\n}}\n",
-        b.name(),
-        scale(),
-        b.netlist.cell_count(),
-        cores,
-        runs_json,
-        speedups
+        "{{\n  \"bench\": \"parallel_scaling\",\n  \"detected_cores\": {},\n  \
+         \"thread_counts\": {:?},\n  \"trace_level\": \"spans\",\n  \
+         \"metrics_identical\": true,{}\n  \"scales\": [\n{}\n  ]\n}}\n",
+        cores, threads, note, scales_json
     );
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
-    println!("\nwrote BENCH_parallel.json");
+    println!(
+        "\nwrote BENCH_parallel.json ({} scale points)",
+        results.len()
+    );
 }

@@ -1,0 +1,193 @@
+//! Solver micro-bench (hot-path kernels in isolation): builds synthetic
+//! B2B systems at 10k / 100k / 1M variables and times
+//!
+//! - one CSR SpMV (`B2bSystem::apply_into`), min-of-N over repeated
+//!   applications,
+//! - a full preconditioned-CG solve into reused scratch
+//!   (`solve_into_with_stats`),
+//! - a full B2B rebuild from scratch vs an incremental rebuild after
+//!   moving 1% of the cells (the cached-net fast path).
+//!
+//! Writes `BENCH_solver.json`. The synthetic netlists are seeded and the
+//! kernels bitwise-deterministic, so per-size nnz and CG iteration
+//! counts are stable across runs and machines — only the seconds vary.
+
+use cp_graph::Hypergraph;
+use cp_netlist::floorplan::Rect;
+use cp_place::solver::{Axis, B2bRebuilder, CgScratch};
+use cp_place::{Object, PlacementProblem};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Instant;
+
+const SIZES: [usize; 3] = [10_000, 100_000, 1_000_000];
+const SPMV_REPS: usize = 20;
+const CG_ITERS: usize = 60;
+
+/// Synthetic placement problem: `n` movable cells in a square core,
+/// `1.5 n` random 2–4-pin nets plus a connectivity chain, seeded
+/// positions uniform over the core.
+fn synthetic(n: usize, seed: u64) -> (PlacementProblem, Vec<(f64, f64)>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = (n as f64).sqrt().ceil().max(4.0) * 2.0;
+    let mut edges: Vec<(Vec<u32>, f64)> = Vec::with_capacity(n + n / 2);
+    // Chain keeps the graph connected so CG sees one coupled system.
+    for i in 0..n.saturating_sub(1) {
+        edges.push((vec![i as u32, i as u32 + 1], 1.0));
+    }
+    // IO nets tie a spread of cells to the corner terminals — the
+    // boundary conditions that give CG real work to do.
+    for i in (0..n).step_by((n / 64).max(1)) {
+        edges.push((vec![i as u32, (n + (i % 2)) as u32], 2.0));
+    }
+    // Random nets may also pick the fixed terminals.
+    for _ in 0..n / 2 {
+        let pins = 2 + rng.random_range(0..3usize);
+        let mut verts: Vec<u32> = (0..pins)
+            .map(|_| rng.random_range(0..n + 2) as u32)
+            .collect();
+        verts.sort_unstable();
+        verts.dedup();
+        if verts.len() >= 2 {
+            edges.push((verts, 0.5 + rng.random::<f64>()));
+        }
+    }
+    let edge_count = edges.len();
+    let problem = PlacementProblem {
+        movable: vec![
+            Object {
+                width: 1.0,
+                height: 1.0,
+            };
+            n
+        ],
+        fixed: vec![(0.0, 0.0), (side, side)],
+        hypergraph: Hypergraph::new(n + 2, edges),
+        net_weights: vec![1.0; edge_count],
+        core: Rect::new(0.0, 0.0, side, side),
+        region: vec![None; n],
+        seed_positions: None,
+        blockages: Vec::new(),
+        density_target: 0.9,
+    };
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random::<f64>() * side, rng.random::<f64>() * side))
+        .collect();
+    (problem, positions)
+}
+
+struct SizeResult {
+    n: usize,
+    nnz: usize,
+    build_s: f64,
+    incremental_s: f64,
+    spmv_s: f64,
+    cg_s: f64,
+    cg_iters: usize,
+    cg_rel: f64,
+}
+
+fn bench_size(n: usize) -> SizeResult {
+    let (problem, mut positions) = synthetic(n, 0x5eed ^ n as u64);
+    let mut rb = B2bRebuilder::new(Axis::X);
+
+    // Full build (first rebuild is always full).
+    let t0 = Instant::now();
+    rb.rebuild(&problem, &positions, None);
+    let build_s = t0.elapsed().as_secs_f64();
+    let nnz = rb.system().nnz();
+
+    // Incremental rebuild after moving 1% of the cells.
+    let mut rng = StdRng::seed_from_u64(97);
+    for _ in 0..(n / 100).max(1) {
+        let i = rng.random_range(0..n);
+        positions[i].0 += 0.75;
+    }
+    let t1 = Instant::now();
+    rb.rebuild(&problem, &positions, None);
+    let incremental_s = t1.elapsed().as_secs_f64();
+
+    let sys = rb.system();
+    let x: Vec<f64> = (0..sys.len()).map(|i| (i % 17) as f64 * 0.25).collect();
+    let mut out = vec![0.0; sys.len()];
+    let mut spmv_s = f64::INFINITY;
+    for _ in 0..SPMV_REPS {
+        let t = Instant::now();
+        sys.apply_into(&x, &mut out);
+        spmv_s = spmv_s.min(t.elapsed().as_secs_f64());
+    }
+    assert!(out.iter().all(|v| v.is_finite()));
+
+    let mut sol = vec![0.0; sys.len()];
+    let mut scratch = CgScratch::default();
+    let t2 = Instant::now();
+    let stats = sys.solve_into_with_stats(&mut sol, &mut scratch, CG_ITERS, 1e-6);
+    let cg_s = t2.elapsed().as_secs_f64();
+    SizeResult {
+        n,
+        nnz,
+        build_s,
+        incremental_s,
+        spmv_s,
+        cg_s,
+        cg_iters: stats.iterations,
+        cg_rel: stats.relative_residual,
+    }
+}
+
+fn main() {
+    println!("# Solver kernels (CSR B2B), min-of-{SPMV_REPS} SpMV, {CG_ITERS}-iter CG budget");
+    let results: Vec<SizeResult> = SIZES
+        .iter()
+        .map(|&n| {
+            let r = bench_size(n);
+            println!(
+                "{:>9} vars: nnz {:>9}, build {:.4}s, incr {:.4}s ({:.1}x), spmv {:.5}s \
+             ({:.1} Mnnz/s), cg {:.3}s ({} iters, rel {:.2e})",
+                r.n,
+                r.nnz,
+                r.build_s,
+                r.incremental_s,
+                r.build_s / r.incremental_s.max(1e-12),
+                r.spmv_s,
+                r.nnz as f64 / r.spmv_s.max(1e-12) / 1e6,
+                r.cg_s,
+                r.cg_iters,
+                r.cg_rel
+            );
+            r
+        })
+        .collect();
+
+    let sizes_json = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"vars\": {}, \"nnz\": {}, \"build_s\": {:.6}, \
+                 \"incremental_rebuild_s\": {:.6}, \"spmv_s\": {:.6}, \
+                 \"spmv_mnnz_per_s\": {:.2}, \"cg_s\": {:.6}, \"cg_iters\": {}, \
+                 \"cg_rel_residual\": {:e}}}",
+                r.n,
+                r.nnz,
+                r.build_s,
+                r.incremental_s,
+                r.spmv_s,
+                r.nnz as f64 / r.spmv_s.max(1e-12) / 1e6,
+                r.cg_s,
+                r.cg_iters,
+                r.cg_rel
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"solver_kernels\",\n  \"detected_cores\": {},\n  \
+         \"spmv_reps\": {},\n  \"cg_iter_budget\": {},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        cp_parallel::detected_cores(),
+        SPMV_REPS,
+        CG_ITERS,
+        sizes_json
+    );
+    std::fs::write("BENCH_solver.json", &json).expect("write BENCH_solver.json");
+    println!("\nwrote BENCH_solver.json");
+}

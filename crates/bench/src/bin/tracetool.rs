@@ -5,7 +5,7 @@
 //! tracetool summarize <report.json>
 //! tracetool diff <base.json> <new.json> [--rel R] [--abs S] [--metric-rel M]
 //! tracetool flamegraph <report.json> [-o out.folded]
-//! tracetool gate [--baseline FILE] [--from report.json] [--reps N] [--write] [--timeout-s S]
+//! tracetool gate [--baseline FILE] [--from report.json] [--reps N] [--write] [--timeout-s S] [--large]
 //! tracetool chaos [--seeds N] [--timeout-s S] [--site SUBSTR]
 //! tracetool bench <report.json> [-o BENCH_analysis.json]
 //! ```
@@ -17,7 +17,10 @@
 //! exiting 1 on any violation. `--from` gates an existing report file
 //! instead of running the flow; `--write` (re)records the baseline;
 //! `--timeout-s` bounds the flow's wall-clock and exits 3 (distinct
-//! from the gate-fail exit 1) when exceeded. `chaos` sweeps the
+//! from the gate-fail exit 1) when exceeded; `--large` swaps in the
+//! large gate flow (Ariane at scale 0.5, ~60k cells, uniform shapes)
+//! gated against `baselines/QOR_large.json` — the scale-smoke guard
+//! for the solver/spreading/clustering hot paths. `chaos` sweeps the
 //! fault-injection sites (needs `--features fault-injection`) and exits
 //! 1 when any case violates the resilience contract. `diff` exits 1
 //! when regressions survive the tolerances; `summarize` and
@@ -225,12 +228,21 @@ fn flamegraph(args: &[String]) -> Result<(), String> {
 /// Runs the min-of-N gate flow reps, optionally bounded by a wall-clock
 /// deadline enforced from a watchdog thread. `Ok(None)` means the
 /// deadline expired before every rep finished.
-fn gate_reps(reps: usize, timeout: Option<Duration>) -> Result<Option<Vec<Analysis>>, String> {
+fn gate_reps(
+    reps: usize,
+    timeout: Option<Duration>,
+    large: bool,
+) -> Result<Option<Vec<Analysis>>, String> {
     let run_all = move || -> Result<Vec<Analysis>, String> {
         let mut out = Vec::new();
         for rep in 0..reps {
             let t0 = Instant::now();
-            let report = qor_gate::run_gate_flow().map_err(|e| format!("gate flow: {e}"))?;
+            let report = if large {
+                qor_gate::run_gate_flow_large()
+            } else {
+                qor_gate::run_gate_flow()
+            }
+            .map_err(|e| format!("gate flow: {e}"))?;
             let trace = report.trace.as_ref().ok_or("gate flow produced no trace")?;
             eprintln!(
                 "gate rep {}/{}: {:.3}s, hpwl {}",
@@ -260,7 +272,7 @@ fn gate_reps(reps: usize, timeout: Option<Duration>) -> Result<Option<Vec<Analys
 
 fn gate(args: &[String]) -> Result<u8, String> {
     let (mut baseline_path, mut from, mut reps, mut timeout_s) = (None, None, None, None);
-    let mut write = false;
+    let (mut write, mut large) = (false, false);
     let pos = split_args(
         args,
         &mut [
@@ -269,14 +281,20 @@ fn gate(args: &[String]) -> Result<u8, String> {
             ("--reps", &mut reps),
             ("--timeout-s", &mut timeout_s),
         ],
-        &mut [("--write", &mut write)],
+        &mut [("--write", &mut write), ("--large", &mut large)],
     )?;
     if !pos.is_empty() {
         return Err(format!("gate takes no positional arguments, got {pos:?}"));
     }
     let baseline_path = baseline_path
         .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| repo_path("baselines/QOR_baseline.json"));
+        .unwrap_or_else(|| {
+            repo_path(if large {
+                "baselines/QOR_large.json"
+            } else {
+                "baselines/QOR_baseline.json"
+            })
+        });
     let reps: usize = reps
         .map(|v| {
             v.parse()
@@ -297,7 +315,7 @@ fn gate(args: &[String]) -> Result<u8, String> {
     // min-of-N executions of the pinned gate flow.
     let analyses: Vec<Analysis> = match &from {
         Some(path) => vec![load_analysis(path)?],
-        None => match gate_reps(reps, timeout)? {
+        None => match gate_reps(reps, timeout, large)? {
             Some(out) => out,
             None => {
                 println!(
@@ -322,7 +340,12 @@ fn gate(args: &[String]) -> Result<u8, String> {
         .ok_or("no runs to gate")?;
 
     if write {
-        let b = Baseline::from_analysis(best, "aes", qor_gate::GATE_SCALE);
+        let (design, scale) = if large {
+            ("ariane", qor_gate::GATE_LARGE_SCALE)
+        } else {
+            ("aes", qor_gate::GATE_SCALE)
+        };
+        let b = Baseline::from_analysis(best, design, scale);
         if let Some(dir) = baseline_path.parent() {
             std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
         }
@@ -487,9 +510,11 @@ const USAGE: &str = "usage: tracetool <summarize|diff|flamegraph|gate|chaos|benc
      summarize <report.json>                    self-time table, critical path, QoR gauges\n\
      diff <base.json> <new.json>                span/metric diff (--rel/--abs/--metric-rel)\n\
      flamegraph <report.json> [-o out.folded]   collapsed stacks for speedscope/inferno\n\
-     gate [--baseline F] [--from R] [--reps N] [--write] [--timeout-s S]\n\
+     gate [--baseline F] [--from R] [--reps N] [--write] [--timeout-s S] [--large]\n\
      \x20                                          run the pinned flow and gate vs the baseline\n\
-     \x20                                          (exit 3 when the wall-clock timeout expires)\n\
+     \x20                                          (exit 3 when the wall-clock timeout expires;\n\
+     \x20                                          --large gates the ~60k-cell Ariane flow vs\n\
+     \x20                                          baselines/QOR_large.json)\n\
      chaos [--seeds N] [--timeout-s S] [--site SUBSTR]\n\
      \x20                                          fault-injection sweep (needs --features fault-injection)\n\
      bench <report.json> [-o out.json]          analysis-cost bench -> BENCH_analysis.json\n\

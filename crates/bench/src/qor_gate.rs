@@ -31,6 +31,11 @@ use crate::support::Bench;
 /// Pinned design scale for the gate flow — independent of `CP_SCALE`, so
 /// the committed baseline means the same thing on every machine.
 pub const GATE_SCALE: f64 = 0.02;
+/// Pinned scale of the large gate flow (`--large`): Ariane at half the
+/// paper's instance count, ~60k cells — big enough that the CSR solver,
+/// the SoA kernels and the clustering coarsener all carry real load,
+/// small enough for a CI smoke job.
+pub const GATE_LARGE_SCALE: f64 = 0.5;
 /// Default two-sided relative tolerance on QoR gauges. Near-exact: it
 /// absorbs last-ulp libm variance across toolchains, nothing more.
 pub const QOR_REL_TOL: f64 = 1e-6;
@@ -46,11 +51,35 @@ pub fn gate_bench() -> Bench {
     Bench::generate_at(DesignProfile::Aes, GATE_SCALE)
 }
 
+/// The pinned large-gate design (Ariane at [`GATE_LARGE_SCALE`]).
+pub fn gate_bench_large() -> Bench {
+    Bench::generate_at(DesignProfile::Ariane, GATE_LARGE_SCALE)
+}
+
 /// The pinned gate flow configuration: reduced-effort settings with the
 /// exact V-P&R sweep, so every stage (and its `qor.*` gauges) runs.
 /// Deterministic — no environment knobs consulted.
 pub fn gate_options() -> FlowOptions {
     FlowOptions::fast().shape_mode(ShapeMode::Vpr)
+}
+
+/// The large gate flow's configuration: reduced-effort with uniform
+/// shapes — the large gate exists to pin the scaling hot paths (solver,
+/// spreading, clustering), not the V-P&R sweep the small gate already
+/// covers, and skipping the sweep keeps the ~60k-cell run inside a CI
+/// smoke budget.
+pub fn gate_large_options() -> FlowOptions {
+    FlowOptions::fast()
+}
+
+/// Runs a flow once at [`Level::Full`] and returns the report (its
+/// `trace` is always present).
+fn run_traced(b: &Bench, options: &FlowOptions) -> Result<FlowReport, FlowError> {
+    cp_trace::set_level(Level::Full);
+    let r = run_flow(&b.netlist, &b.constraints, options);
+    cp_trace::set_level(Level::Off);
+    cp_trace::clear();
+    r
 }
 
 /// Runs the gate flow once at [`Level::Full`] and returns the report
@@ -60,12 +89,17 @@ pub fn gate_options() -> FlowOptions {
 ///
 /// Propagates any [`FlowError`] from the flow.
 pub fn run_gate_flow() -> Result<FlowReport, FlowError> {
-    let b = gate_bench();
-    cp_trace::set_level(Level::Full);
-    let r = run_flow(&b.netlist, &b.constraints, &gate_options());
-    cp_trace::set_level(Level::Off);
-    cp_trace::clear();
-    r
+    run_traced(&gate_bench(), &gate_options())
+}
+
+/// Runs the large gate flow ([`gate_bench_large`]) once at
+/// [`Level::Full`].
+///
+/// # Errors
+///
+/// Propagates any [`FlowError`] from the flow.
+pub fn run_gate_flow_large() -> Result<FlowReport, FlowError> {
+    run_traced(&gate_bench_large(), &gate_large_options())
 }
 
 /// One gated QoR gauge.

@@ -42,6 +42,11 @@ pub struct ClusteringOptions {
     pub use_switching: bool,
     /// RNG seed for the coarsening visit order.
     pub seed: u64,
+    /// Above this many cells, seed FC with heavy-edge-matched pre-clusters
+    /// (multi-level coarsening) so the first FC pass starts far below the
+    /// cell count instead of from singletons. Below the threshold the
+    /// pipeline is unchanged.
+    pub coarsen_threshold: usize,
 }
 
 impl Default for ClusteringOptions {
@@ -58,6 +63,7 @@ impl Default for ClusteringOptions {
             use_timing: true,
             use_switching: true,
             seed: 11,
+            coarsen_threshold: 200_000,
         }
     }
 }
@@ -165,7 +171,31 @@ pub fn ppa_aware_clustering(
         seed: options.seed,
         max_passes: 24,
     };
-    let groups = dendro.as_ref().map(|d| d.assignment.as_slice());
+    // Multi-level front-end: above the coarsening threshold, heavy-edge
+    // matching over the cell graph produces pre-clusters that seed FC, so
+    // the first FC pass rates ~threshold clusters instead of 10⁵–10⁶
+    // singletons. Hierarchy groups stay inviolable: the seed id is the
+    // (group, pre-cluster) composite, which splits any matched pair that
+    // crosses a dendrogram group.
+    let precoarse: Option<Vec<u32>> = (n_cells > options.coarsen_threshold).then(|| {
+        let keep: Vec<u32> = (0..n_cells as u32).collect();
+        let (cells_only, _) = hg.induce(&keep, 2);
+        let g = cells_only.bounded_clique_expansion(16);
+        let copts = cp_graph::coarsen::CoarsenOptions {
+            threshold: options.coarsen_threshold,
+            max_levels: 16,
+        };
+        let (_, map, _) = cp_graph::coarsen::coarsen_to(&g, &copts);
+        map
+    });
+    let seeded: Option<Vec<u32>> = match (&dendro, precoarse) {
+        (Some(d), Some(pc)) => Some(compose_groups(&d.assignment, &pc)),
+        (None, Some(pc)) => Some(pc),
+        _ => None,
+    };
+    let groups = seeded
+        .as_deref()
+        .or_else(|| dendro.as_ref().map(|d| d.assignment.as_slice()));
     let mut assignment = multilevel_fc(&hg, n_cells, &costs, groups, &fc_opts);
     let cluster_count = cp_graph::community::compact_labels(&mut assignment);
     Ok(ClusteringResult {
@@ -175,6 +205,23 @@ pub fn ppa_aware_clustering(
         dendrogram_rent: dendro.as_ref().map(|d| d.rent),
         runtime: start.elapsed().as_secs_f64(),
     })
+}
+
+/// Composes hierarchy groups with pre-coarsening clusters: two cells share
+/// a seed cluster only when they agree on *both* labels. Dense ids are
+/// assigned in first-seen order so the result is deterministic.
+fn compose_groups(outer: &[u32], inner: &[u32]) -> Vec<u32> {
+    debug_assert_eq!(outer.len(), inner.len());
+    let mut dense: std::collections::HashMap<(u32, u32), u32> =
+        std::collections::HashMap::with_capacity(inner.len() / 4);
+    outer
+        .iter()
+        .zip(inner)
+        .map(|(&o, &i)| {
+            let next = dense.len() as u32;
+            *dense.entry((o, i)).or_insert(next)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -241,6 +288,37 @@ mod tests {
         let a = ppa_aware_clustering(&n, &c, &opts).expect("clustering runs");
         let b = ppa_aware_clustering(&n, &c, &opts).expect("clustering runs");
         assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn compose_groups_splits_cross_group_pairs() {
+        // Cells 1 and 2 share a pre-cluster but sit in different hierarchy
+        // groups — the composite must keep them apart.
+        let outer = [0, 0, 1, 1];
+        let inner = [5, 9, 9, 9];
+        assert_eq!(compose_groups(&outer, &inner), vec![0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn precoarsened_clustering_is_deterministic_and_capped() {
+        let (n, c) = setup();
+        // Force the multi-level front-end on this small design.
+        let opts = ClusteringOptions {
+            avg_cluster_size: 30,
+            max_cluster_factor: 2.0,
+            coarsen_threshold: 64,
+            ..Default::default()
+        };
+        let a = ppa_aware_clustering(&n, &c, &opts).expect("clustering runs");
+        let b = ppa_aware_clustering(&n, &c, &opts).expect("clustering runs");
+        assert_eq!(a.assignment, b.assignment);
+        assert!(a.cluster_count > 1);
+        let mut sizes = vec![0usize; a.cluster_count];
+        for &l in &a.assignment {
+            sizes[l as usize] += 1;
+        }
+        let cap = opts.max_cluster_size();
+        assert!(sizes.iter().all(|&s| s <= cap));
     }
 
     #[test]

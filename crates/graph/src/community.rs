@@ -48,16 +48,29 @@ pub fn modularity(g: &Graph, labels: &[u32]) -> f64 {
 }
 
 /// Renumbers labels densely to `0..k`, preserving first-appearance order.
+///
+/// The remap table is a dense `Vec` indexed by the old label (sized to
+/// the maximum label present), not a hash map: the clustering path calls
+/// this once per coarsening pass over million-entry label arrays, where
+/// hashing costs real time and — more importantly — any map whose
+/// iteration order leaked into the result would be a determinism hazard.
+/// The dense table has no iteration order at all; assignment order is
+/// exactly first-appearance order in `labels`.
 pub fn compact_labels(labels: &mut [u32]) -> usize {
-    let mut map = std::collections::HashMap::new();
+    let max = match labels.iter().copied().max() {
+        Some(m) => m as usize,
+        None => return 0,
+    };
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut remap = vec![UNASSIGNED; max + 1];
     let mut next = 0u32;
     for l in labels.iter_mut() {
-        let entry = map.entry(*l).or_insert_with(|| {
-            let v = next;
+        let slot = &mut remap[*l as usize];
+        if *slot == UNASSIGNED {
+            *slot = next;
             next += 1;
-            v
-        });
-        *l = *entry;
+        }
+        *l = *slot;
     }
     next as usize
 }

@@ -4,8 +4,13 @@ use crate::Graph;
 
 /// A weighted hypergraph over vertices `0..n`.
 ///
-/// Hyperedges are stored as vertex lists with a scalar weight. Incidence
-/// lists (vertex → hyperedges) are built lazily on construction.
+/// Storage is arena-backed structure-of-arrays: hyperedge pin lists live
+/// in one flat `edge_arena` indexed by `edge_ptr` (CSR layout), and the
+/// vertex → hyperedge incidence lives in a second flat arena. Compared to
+/// the earlier `Vec<Vec<u32>>` layout this removes one pointer chase and
+/// one allocation per net, which matters when the flow walks millions of
+/// nets per placement iteration. The accessor API returns slices, so the
+/// layout is invisible to callers.
 ///
 /// # Examples
 ///
@@ -18,12 +23,27 @@ use crate::Graph;
 /// assert_eq!(h.incident(2), &[0, 1]);
 /// assert_eq!(h.pin_count(), 5);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Hypergraph {
     vertex_count: usize,
-    edges: Vec<Vec<u32>>,
+    /// `edge_ptr[e]..edge_ptr[e+1]` bounds hyperedge `e`'s pins in
+    /// `edge_arena`.
+    edge_ptr: Vec<u32>,
+    /// All pins, concatenated in hyperedge order (sorted within an edge).
+    edge_arena: Vec<u32>,
     weights: Vec<f64>,
-    incidence: Vec<Vec<u32>>,
+    /// `inc_ptr[v]..inc_ptr[v+1]` bounds vertex `v`'s incident hyperedges
+    /// in `inc_arena`.
+    inc_ptr: Vec<u32>,
+    /// Incident hyperedge ids, concatenated in vertex order (ascending
+    /// within a vertex).
+    inc_arena: Vec<u32>,
+}
+
+impl Default for Hypergraph {
+    fn default() -> Self {
+        Self::new(0, Vec::new())
+    }
 }
 
 impl Hypergraph {
@@ -34,12 +54,15 @@ impl Hypergraph {
     ///
     /// # Panics
     ///
-    /// Panics if any vertex index is `>= vertex_count`.
+    /// Panics if any vertex index is `>= vertex_count`, or if the total
+    /// pin count overflows the `u32` arena index space.
     pub fn new(vertex_count: usize, edges: Vec<(Vec<u32>, f64)>) -> Self {
-        let mut incidence = vec![Vec::new(); vertex_count];
-        let mut edge_lists = Vec::with_capacity(edges.len());
+        let mut edge_ptr = Vec::with_capacity(edges.len() + 1);
+        edge_ptr.push(0u32);
+        let mut edge_arena: Vec<u32> = Vec::new();
         let mut weights = Vec::with_capacity(edges.len());
-        for (eid, (mut verts, w)) in edges.into_iter().enumerate() {
+        let mut degree = vec![0u32; vertex_count];
+        for (mut verts, w) in edges {
             verts.sort_unstable();
             verts.dedup();
             for &v in &verts {
@@ -47,16 +70,41 @@ impl Hypergraph {
                     (v as usize) < vertex_count,
                     "vertex {v} out of range (n = {vertex_count})"
                 );
-                incidence[v as usize].push(eid as u32);
+                degree[v as usize] += 1;
             }
-            edge_lists.push(verts);
+            edge_arena.extend_from_slice(&verts);
+            assert!(
+                edge_arena.len() < u32::MAX as usize,
+                "pin count overflows the u32 arena index"
+            );
+            edge_ptr.push(edge_arena.len() as u32);
             weights.push(w);
+        }
+        // Incidence arena: prefix-sum the degrees, then scatter hyperedge
+        // ids in edge order, which leaves each vertex's list ascending.
+        let mut inc_ptr = Vec::with_capacity(vertex_count + 1);
+        inc_ptr.push(0u32);
+        let mut acc = 0u32;
+        for &d in &degree {
+            acc += d;
+            inc_ptr.push(acc);
+        }
+        let mut cursor: Vec<u32> = inc_ptr[..vertex_count].to_vec();
+        let mut inc_arena = vec![0u32; acc as usize];
+        for e in 0..weights.len() {
+            for i in edge_ptr[e]..edge_ptr[e + 1] {
+                let v = edge_arena[i as usize] as usize;
+                inc_arena[cursor[v] as usize] = e as u32;
+                cursor[v] += 1;
+            }
         }
         Self {
             vertex_count,
-            edges: edge_lists,
+            edge_ptr,
+            edge_arena,
             weights,
-            incidence,
+            inc_ptr,
+            inc_arena,
         }
     }
 
@@ -67,17 +115,18 @@ impl Hypergraph {
 
     /// Number of hyperedges.
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.weights.len()
     }
 
     /// Total number of pins (vertex–hyperedge incidences).
     pub fn pin_count(&self) -> usize {
-        self.edges.iter().map(|e| e.len()).sum()
+        self.edge_arena.len()
     }
 
     /// The vertices of hyperedge `e`.
     pub fn edge(&self, e: u32) -> &[u32] {
-        &self.edges[e as usize]
+        let e = e as usize;
+        &self.edge_arena[self.edge_ptr[e] as usize..self.edge_ptr[e + 1] as usize]
     }
 
     /// The weight of hyperedge `e`.
@@ -87,12 +136,14 @@ impl Hypergraph {
 
     /// Hyperedges incident to vertex `v`.
     pub fn incident(&self, v: u32) -> &[u32] {
-        &self.incidence[v as usize]
+        let v = v as usize;
+        &self.inc_arena[self.inc_ptr[v] as usize..self.inc_ptr[v + 1] as usize]
     }
 
     /// Degree of vertex `v` (number of incident hyperedges).
     pub fn degree(&self, v: u32) -> usize {
-        self.incidence[v as usize].len()
+        let v = v as usize;
+        (self.inc_ptr[v + 1] - self.inc_ptr[v]) as usize
     }
 
     /// Average vertex degree (0 for empty hypergraphs).
@@ -106,10 +157,10 @@ impl Hypergraph {
 
     /// Average hyperedge size (0 when there are no edges).
     pub fn average_edge_size(&self) -> f64 {
-        if self.edges.is_empty() {
+        if self.weights.is_empty() {
             0.0
         } else {
-            self.pin_count() as f64 / self.edges.len() as f64
+            self.pin_count() as f64 / self.weights.len() as f64
         }
     }
 
@@ -120,11 +171,12 @@ impl Hypergraph {
     /// are merged by weight summation.
     pub fn clique_expansion(&self) -> Graph {
         let mut g = Graph::new(self.vertex_count);
-        for (verts, &w) in self.edges.iter().zip(&self.weights) {
+        for e in 0..self.edge_count() as u32 {
+            let verts = self.edge(e);
             if verts.len() < 2 {
                 continue;
             }
-            let pair_w = w / (verts.len() as f64 - 1.0);
+            let pair_w = self.weights[e as usize] / (verts.len() as f64 - 1.0);
             for i in 0..verts.len() {
                 for j in (i + 1)..verts.len() {
                     g.add_edge(verts[i], verts[j], pair_w);
@@ -141,11 +193,12 @@ impl Hypergraph {
     /// netlist convention).
     pub fn bounded_clique_expansion(&self, clique_threshold: usize) -> Graph {
         let mut g = Graph::new(self.vertex_count);
-        for (verts, &w) in self.edges.iter().zip(&self.weights) {
+        for e in 0..self.edge_count() as u32 {
+            let verts = self.edge(e);
             if verts.len() < 2 {
                 continue;
             }
-            let pair_w = w / (verts.len() as f64 - 1.0);
+            let pair_w = self.weights[e as usize] / (verts.len() as f64 - 1.0);
             if verts.len() <= clique_threshold {
                 for i in 0..verts.len() {
                     for j in (i + 1)..verts.len() {
@@ -175,9 +228,10 @@ impl Hypergraph {
             new_id[v as usize] = i as u32;
         }
         let mut edges = Vec::new();
-        let mut edge_map = vec![None; self.edges.len()];
-        for (eid, (verts, &w)) in self.edges.iter().zip(&self.weights).enumerate() {
-            let kept: Vec<u32> = verts
+        let mut edge_map = vec![None; self.edge_count()];
+        for e in 0..self.edge_count() as u32 {
+            let kept: Vec<u32> = self
+                .edge(e)
                 .iter()
                 .filter_map(|&v| {
                     let nv = new_id[v as usize];
@@ -185,8 +239,8 @@ impl Hypergraph {
                 })
                 .collect();
             if kept.len() >= min_size {
-                edge_map[eid] = Some(edges.len() as u32);
-                edges.push((kept, w));
+                edge_map[e as usize] = Some(edges.len() as u32);
+                edges.push((kept, self.weights[e as usize]));
             }
         }
         (Hypergraph::new(keep.len(), edges), edge_map)
@@ -225,6 +279,24 @@ mod tests {
     fn dedup_within_edge() {
         let h = Hypergraph::new(2, vec![(vec![0, 0, 1], 1.0)]);
         assert_eq!(h.edge(0), &[0, 1]);
+    }
+
+    #[test]
+    fn incidence_lists_are_ascending() {
+        let h = sample();
+        for v in 0..h.vertex_count() as u32 {
+            let inc = h.incident(v);
+            assert!(inc.windows(2).all(|w| w[0] < w[1]), "vertex {v}: {inc:?}");
+        }
+        assert_eq!(h.incident(3), &[1, 2]);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let h = Hypergraph::default();
+        assert_eq!(h.vertex_count(), 0);
+        assert_eq!(h.edge_count(), 0);
+        assert_eq!(h, Hypergraph::new(0, Vec::new()));
     }
 
     #[test]

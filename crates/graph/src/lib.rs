@@ -16,6 +16,9 @@
 //! - Global min-cut / edge connectivity via Stoer–Wagner ([`connectivity`]).
 //! - Community detection ([`community`]): modularity, Louvain and Leiden,
 //!   which serve as the clustering baselines of the paper's Tables 2 and 5.
+//! - Multi-level coarsening ([`coarsen`]): deterministic heavy-edge
+//!   matching plus a coarsen–uncoarsen wrapper so community detection
+//!   stays tractable at 10⁵–10⁶ nodes.
 //!
 //! # Examples
 //!
@@ -31,6 +34,7 @@
 //! ```
 
 pub mod centrality;
+pub mod coarsen;
 pub mod community;
 pub mod connectivity;
 pub mod graph;

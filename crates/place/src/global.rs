@@ -1,10 +1,11 @@
 //! The global placement loop (SimPL-style lower/upper bound iteration).
 
 use crate::error::{BestSnapshot, PlaceError};
-use crate::hpwl::raw_hpwl;
+use crate::hpwl::raw_hpwl_soa;
 use crate::problem::PlacementProblem;
-use crate::solver::{Anchors, Axis, B2bSystem};
-use crate::spreading::{density_overflow, spread};
+use crate::soa::{PlacementSoa, VertexCoords};
+use crate::solver::{Anchors, Axis, B2bRebuilder, CgScratch};
+use crate::spreading::{density_overflow_soa, spread_soa};
 use cp_resilience::RunControl;
 use cp_trace::ArgValue;
 use rand::rngs::StdRng;
@@ -220,9 +221,14 @@ impl GlobalPlacer {
         };
         self.clamp(problem, &mut pos);
         let seeds = problem.seed_positions.clone();
-        let mut upper = spread(problem, &pos);
-        let mut overflow = density_overflow(problem, &upper);
-        let mut hpwl = raw_hpwl(problem, &upper);
+        // SoA views shared by every per-iteration kernel: contiguous cell
+        // areas for spreading/density, flat per-axis coordinates for HPWL.
+        let soa = PlacementSoa::from_problem(problem);
+        let mut coords = VertexCoords::new(problem);
+        let mut upper = spread_soa(problem, &soa, &pos);
+        coords.set_movable(&upper);
+        let mut overflow = density_overflow_soa(problem, &soa, &upper);
+        let mut hpwl = raw_hpwl_soa(problem, &coords);
         let mut done = 0;
         let mut best = if all_finite(&upper) && hpwl.is_finite() {
             Some(Snapshot {
@@ -236,6 +242,17 @@ impl GlobalPlacer {
         let mut diverged = false;
 
         let mut anchor_w: Vec<f64> = vec![0.0; m];
+        // Persistent per-axis B2B assemblers, CG scratch and coordinate
+        // buffers: the solve path allocates nothing per outer iteration,
+        // and nets whose pins did not move between iterations reuse their
+        // cached B2B pairs instead of re-linearizing.
+        let mut rb_x = B2bRebuilder::new(Axis::X);
+        let mut rb_y = B2bRebuilder::new(Axis::Y);
+        let mut scratch = CgScratch::default();
+        let mut tx: Vec<f64> = vec![0.0; m];
+        let mut ty: Vec<f64> = vec![0.0; m];
+        let mut sx: Vec<f64> = vec![0.0; m];
+        let mut sy: Vec<f64> = vec![0.0; m];
         for it in 0..iters {
             if let Some(ctl) = control {
                 if let Err(interrupt) = ctl.check(cp_resilience::sites::PLACE_OUTER) {
@@ -271,30 +288,34 @@ impl GlobalPlacer {
                 anchor_w[i] = w_sum;
                 upper[i] = t;
             }
-            let tx: Vec<f64> = upper.iter().map(|p| p.0).collect();
-            let ty: Vec<f64> = upper.iter().map(|p| p.1).collect();
-            let x0: Vec<f64> = pos.iter().map(|p| p.0).collect();
-            let y0: Vec<f64> = pos.iter().map(|p| p.1).collect();
-            let (sx, cg_x) = B2bSystem::build(
+            for i in 0..m {
+                tx[i] = upper[i].0;
+                ty[i] = upper[i].1;
+                sx[i] = pos[i].0;
+                sy[i] = pos[i].1;
+            }
+            rb_x.rebuild(
                 problem,
                 &pos,
-                Axis::X,
                 Some(Anchors {
                     target: &tx,
                     weight: &anchor_w,
                 }),
-            )
-            .solve_with_stats(&x0, opt.cg_iterations, 1e-6);
-            let (sy, cg_y) = B2bSystem::build(
+            );
+            let cg_x =
+                rb_x.system()
+                    .solve_into_with_stats(&mut sx, &mut scratch, opt.cg_iterations, 1e-6);
+            rb_y.rebuild(
                 problem,
                 &pos,
-                Axis::Y,
                 Some(Anchors {
                     target: &ty,
                     weight: &anchor_w,
                 }),
-            )
-            .solve_with_stats(&y0, opt.cg_iterations, 1e-6);
+            );
+            let cg_y =
+                rb_y.system()
+                    .solve_into_with_stats(&mut sy, &mut scratch, opt.cg_iterations, 1e-6);
             for i in 0..m {
                 pos[i] = (sx[i], sy[i]);
             }
@@ -315,9 +336,10 @@ impl GlobalPlacer {
                 }
             }
             self.clamp(problem, &mut pos);
-            upper = spread(problem, &pos);
-            overflow = density_overflow(problem, &upper);
-            hpwl = raw_hpwl(problem, &upper);
+            upper = spread_soa(problem, &soa, &pos);
+            coords.set_movable(&upper);
+            overflow = density_overflow_soa(problem, &soa, &upper);
+            hpwl = raw_hpwl_soa(problem, &coords);
             cp_trace::series(
                 "place.outer",
                 it as u64,
@@ -418,6 +440,7 @@ impl GlobalPlacer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hpwl::raw_hpwl;
     use cp_netlist::floorplan::Floorplan;
     use cp_netlist::generator::{DesignProfile, GeneratorConfig};
     use cp_netlist::netlist::Netlist;

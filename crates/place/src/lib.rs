@@ -51,6 +51,7 @@ pub mod global;
 pub mod hpwl;
 pub mod legalize;
 pub mod problem;
+pub mod soa;
 pub mod solver;
 pub mod spreading;
 pub mod svg;
@@ -61,4 +62,5 @@ pub use crate::error::{BestSnapshot, PlaceError};
 pub use crate::global::{GlobalPlacer, PlacementResult, PlacerOptions};
 pub use crate::legalize::legalize;
 pub use crate::problem::{Object, PlacementProblem};
+pub use crate::soa::{PlacementSoa, VertexCoords};
 pub use crate::svg::placement_svg;

@@ -1,0 +1,147 @@
+//! Arena-backed structure-of-arrays views over a placement problem.
+//!
+//! [`PlacementProblem`] keeps its public array-of-structs shape
+//! (`Vec<Object>`, `Vec<(f64, f64)>`) because the whole flow constructs
+//! it, but the per-iteration kernels want flat per-field arrays: the
+//! spreading bisection and density scatter read only cell *areas*, and
+//! the HPWL / B2B kernels read only one axis's *coordinate* per vertex.
+//! These views materialize exactly those arrays once, so the hot loops
+//! index contiguous `f64` arenas instead of chasing struct fields or
+//! branching between movable and fixed storage.
+//!
+//! Every kernel that accepts a view is bit-identical to its
+//! problem-walking counterpart — the arrays hold the same values in the
+//! same order, only the memory layout changes.
+
+use crate::problem::PlacementProblem;
+
+/// Per-movable scalar state, one contiguous array per field.
+///
+/// Build it once per placement run and hand it to the `_soa` kernel
+/// variants ([`crate::spreading::spread_soa`],
+/// [`crate::spreading::density_overflow_soa`]).
+#[derive(Debug, Clone)]
+pub struct PlacementSoa {
+    /// Footprint area per movable (`width · height`, in problem order).
+    pub area: Vec<f64>,
+    /// Sum of `area` in index order — equals
+    /// [`PlacementProblem::movable_area`] bit for bit.
+    pub total_area: f64,
+}
+
+impl PlacementSoa {
+    /// Extracts the per-movable arrays from `problem`.
+    pub fn from_problem(problem: &PlacementProblem) -> Self {
+        let area: Vec<f64> = problem.movable.iter().map(|o| o.area()).collect();
+        let total_area = area.iter().sum();
+        Self { area, total_area }
+    }
+}
+
+/// Flat per-axis coordinates over *all* hypergraph vertices (movables
+/// first, fixed terminals after), so net kernels index `xs[v]`/`ys[v]`
+/// directly instead of branching through
+/// [`PlacementProblem::vertex_pos`].
+///
+/// The fixed tail is filled once at construction; refresh the movable
+/// prefix with [`VertexCoords::set_movable`] each iteration (no
+/// allocation).
+#[derive(Debug, Clone)]
+pub struct VertexCoords {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    movable: usize,
+}
+
+impl VertexCoords {
+    /// A coordinate arena sized for `problem`, fixed tail filled, movable
+    /// prefix zeroed.
+    pub fn new(problem: &PlacementProblem) -> Self {
+        let m = problem.movable_count();
+        let n = m + problem.fixed.len();
+        let mut xs = vec![0.0; n];
+        let mut ys = vec![0.0; n];
+        for (k, &(x, y)) in problem.fixed.iter().enumerate() {
+            xs[m + k] = x;
+            ys[m + k] = y;
+        }
+        Self { xs, ys, movable: m }
+    }
+
+    /// Copies the movable positions into the arena prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` has fewer entries than the movable count.
+    pub fn set_movable(&mut self, positions: &[(f64, f64)]) {
+        for (i, &(x, y)) in positions.iter().take(self.movable).enumerate() {
+            self.xs[i] = x;
+            self.ys[i] = y;
+        }
+        assert!(
+            positions.len() >= self.movable,
+            "positions shorter than movable count"
+        );
+    }
+
+    /// X coordinate per vertex (movables then fixed).
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Y coordinate per vertex (movables then fixed).
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Object;
+    use cp_graph::Hypergraph;
+    use cp_netlist::floorplan::Rect;
+
+    fn toy() -> PlacementProblem {
+        PlacementProblem {
+            movable: vec![
+                Object {
+                    width: 2.0,
+                    height: 3.0,
+                },
+                Object {
+                    width: 1.0,
+                    height: 1.5,
+                },
+            ],
+            fixed: vec![(10.0, 4.0)],
+            hypergraph: Hypergraph::new(3, vec![(vec![0, 1, 2], 1.0)]),
+            net_weights: vec![1.0],
+            core: Rect::new(0.0, 0.0, 10.0, 10.0),
+            region: vec![None, None],
+            seed_positions: None,
+            blockages: Vec::new(),
+            density_target: 0.9,
+        }
+    }
+
+    #[test]
+    fn areas_match_problem() {
+        let p = toy();
+        let soa = PlacementSoa::from_problem(&p);
+        assert_eq!(soa.area, vec![6.0, 1.5]);
+        assert_eq!(soa.total_area.to_bits(), p.movable_area().to_bits());
+    }
+
+    #[test]
+    fn coords_cover_movable_and_fixed() {
+        let p = toy();
+        let mut vc = VertexCoords::new(&p);
+        vc.set_movable(&[(1.0, 2.0), (3.0, 4.5)]);
+        assert_eq!(vc.xs(), &[1.0, 3.0, 10.0]);
+        assert_eq!(vc.ys(), &[2.0, 4.5, 4.0]);
+        // Refresh overwrites in place.
+        vc.set_movable(&[(5.0, 6.0), (7.0, 8.0)]);
+        assert_eq!(vc.xs(), &[5.0, 7.0, 10.0]);
+    }
+}

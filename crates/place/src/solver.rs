@@ -6,6 +6,22 @@
 //! so the quadratic form's value equals the net's HPWL at the linearization
 //! point. The resulting symmetric positive-definite system is solved with
 //! Jacobi-preconditioned conjugate gradients.
+//!
+//! # Large-scale layout
+//!
+//! The system matrix is stored in flat CSR (`row_ptr`/`col_idx`/`val`)
+//! rather than a jagged `Vec<Vec<_>>`: SpMV walks two contiguous arenas
+//! with no per-row pointer chase, which is the difference between memory
+//! bandwidth and cache-miss latency at 10⁵–10⁶ rows. The CG kernels write
+//! into caller-owned [`CgScratch`] buffers so a full solve allocates
+//! nothing, and [`B2bRebuilder`] caches per-net B2B pairs between outer
+//! placement iterations, regenerating only nets whose pin coordinates
+//! actually changed (bitwise) since the previous linearization.
+//!
+//! Everything is deterministic across thread counts: pair generation is
+//! chunked over fixed net ranges and stitched in chunk order, SpMV is
+//! row-parallel with unchanged per-row accumulation order, and dot
+//! products use `cp-parallel`'s fixed-order tree reduction.
 
 use crate::problem::PlacementProblem;
 
@@ -25,6 +41,9 @@ const MIN_DIST: f64 = 0.5;
 const EDGE_CHUNK: usize = 512;
 /// Vector elements per parallel chunk in CG kernels.
 const VEC_CHUNK: usize = 1024;
+
+/// One B2B two-pin edge: `(u, v, weight)` over global vertex ids.
+type Pair = (u32, u32, f64);
 
 /// Deterministic parallel dot product (fixed chunks, fixed-order tree
 /// reduction — see `cp-parallel`).
@@ -58,11 +77,26 @@ fn record_cg(stats: &CgStats) {
     cp_trace::observe("place.cg.residual", stats.relative_residual);
 }
 
-/// A sparse SPD system `A x = b` over the movable objects of one axis.
+/// Reusable CG work vectors (residual, preconditioned residual, search
+/// direction, `A·p`). Hold one per axis across outer placement iterations
+/// and the solve path stops allocating entirely.
+#[derive(Debug, Clone, Default)]
+pub struct CgScratch {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+}
+
+/// A sparse SPD system `A x = b` over the movable objects of one axis,
+/// stored in CSR form.
 #[derive(Debug, Clone)]
 pub struct B2bSystem {
     diag: Vec<f64>,
-    off: Vec<Vec<(u32, f64)>>,
+    /// `row_ptr[i]..row_ptr[i+1]` bounds row `i`'s off-diagonal entries.
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    val: Vec<f64>,
     rhs: Vec<f64>,
 }
 
@@ -75,96 +109,266 @@ pub struct Anchors<'a> {
     pub weight: &'a [f64],
 }
 
-impl B2bSystem {
-    /// Builds the B2B system for one axis, linearized at `positions`.
-    pub fn build(
+/// Emits the B2B pairs of one net into `out`, reading this axis's
+/// coordinates from the flat `coord` array (movables first, then fixed).
+#[inline]
+fn net_pairs(verts: &[u32], w_net: f64, coord: &[f64], out: &mut Vec<Pair>) {
+    let p = verts.len();
+    if p < 2 {
+        return;
+    }
+    // Locate extreme pins on this axis.
+    let (mut lo_i, mut hi_i) = (0usize, 0usize);
+    for (i, &v) in verts.iter().enumerate() {
+        if coord[v as usize] < coord[verts[lo_i] as usize] {
+            lo_i = i;
+        }
+        if coord[v as usize] > coord[verts[hi_i] as usize] {
+            hi_i = i;
+        }
+    }
+    let scale = w_net * 2.0 / (p as f64 - 1.0);
+    let b2b_w =
+        |a: u32, b: u32| scale / (coord[a as usize] - coord[b as usize]).abs().max(MIN_DIST);
+    let (lo, hi) = (verts[lo_i], verts[hi_i]);
+    if lo != hi {
+        out.push((lo, hi, b2b_w(lo, hi)));
+    }
+    for (i, &v) in verts.iter().enumerate() {
+        if i == lo_i || i == hi_i {
+            continue;
+        }
+        if v != lo {
+            out.push((v, lo, b2b_w(v, lo)));
+        }
+        if v != hi {
+            out.push((v, hi, b2b_w(v, hi)));
+        }
+    }
+}
+
+/// Incremental per-axis B2B assembler.
+///
+/// Holds the flat coordinate array, the per-net B2B pair arena and the
+/// assembled [`B2bSystem`] across outer placement iterations. On each
+/// [`B2bRebuilder::rebuild`] only nets with at least one pin whose
+/// coordinate changed (bitwise) since the last call regenerate their
+/// pairs; clean nets are copied from the cached arena, which makes the
+/// rebuild cost proportional to how much actually moved. The assembled
+/// system is bit-identical to a from-scratch [`B2bSystem::build`] at the
+/// same positions, at any thread count.
+#[derive(Debug, Clone)]
+pub struct B2bRebuilder {
+    axis: Axis,
+    /// This axis's coordinate per global vertex (movables then fixed).
+    coord: Vec<f64>,
+    /// Coordinates at the previous pair generation (empty before the
+    /// first rebuild).
+    prev_coord: Vec<f64>,
+    /// `pair_ptr[e]..pair_ptr[e+1]` bounds net `e`'s pairs in `pairs`.
+    pair_ptr: Vec<u32>,
+    pairs: Vec<Pair>,
+    /// Back buffers swapped with `pairs`/`pair_ptr` each rebuild.
+    pairs_back: Vec<Pair>,
+    ptr_back: Vec<u32>,
+    /// Per-row scratch: off-diagonal degree, then the CSR fill cursor.
+    deg: Vec<u32>,
+    sys: B2bSystem,
+    built: bool,
+}
+
+impl B2bRebuilder {
+    /// A rebuilder for one axis with empty caches; the first
+    /// [`B2bRebuilder::rebuild`] regenerates every net.
+    pub fn new(axis: Axis) -> Self {
+        Self {
+            axis,
+            coord: Vec::new(),
+            prev_coord: Vec::new(),
+            pair_ptr: Vec::new(),
+            pairs: Vec::new(),
+            pairs_back: Vec::new(),
+            ptr_back: Vec::new(),
+            deg: Vec::new(),
+            sys: B2bSystem {
+                diag: Vec::new(),
+                row_ptr: Vec::new(),
+                col_idx: Vec::new(),
+                val: Vec::new(),
+                rhs: Vec::new(),
+            },
+            built: false,
+        }
+    }
+
+    /// The most recently assembled system.
+    pub fn system(&self) -> &B2bSystem {
+        &self.sys
+    }
+
+    /// Consumes the rebuilder, yielding the assembled system.
+    pub fn into_system(self) -> B2bSystem {
+        self.sys
+    }
+
+    /// (Re)builds the B2B system linearized at `positions`.
+    ///
+    /// Must be called with the same `problem` across a rebuilder's
+    /// lifetime; a shape change falls back to a full regeneration.
+    pub fn rebuild(
+        &mut self,
         problem: &PlacementProblem,
         positions: &[(f64, f64)],
-        axis: Axis,
         anchors: Option<Anchors<'_>>,
-    ) -> Self {
+    ) {
         let m = problem.movable_count();
-        let coord = |v: u32| -> f64 {
-            let (x, y) = problem.vertex_pos(v, positions);
-            match axis {
-                Axis::X => x,
-                Axis::Y => y,
+        let nf = problem.fixed.len();
+        let nets = problem.hypergraph.edge_count();
+        let axis = self.axis;
+
+        // Flat coordinates for this axis: movables from `positions`,
+        // fixed from the problem. Branch-free lookup in the net kernel.
+        self.coord.resize(m + nf, 0.0);
+        match axis {
+            Axis::X => {
+                for (c, pos) in self.coord.iter_mut().zip(positions.iter().take(m)) {
+                    *c = pos.0;
+                }
+                for (c, f) in self.coord[m..].iter_mut().zip(&problem.fixed) {
+                    *c = f.0;
+                }
             }
-        };
-        let mut sys = Self {
-            diag: vec![0.0; m],
-            off: vec![Vec::new(); m],
-            rhs: vec![0.0; m],
-        };
-        let add_pair = |sys: &mut Self, u: u32, v: u32, w: f64| {
-            let (u, v) = (u as usize, v as usize);
-            match (u < m, v < m) {
-                (true, true) => {
-                    sys.diag[u] += w;
-                    sys.diag[v] += w;
-                    sys.off[u].push((v as u32, w));
-                    sys.off[v].push((u as u32, w));
+            Axis::Y => {
+                for (c, pos) in self.coord.iter_mut().zip(positions.iter().take(m)) {
+                    *c = pos.1;
                 }
-                (true, false) => {
-                    sys.diag[u] += w;
-                    sys.rhs[u] += w * coord(v as u32);
+                for (c, f) in self.coord[m..].iter_mut().zip(&problem.fixed) {
+                    *c = f.1;
                 }
-                (false, true) => {
-                    sys.diag[v] += w;
-                    sys.rhs[v] += w * coord(u as u32);
-                }
-                (false, false) => {}
             }
-        };
-        // Pair generation (extreme-pin search + weight computation) is the
-        // expensive half of the build and is independent per net, so it
-        // runs in parallel over fixed net chunks; each chunk emits its
-        // pairs in the original per-net order and the chunks are scattered
-        // into the system sequentially in chunk order, which reproduces
-        // the serial build bit for bit.
-        let pair_chunks: Vec<Vec<(u32, u32, f64)>> =
-            cp_parallel::par_map_ranges(problem.hypergraph.edge_count(), EDGE_CHUNK, |range| {
-                let mut pairs: Vec<(u32, u32, f64)> = Vec::new();
+        }
+
+        // Pair generation: parallel over fixed net chunks. A net is dirty
+        // iff any of its pins moved (bitwise) since the last rebuild;
+        // dirty nets recompute, clean nets copy their cached pairs. Each
+        // chunk emits pairs in per-net order and the chunks are stitched
+        // in chunk order, which reproduces the serial build bit for bit.
+        let full = !self.built
+            || self.pair_ptr.len() != nets + 1
+            || self.prev_coord.len() != self.coord.len();
+        let coord = &self.coord;
+        let prev = &self.prev_coord;
+        let old_pairs = &self.pairs;
+        let old_ptr = &self.pair_ptr;
+        let chunks: Vec<(Vec<Pair>, Vec<u32>, u32)> =
+            cp_parallel::par_map_ranges(nets, EDGE_CHUNK, |range| {
+                let mut pairs: Vec<Pair> = Vec::new();
+                let mut counts: Vec<u32> = Vec::with_capacity(range.len());
+                let mut rebuilt = 0u32;
                 for e in range {
                     let verts = problem.hypergraph.edge(e as u32);
-                    let p = verts.len();
-                    if p < 2 {
-                        continue;
+                    let before = pairs.len();
+                    let dirty = full
+                        || verts
+                            .iter()
+                            .any(|&v| prev[v as usize].to_bits() != coord[v as usize].to_bits());
+                    if dirty {
+                        rebuilt += 1;
+                        net_pairs(verts, problem.net_weights[e], coord, &mut pairs);
+                    } else {
+                        pairs.extend_from_slice(
+                            &old_pairs[old_ptr[e] as usize..old_ptr[e + 1] as usize],
+                        );
                     }
-                    let w_net = problem.net_weights[e];
-                    // Locate extreme pins on this axis.
-                    let (mut lo_i, mut hi_i) = (0usize, 0usize);
-                    for (i, &v) in verts.iter().enumerate() {
-                        if coord(v) < coord(verts[lo_i]) {
-                            lo_i = i;
-                        }
-                        if coord(v) > coord(verts[hi_i]) {
-                            hi_i = i;
-                        }
-                    }
-                    let scale = w_net * 2.0 / (p as f64 - 1.0);
-                    let b2b_w = |a: u32, b: u32| scale / (coord(a) - coord(b)).abs().max(MIN_DIST);
-                    let (lo, hi) = (verts[lo_i], verts[hi_i]);
-                    if lo != hi {
-                        pairs.push((lo, hi, b2b_w(lo, hi)));
-                    }
-                    for (i, &v) in verts.iter().enumerate() {
-                        if i == lo_i || i == hi_i {
-                            continue;
-                        }
-                        if v != lo {
-                            pairs.push((v, lo, b2b_w(v, lo)));
-                        }
-                        if v != hi {
-                            pairs.push((v, hi, b2b_w(v, hi)));
-                        }
-                    }
+                    counts.push((pairs.len() - before) as u32);
                 }
-                pairs
+                (pairs, counts, rebuilt)
             });
-        for chunk in &pair_chunks {
-            for &(u, v, w) in chunk {
-                add_pair(&mut sys, u, v, w);
+
+        // Stitch the chunk outputs into the back arena, then swap.
+        self.pairs_back.clear();
+        self.ptr_back.clear();
+        self.ptr_back.reserve(nets + 1);
+        self.ptr_back.push(0);
+        let mut acc = 0u32;
+        let mut nets_rebuilt = 0u64;
+        for (chunk_pairs, counts, rebuilt) in &chunks {
+            self.pairs_back.extend_from_slice(chunk_pairs);
+            nets_rebuilt += u64::from(*rebuilt);
+            for &c in counts {
+                acc += c;
+                self.ptr_back.push(acc);
+            }
+        }
+        assert!(
+            self.pairs_back.len() < (u32::MAX / 2) as usize,
+            "B2B pair count overflows the u32 arena index"
+        );
+        std::mem::swap(&mut self.pairs, &mut self.pairs_back);
+        std::mem::swap(&mut self.pair_ptr, &mut self.ptr_back);
+        if cp_trace::telemetry_enabled() {
+            cp_trace::counter_add("place.b2b.nets_rebuilt", nets_rebuilt);
+            cp_trace::counter_add(
+                "place.b2b.nets_cached",
+                (nets as u64).saturating_sub(nets_rebuilt),
+            );
+        }
+
+        // CSR assembly from the pair arena, in arena (= net) order, with
+        // the same four-case scatter the jagged build used: count
+        // off-diagonal degrees, prefix-sum into `row_ptr`, then cursor-fill
+        // `col_idx`/`val` while accumulating `diag`/`rhs` in pair order.
+        let sys = &mut self.sys;
+        sys.diag.clear();
+        sys.diag.resize(m, 0.0);
+        sys.rhs.clear();
+        sys.rhs.resize(m, 0.0);
+        self.deg.clear();
+        self.deg.resize(m, 0);
+        for &(u, v, _) in &self.pairs {
+            if (u as usize) < m && (v as usize) < m {
+                self.deg[u as usize] += 1;
+                self.deg[v as usize] += 1;
+            }
+        }
+        sys.row_ptr.clear();
+        sys.row_ptr.reserve(m + 1);
+        sys.row_ptr.push(0);
+        let mut nnz = 0u32;
+        for d in self.deg.iter_mut() {
+            nnz += *d;
+            sys.row_ptr.push(nnz);
+            // Reuse `deg` as the fill cursor: start of each row.
+            *d = nnz - *d;
+        }
+        sys.col_idx.clear();
+        sys.col_idx.resize(nnz as usize, 0);
+        sys.val.clear();
+        sys.val.resize(nnz as usize, 0.0);
+        for &(u, v, w) in &self.pairs {
+            let (ui, vi) = (u as usize, v as usize);
+            match (ui < m, vi < m) {
+                (true, true) => {
+                    sys.diag[ui] += w;
+                    sys.diag[vi] += w;
+                    let cu = self.deg[ui] as usize;
+                    sys.col_idx[cu] = v;
+                    sys.val[cu] = w;
+                    self.deg[ui] += 1;
+                    let cv = self.deg[vi] as usize;
+                    sys.col_idx[cv] = u;
+                    sys.val[cv] = w;
+                    self.deg[vi] += 1;
+                }
+                (true, false) => {
+                    sys.diag[ui] += w;
+                    sys.rhs[ui] += w * self.coord[vi];
+                }
+                (false, true) => {
+                    sys.diag[vi] += w;
+                    sys.rhs[vi] += w * self.coord[ui];
+                }
+                (false, false) => {}
             }
         }
         if let Some(a) = anchors {
@@ -177,16 +381,49 @@ impl B2bSystem {
             }
         }
         // Isolated objects stay where they are.
-        for (i, &(x, y)) in positions.iter().take(m).enumerate() {
+        for i in 0..m {
             if sys.diag[i] == 0.0 {
                 sys.diag[i] = 1.0;
-                sys.rhs[i] = match axis {
-                    Axis::X => x,
-                    Axis::Y => y,
-                };
+                sys.rhs[i] = self.coord[i];
             }
         }
-        sys
+
+        // The coords we just linearized at become the dirty-check baseline.
+        std::mem::swap(&mut self.prev_coord, &mut self.coord);
+        self.built = true;
+    }
+}
+
+impl B2bSystem {
+    /// Builds the B2B system for one axis, linearized at `positions`.
+    ///
+    /// One-shot wrapper over [`B2bRebuilder`]; callers that rebuild every
+    /// outer iteration should hold a rebuilder instead and get the
+    /// incremental path.
+    pub fn build(
+        problem: &PlacementProblem,
+        positions: &[(f64, f64)],
+        axis: Axis,
+        anchors: Option<Anchors<'_>>,
+    ) -> Self {
+        let mut rb = B2bRebuilder::new(axis);
+        rb.rebuild(problem, positions, anchors);
+        rb.into_system()
+    }
+
+    /// Number of rows (movable objects).
+    pub fn len(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// True when the system has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.diag.is_empty()
+    }
+
+    /// Number of stored off-diagonal entries.
+    pub fn nnz(&self) -> usize {
+        self.val.len()
     }
 
     /// Solves with Jacobi-preconditioned CG from `x0`.
@@ -202,49 +439,71 @@ impl B2bSystem {
     /// [`B2bSystem::solve`] plus the convergence stats the flow's
     /// telemetry channel reports per outer placement iteration.
     pub fn solve_with_stats(&self, x0: &[f64], max_iters: usize, tol: f64) -> (Vec<f64>, CgStats) {
-        let (x, stats) = self.solve_inner(x0, max_iters, tol);
-        record_cg(&stats);
+        let mut x = x0.to_vec();
+        let mut scratch = CgScratch::default();
+        let stats = self.solve_into_with_stats(&mut x, &mut scratch, max_iters, tol);
         (x, stats)
     }
 
-    fn solve_inner(&self, x0: &[f64], max_iters: usize, tol: f64) -> (Vec<f64>, CgStats) {
+    /// In-place CG solve: `x` holds the start on entry and the solution on
+    /// exit, and all work vectors live in `scratch` — zero allocations
+    /// once the scratch has warmed up to the system size.
+    pub fn solve_into_with_stats(
+        &self,
+        x: &mut [f64],
+        scratch: &mut CgScratch,
+        max_iters: usize,
+        tol: f64,
+    ) -> CgStats {
+        let stats = self.solve_into_inner(x, scratch, max_iters, tol);
+        record_cg(&stats);
+        stats
+    }
+
+    fn solve_into_inner(
+        &self,
+        x: &mut [f64],
+        scratch: &mut CgScratch,
+        max_iters: usize,
+        tol: f64,
+    ) -> CgStats {
         let n = self.diag.len();
-        let mut x = x0.to_vec();
-        let mut r = vec![0.0; n];
-        let ax = self.apply(&x);
-        cp_parallel::par_chunks_mut(&mut r, VEC_CHUNK, |_, off, slice| {
+        assert_eq!(x.len(), n, "start vector length != system size");
+        let CgScratch { r, z, p, ap } = scratch;
+        r.resize(n, 0.0);
+        z.resize(n, 0.0);
+        p.resize(n, 0.0);
+        ap.resize(n, 0.0);
+        self.apply_into(x, ap);
+        cp_parallel::par_chunks_mut(r, VEC_CHUNK, |_, off, slice| {
             for (k, ri) in slice.iter_mut().enumerate() {
-                *ri = self.rhs[off + k] - ax[off + k];
+                *ri = self.rhs[off + k] - ap[off + k];
             }
         });
-        let mut z = vec![0.0; n];
-        cp_parallel::par_chunks_mut(&mut z, VEC_CHUNK, |_, off, slice| {
+        cp_parallel::par_chunks_mut(z, VEC_CHUNK, |_, off, slice| {
             for (k, zi) in slice.iter_mut().enumerate() {
                 *zi = r[off + k] / self.diag[off + k];
             }
         });
-        let mut p = z.clone();
-        let mut rz = dot(&r, &z);
+        p.copy_from_slice(z);
+        let mut rz = dot(r, z);
         let rhs_norm: f64 = dot(&self.rhs, &self.rhs).sqrt().max(1e-30);
         // Early exit on an already-converged starting point: warm-started
         // solves (incremental placement, successive-halving candidates)
         // often begin at the solution and would otherwise burn a full
         // SpMV + update sweep to move nowhere.
-        let rel0 = dot(&r, &r).sqrt() / rhs_norm;
+        let rel0 = dot(r, r).sqrt() / rhs_norm;
         if rel0 < tol {
-            return (
-                x,
-                CgStats {
-                    iterations: 0,
-                    relative_residual: rel0,
-                },
-            );
+            return CgStats {
+                iterations: 0,
+                relative_residual: rel0,
+            };
         }
         let mut iterations = 0;
         let mut relative_residual = rel0;
         for _ in 0..max_iters {
-            let ap = self.apply(&p);
-            let pap = dot(&p, &ap);
+            self.apply_into(p, ap);
+            let pap = dot(p, ap);
             if pap <= 0.0 || !pap.is_finite() {
                 // Zero, negative or NaN curvature: the direction carries no
                 // descent information; stop at the current iterate rather
@@ -256,64 +515,276 @@ impl B2bSystem {
                 break;
             }
             iterations += 1;
-            cp_parallel::par_chunks_mut(&mut x, VEC_CHUNK, |_, off, slice| {
+            cp_parallel::par_chunks_mut(x, VEC_CHUNK, |_, off, slice| {
                 for (k, xi) in slice.iter_mut().enumerate() {
                     *xi += alpha * p[off + k];
                 }
             });
-            cp_parallel::par_chunks_mut(&mut r, VEC_CHUNK, |_, off, slice| {
+            cp_parallel::par_chunks_mut(r, VEC_CHUNK, |_, off, slice| {
                 for (k, ri) in slice.iter_mut().enumerate() {
                     *ri -= alpha * ap[off + k];
                 }
             });
-            let rnorm = dot(&r, &r).sqrt();
+            let rnorm = dot(r, r).sqrt();
             relative_residual = rnorm / rhs_norm;
             if relative_residual < tol {
                 break;
             }
-            cp_parallel::par_chunks_mut(&mut z, VEC_CHUNK, |_, off, slice| {
+            cp_parallel::par_chunks_mut(z, VEC_CHUNK, |_, off, slice| {
                 for (k, zi) in slice.iter_mut().enumerate() {
                     *zi = r[off + k] / self.diag[off + k];
                 }
             });
-            let rz_new = dot(&r, &z);
+            let rz_new = dot(r, z);
             let beta = rz_new / rz;
             if !beta.is_finite() {
                 break;
             }
             rz = rz_new;
-            cp_parallel::par_chunks_mut(&mut p, VEC_CHUNK, |_, off, slice| {
+            cp_parallel::par_chunks_mut(p, VEC_CHUNK, |_, off, slice| {
                 for (k, pi) in slice.iter_mut().enumerate() {
                     *pi = z[off + k] + beta * *pi;
                 }
             });
         }
-        (
-            x,
-            CgStats {
-                iterations,
-                relative_residual,
-            },
-        )
+        CgStats {
+            iterations,
+            relative_residual,
+        }
     }
 
-    /// Sparse matrix-vector product. Row-parallel with unchanged per-row
-    /// accumulation order, so the output is bit-identical to the serial
-    /// loop at any thread count.
-    fn apply(&self, x: &[f64]) -> Vec<f64> {
-        let n = self.diag.len();
-        let mut out = vec![0.0; n];
-        cp_parallel::par_chunks_mut(&mut out, VEC_CHUNK, |_, off, slice| {
+    /// Sparse matrix-vector product into `out`. Row-parallel CSR kernel
+    /// with unchanged per-row accumulation order, so the output is
+    /// bit-identical to the serial loop at any thread count.
+    pub fn apply_into(&self, x: &[f64], out: &mut [f64]) {
+        cp_parallel::par_chunks_mut(out, VEC_CHUNK, |_, off, slice| {
             for (k, oi) in slice.iter_mut().enumerate() {
                 let i = off + k;
+                let row = self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize;
                 let mut acc = self.diag[i] * x[i];
-                for &(j, w) in &self.off[i] {
+                for (&j, &w) in self.col_idx[row.clone()].iter().zip(&self.val[row]) {
                     acc -= w * x[j as usize];
                 }
                 *oi = acc;
             }
         });
-        out
+    }
+}
+
+/// The pre-refactor jagged (`Vec<Vec<_>>`) B2B implementation, kept
+/// verbatim as the bitwise oracle for the CSR kernels and the incremental
+/// rebuild. Test-only; not compiled into the library.
+#[cfg(test)]
+pub(crate) mod jagged_oracle {
+    use super::{Anchors, Axis, MIN_DIST, VEC_CHUNK};
+    use crate::problem::PlacementProblem;
+
+    const EDGE_CHUNK: usize = 512;
+
+    fn dot(a: &[f64], b: &[f64]) -> f64 {
+        cp_parallel::par_sum(a.len().min(b.len()), VEC_CHUNK, |r| {
+            let mut s = 0.0;
+            for i in r {
+                s += a[i] * b[i];
+            }
+            s
+        })
+    }
+
+    pub struct JaggedSystem {
+        pub diag: Vec<f64>,
+        pub off: Vec<Vec<(u32, f64)>>,
+        pub rhs: Vec<f64>,
+    }
+
+    impl JaggedSystem {
+        pub fn build(
+            problem: &PlacementProblem,
+            positions: &[(f64, f64)],
+            axis: Axis,
+            anchors: Option<Anchors<'_>>,
+        ) -> Self {
+            let m = problem.movable_count();
+            let coord = |v: u32| -> f64 {
+                let (x, y) = problem.vertex_pos(v, positions);
+                match axis {
+                    Axis::X => x,
+                    Axis::Y => y,
+                }
+            };
+            let mut sys = Self {
+                diag: vec![0.0; m],
+                off: vec![Vec::new(); m],
+                rhs: vec![0.0; m],
+            };
+            let add_pair = |sys: &mut Self, u: u32, v: u32, w: f64| {
+                let (u, v) = (u as usize, v as usize);
+                match (u < m, v < m) {
+                    (true, true) => {
+                        sys.diag[u] += w;
+                        sys.diag[v] += w;
+                        sys.off[u].push((v as u32, w));
+                        sys.off[v].push((u as u32, w));
+                    }
+                    (true, false) => {
+                        sys.diag[u] += w;
+                        sys.rhs[u] += w * coord(v as u32);
+                    }
+                    (false, true) => {
+                        sys.diag[v] += w;
+                        sys.rhs[v] += w * coord(u as u32);
+                    }
+                    (false, false) => {}
+                }
+            };
+            let pair_chunks: Vec<Vec<(u32, u32, f64)>> =
+                cp_parallel::par_map_ranges(problem.hypergraph.edge_count(), EDGE_CHUNK, |range| {
+                    let mut pairs: Vec<(u32, u32, f64)> = Vec::new();
+                    for e in range {
+                        let verts = problem.hypergraph.edge(e as u32);
+                        let p = verts.len();
+                        if p < 2 {
+                            continue;
+                        }
+                        let w_net = problem.net_weights[e];
+                        let (mut lo_i, mut hi_i) = (0usize, 0usize);
+                        for (i, &v) in verts.iter().enumerate() {
+                            if coord(v) < coord(verts[lo_i]) {
+                                lo_i = i;
+                            }
+                            if coord(v) > coord(verts[hi_i]) {
+                                hi_i = i;
+                            }
+                        }
+                        let scale = w_net * 2.0 / (p as f64 - 1.0);
+                        let b2b_w =
+                            |a: u32, b: u32| scale / (coord(a) - coord(b)).abs().max(MIN_DIST);
+                        let (lo, hi) = (verts[lo_i], verts[hi_i]);
+                        if lo != hi {
+                            pairs.push((lo, hi, b2b_w(lo, hi)));
+                        }
+                        for (i, &v) in verts.iter().enumerate() {
+                            if i == lo_i || i == hi_i {
+                                continue;
+                            }
+                            if v != lo {
+                                pairs.push((v, lo, b2b_w(v, lo)));
+                            }
+                            if v != hi {
+                                pairs.push((v, hi, b2b_w(v, hi)));
+                            }
+                        }
+                    }
+                    pairs
+                });
+            for chunk in &pair_chunks {
+                for &(u, v, w) in chunk {
+                    add_pair(&mut sys, u, v, w);
+                }
+            }
+            if let Some(a) = anchors {
+                for i in 0..m {
+                    let w = a.weight[i];
+                    if w > 0.0 {
+                        sys.diag[i] += w;
+                        sys.rhs[i] += w * a.target[i];
+                    }
+                }
+            }
+            for (i, &(x, y)) in positions.iter().take(m).enumerate() {
+                if sys.diag[i] == 0.0 {
+                    sys.diag[i] = 1.0;
+                    sys.rhs[i] = match axis {
+                        Axis::X => x,
+                        Axis::Y => y,
+                    };
+                }
+            }
+            sys
+        }
+
+        pub fn solve(&self, x0: &[f64], max_iters: usize, tol: f64) -> Vec<f64> {
+            let n = self.diag.len();
+            let mut x = x0.to_vec();
+            let mut r = vec![0.0; n];
+            let ax = self.apply(&x);
+            cp_parallel::par_chunks_mut(&mut r, VEC_CHUNK, |_, off, slice| {
+                for (k, ri) in slice.iter_mut().enumerate() {
+                    *ri = self.rhs[off + k] - ax[off + k];
+                }
+            });
+            let mut z = vec![0.0; n];
+            cp_parallel::par_chunks_mut(&mut z, VEC_CHUNK, |_, off, slice| {
+                for (k, zi) in slice.iter_mut().enumerate() {
+                    *zi = r[off + k] / self.diag[off + k];
+                }
+            });
+            let mut p = z.clone();
+            let mut rz = dot(&r, &z);
+            let rhs_norm: f64 = dot(&self.rhs, &self.rhs).sqrt().max(1e-30);
+            let rel0 = dot(&r, &r).sqrt() / rhs_norm;
+            if rel0 < tol {
+                return x;
+            }
+            for _ in 0..max_iters {
+                let ap = self.apply(&p);
+                let pap = dot(&p, &ap);
+                if pap <= 0.0 || !pap.is_finite() {
+                    break;
+                }
+                let alpha = rz / pap;
+                if !alpha.is_finite() {
+                    break;
+                }
+                cp_parallel::par_chunks_mut(&mut x, VEC_CHUNK, |_, off, slice| {
+                    for (k, xi) in slice.iter_mut().enumerate() {
+                        *xi += alpha * p[off + k];
+                    }
+                });
+                cp_parallel::par_chunks_mut(&mut r, VEC_CHUNK, |_, off, slice| {
+                    for (k, ri) in slice.iter_mut().enumerate() {
+                        *ri -= alpha * ap[off + k];
+                    }
+                });
+                let rnorm = dot(&r, &r).sqrt();
+                if rnorm / rhs_norm < tol {
+                    break;
+                }
+                cp_parallel::par_chunks_mut(&mut z, VEC_CHUNK, |_, off, slice| {
+                    for (k, zi) in slice.iter_mut().enumerate() {
+                        *zi = r[off + k] / self.diag[off + k];
+                    }
+                });
+                let rz_new = dot(&r, &z);
+                let beta = rz_new / rz;
+                if !beta.is_finite() {
+                    break;
+                }
+                rz = rz_new;
+                cp_parallel::par_chunks_mut(&mut p, VEC_CHUNK, |_, off, slice| {
+                    for (k, pi) in slice.iter_mut().enumerate() {
+                        *pi = z[off + k] + beta * *pi;
+                    }
+                });
+            }
+            x
+        }
+
+        pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+            let n = self.diag.len();
+            let mut out = vec![0.0; n];
+            cp_parallel::par_chunks_mut(&mut out, VEC_CHUNK, |_, off, slice| {
+                for (k, oi) in slice.iter_mut().enumerate() {
+                    let i = off + k;
+                    let mut acc = self.diag[i] * x[i];
+                    for &(j, w) in &self.off[i] {
+                        acc -= w * x[j as usize];
+                    }
+                    *oi = acc;
+                }
+            });
+            out
+        }
     }
 }
 
@@ -349,6 +820,100 @@ mod tests {
             blockages: Vec::new(),
             density_target: 0.9,
         }
+    }
+
+    fn assert_sys_bitwise_eq(a: &B2bSystem, b: &B2bSystem) {
+        assert_eq!(a.row_ptr, b.row_ptr);
+        assert_eq!(a.col_idx, b.col_idx);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.diag), bits(&b.diag));
+        assert_eq!(bits(&a.val), bits(&b.val));
+        assert_eq!(bits(&a.rhs), bits(&b.rhs));
+    }
+
+    fn assert_matches_oracle(
+        p: &PlacementProblem,
+        pos: &[(f64, f64)],
+        axis: Axis,
+        anchors: Option<Anchors<'_>>,
+    ) {
+        let csr = B2bSystem::build(p, pos, axis, anchors);
+        let jag = jagged_oracle::JaggedSystem::build(p, pos, axis, anchors);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&csr.diag), bits(&jag.diag));
+        assert_eq!(bits(&csr.rhs), bits(&jag.rhs));
+        // Row contents and order: the CSR row must equal the jagged row.
+        for i in 0..csr.len() {
+            let row = csr.row_ptr[i] as usize..csr.row_ptr[i + 1] as usize;
+            let csr_row: Vec<(u32, u64)> = csr.col_idx[row.clone()]
+                .iter()
+                .zip(&csr.val[row])
+                .map(|(&j, &w)| (j, w.to_bits()))
+                .collect();
+            let jag_row: Vec<(u32, u64)> =
+                jag.off[i].iter().map(|&(j, w)| (j, w.to_bits())).collect();
+            assert_eq!(csr_row, jag_row, "row {i}");
+        }
+        // SpMV and full solves agree bit for bit.
+        let m = p.movable_count();
+        let x0: Vec<f64> = pos.iter().take(m).map(|&(x, _)| x * 0.75 + 0.1).collect();
+        let mut ap = vec![0.0; m];
+        csr.apply_into(&x0, &mut ap);
+        assert_eq!(bits(&ap), bits(&jag.apply(&x0)));
+        let solved = csr.solve(&x0, 60, 1e-9);
+        assert_eq!(bits(&solved), bits(&jag.solve(&x0, 60, 1e-9)));
+    }
+
+    #[test]
+    fn csr_matches_jagged_oracle_on_line() {
+        let p = line_problem();
+        assert_matches_oracle(&p, &[(20.0, 3.0), (30.0, -2.0)], Axis::X, None);
+        assert_matches_oracle(&p, &[(20.0, 3.0), (30.0, -2.0)], Axis::Y, None);
+        let targets = vec![1.0, 8.0];
+        let weights = vec![0.5, 0.0];
+        assert_matches_oracle(
+            &p,
+            &[(4.0, 1.0), (5.0, 2.0)],
+            Axis::X,
+            Some(Anchors {
+                target: &targets,
+                weight: &weights,
+            }),
+        );
+    }
+
+    #[test]
+    fn incremental_rebuild_matches_fresh_build() {
+        let p = line_problem();
+        let mut rb = B2bRebuilder::new(Axis::X);
+        let pos0 = vec![(20.0, 0.0), (30.0, 0.0)];
+        rb.rebuild(&p, &pos0, None);
+        assert_sys_bitwise_eq(rb.system(), &B2bSystem::build(&p, &pos0, Axis::X, None));
+        // Move one cell: nets touching it regenerate, the rest come from
+        // the cache — and the result must equal a from-scratch build.
+        let pos1 = vec![(20.0, 0.0), (7.5, 0.0)];
+        rb.rebuild(&p, &pos1, None);
+        assert_sys_bitwise_eq(rb.system(), &B2bSystem::build(&p, &pos1, Axis::X, None));
+        // No movement at all: fully cached rebuild, still identical.
+        rb.rebuild(&p, &pos1, None);
+        assert_sys_bitwise_eq(rb.system(), &B2bSystem::build(&p, &pos1, Axis::X, None));
+    }
+
+    #[test]
+    fn solve_into_matches_allocating_solve() {
+        let p = line_problem();
+        let pos = vec![(20.0, 0.0), (30.0, 0.0)];
+        let sys = B2bSystem::build(&p, &pos, Axis::X, None);
+        let reference = sys.solve(&[20.0, 30.0], 100, 1e-10);
+        let mut x = vec![20.0, 30.0];
+        let mut scratch = CgScratch::default();
+        sys.solve_into_with_stats(&mut x, &mut scratch, 100, 1e-10);
+        // Re-using warm scratch must not change anything either.
+        let mut x2 = vec![20.0, 30.0];
+        sys.solve_into_with_stats(&mut x2, &mut scratch, 100, 1e-10);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&reference), bits(&x));
+        assert_eq!(bits(&reference), bits(&x2));
     }
 
     #[test]
@@ -469,5 +1034,165 @@ mod tests {
         }
         assert!(pos[0].1 > -0.5 && pos[0].1 < 9.5, "{pos:?}");
         assert!(pos[1].1 > -0.5 && pos[1].1 < 9.5, "{pos:?}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::problem::Object;
+    use cp_graph::Hypergraph;
+    use cp_netlist::floorplan::Rect;
+    use proptest::prelude::*;
+
+    /// A randomized placement problem plus start positions and a sparse
+    /// perturbation (for the incremental-rebuild property).
+    #[derive(Debug, Clone)]
+    struct Case {
+        problem: PlacementProblem,
+        pos0: Vec<(f64, f64)>,
+        pos1: Vec<(f64, f64)>,
+        anchor_weight: f64,
+    }
+
+    fn case_strategy() -> impl Strategy<Value = Case> {
+        (1usize..8, 0usize..4)
+            .prop_flat_map(|(m, f)| {
+                let n = (m + f) as u32;
+                let nets =
+                    prop::collection::vec((prop::collection::vec(0..n, 2..5), 0.25f64..4.0), 0..10);
+                let coords = prop::collection::vec(
+                    ((-8.0f64..8.0), (-8.0f64..8.0)),
+                    m + f + m, // fixed tail + perturbation deltas
+                );
+                // Which movables move between pos0 and pos1 (sparse):
+                // a uniform draw per movable, thresholded below.
+                let moved = prop::collection::vec(0.0f64..1.0, m);
+                (Just((m, f)), nets, coords, moved, 0.0f64..0.6)
+            })
+            .prop_map(|((m, f), nets, coords, moved, anchor_weight)| {
+                let net_weights: Vec<f64> = nets.iter().map(|(_, w)| *w).collect();
+                let edges: Vec<(Vec<u32>, f64)> = nets.into_iter().map(|(v, _)| (v, 1.0)).collect();
+                let problem = PlacementProblem {
+                    movable: vec![
+                        Object {
+                            width: 1.0,
+                            height: 1.0,
+                        };
+                        m
+                    ],
+                    fixed: coords[m..m + f].to_vec(),
+                    hypergraph: Hypergraph::new(m + f, edges),
+                    net_weights,
+                    core: Rect::new(-10.0, -10.0, 10.0, 10.0),
+                    region: vec![None; m],
+                    seed_positions: None,
+                    blockages: Vec::new(),
+                    density_target: 0.9,
+                };
+                let pos0: Vec<(f64, f64)> = coords[..m].to_vec();
+                let pos1: Vec<(f64, f64)> = (0..m)
+                    .map(|i| {
+                        if moved[i] < 0.3 {
+                            coords[m + f + i]
+                        } else {
+                            pos0[i]
+                        }
+                    })
+                    .collect();
+                Case {
+                    problem,
+                    pos0,
+                    pos1,
+                    anchor_weight,
+                }
+            })
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    type SysFingerprint = (Vec<u32>, Vec<u32>, Vec<u64>, Vec<u64>, Vec<u64>);
+
+    fn sys_fingerprint(s: &B2bSystem) -> SysFingerprint {
+        (
+            s.row_ptr.clone(),
+            s.col_idx.clone(),
+            bits(&s.diag),
+            bits(&s.val),
+            bits(&s.rhs),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// CSR build + SpMV + solve are bitwise-identical to the
+        /// pre-refactor jagged implementation.
+        #[test]
+        fn csr_matches_jagged_oracle(case in case_strategy()) {
+            let m = case.problem.movable_count();
+            let targets: Vec<f64> = (0..m).map(|i| i as f64 - 2.0).collect();
+            let weights = vec![case.anchor_weight; m];
+            let anchors = Anchors { target: &targets, weight: &weights };
+            for axis in [Axis::X, Axis::Y] {
+                for a in [None, Some(anchors)] {
+                    let csr = B2bSystem::build(&case.problem, &case.pos0, axis, a);
+                    let jag = jagged_oracle::JaggedSystem::build(
+                        &case.problem, &case.pos0, axis, a,
+                    );
+                    prop_assert_eq!(bits(&csr.diag), bits(&jag.diag));
+                    prop_assert_eq!(bits(&csr.rhs), bits(&jag.rhs));
+                    let x0: Vec<f64> = case.pos0.iter()
+                        .map(|&(x, y)| match axis { Axis::X => x, Axis::Y => y })
+                        .collect();
+                    let mut ap = vec![0.0; m];
+                    csr.apply_into(&x0, &mut ap);
+                    prop_assert_eq!(bits(&ap), bits(&jag.apply(&x0)));
+                    let s_csr = csr.solve(&x0, 40, 1e-9);
+                    let s_jag = jag.solve(&x0, 40, 1e-9);
+                    prop_assert_eq!(bits(&s_csr), bits(&s_jag));
+                }
+            }
+        }
+
+        /// An incremental rebuild after a sparse perturbation equals a
+        /// from-scratch build at the new positions, bit for bit.
+        #[test]
+        fn incremental_rebuild_matches_fresh(case in case_strategy()) {
+            for axis in [Axis::X, Axis::Y] {
+                let mut rb = B2bRebuilder::new(axis);
+                rb.rebuild(&case.problem, &case.pos0, None);
+                let fresh0 = B2bSystem::build(&case.problem, &case.pos0, axis, None);
+                prop_assert_eq!(sys_fingerprint(rb.system()), sys_fingerprint(&fresh0));
+                rb.rebuild(&case.problem, &case.pos1, None);
+                let fresh1 = B2bSystem::build(&case.problem, &case.pos1, axis, None);
+                prop_assert_eq!(sys_fingerprint(rb.system()), sys_fingerprint(&fresh1));
+            }
+        }
+
+        /// Build + solve are bitwise-invariant across 1/4/8 threads.
+        #[test]
+        fn thread_count_does_not_change_bits(case in case_strategy()) {
+            let run = |threads: usize| {
+                cp_parallel::with_threads(threads, || {
+                    let mut rb = B2bRebuilder::new(Axis::X);
+                    rb.rebuild(&case.problem, &case.pos0, None);
+                    rb.rebuild(&case.problem, &case.pos1, None);
+                    let fp = sys_fingerprint(rb.system());
+                    let x0: Vec<f64> = case.pos1.iter().map(|&(x, _)| x).collect();
+                    let mut x = x0.clone();
+                    let mut scratch = CgScratch::default();
+                    rb.system().solve_into_with_stats(&mut x, &mut scratch, 40, 1e-9);
+                    (fp, bits(&x))
+                })
+            };
+            let t1 = run(1);
+            let t4 = run(4);
+            let t8 = run(8);
+            prop_assert_eq!(&t1, &t4);
+            prop_assert_eq!(&t1, &t8);
+        }
     }
 }

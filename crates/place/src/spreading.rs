@@ -8,6 +8,7 @@
 //! order — exactly what anchor pseudo-nets need.
 
 use crate::problem::PlacementProblem;
+use crate::soa::PlacementSoa;
 use cp_netlist::floorplan::Rect;
 
 /// Cells per leaf region before direct mapping.
@@ -21,8 +22,22 @@ const BIN_CHUNK: usize = 256;
 
 /// Spreads `positions` to meet the problem's density target.
 ///
-/// Returns one position per movable, inside the core.
+/// Returns one position per movable, inside the core. Convenience
+/// wrapper over [`spread_soa`] that extracts the area array on the fly;
+/// per-iteration callers should hold a [`PlacementSoa`] and call the SoA
+/// variant directly.
 pub fn spread(problem: &PlacementProblem, positions: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    spread_soa(problem, &PlacementSoa::from_problem(problem), positions)
+}
+
+/// [`spread`] over a prebuilt [`PlacementSoa`]: the bisection reads cell
+/// areas from the contiguous arena instead of the object structs.
+/// Bit-identical to [`spread`].
+pub fn spread_soa(
+    problem: &PlacementProblem,
+    soa: &PlacementSoa,
+    positions: &[(f64, f64)],
+) -> Vec<(f64, f64)> {
     let m = problem.movable_count();
     let mut out = positions.to_vec();
     if m == 0 {
@@ -33,7 +48,7 @@ pub fn spread(problem: &PlacementProblem, positions: &[(f64, f64)]) -> Vec<(f64,
     // to keep the spans-only overhead budget for the coarse stages.
     let _span = cp_trace::telemetry_enabled().then(|| cp_trace::span("place.spread"));
     let items: Vec<usize> = (0..m).collect();
-    rec(problem, problem.core, items, positions, &mut out);
+    rec(problem, &soa.area, problem.core, items, positions, &mut out);
     // Honor region constraints, core bounds and blockages.
     for (i, p) in out.iter_mut().enumerate() {
         let r = problem.region[i].unwrap_or(problem.core);
@@ -45,6 +60,7 @@ pub fn spread(problem: &PlacementProblem, positions: &[(f64, f64)]) -> Vec<(f64,
 
 fn rec(
     problem: &PlacementProblem,
+    areas: &[f64],
     region: Rect,
     mut items: Vec<usize>,
     positions: &[(f64, f64)],
@@ -64,7 +80,7 @@ fn rec(
         }
     };
     items.sort_by(|&a, &b| coord(a).total_cmp(&coord(b)));
-    let total_area: f64 = items.iter().map(|&i| problem.movable[i].area()).sum();
+    let total_area: f64 = items.iter().map(|&i| areas[i]).sum();
     // Split the cell list in proportion to the halves' free capacities
     // (equal halves on an unobstructed core; blockage-aware otherwise).
     let half_frac = {
@@ -80,7 +96,7 @@ fn rec(
     let mut acc = 0.0;
     let mut split = items.len();
     for (k, &i) in items.iter().enumerate() {
-        acc += problem.movable[i].area();
+        acc += areas[i];
         if acc >= total_area * half_frac {
             split = k + 1;
             break;
@@ -89,8 +105,8 @@ fn rec(
     split = split.clamp(1, items.len().saturating_sub(1).max(1));
     let right = items.split_off(split);
     let (r1, r2) = halves(region);
-    rec(problem, r1, items, positions, out);
-    rec(problem, r2, right, positions, out);
+    rec(problem, areas, r1, items, positions, out);
+    rec(problem, areas, r2, right, positions, out);
 }
 
 /// Splits a region into two halves along its longer side.
@@ -155,6 +171,17 @@ fn map_into(region: Rect, items: &[usize], positions: &[(f64, f64)], out: &mut [
 /// per-bin capacity (`bin_area · density_target`), on a `bins × bins` grid
 /// sized to the problem.
 pub fn density_overflow(problem: &PlacementProblem, positions: &[(f64, f64)]) -> f64 {
+    density_overflow_soa(problem, &PlacementSoa::from_problem(problem), positions)
+}
+
+/// [`density_overflow`] over a prebuilt [`PlacementSoa`]: the bin scatter
+/// reads cell areas from the contiguous arena and the total from the
+/// precomputed sum. Bit-identical to [`density_overflow`].
+pub fn density_overflow_soa(
+    problem: &PlacementProblem,
+    soa: &PlacementSoa,
+    positions: &[(f64, f64)],
+) -> f64 {
     let m = problem.movable_count();
     if m == 0 {
         return 0.0;
@@ -172,7 +199,7 @@ pub fn density_overflow(problem: &PlacementProblem, positions: &[(f64, f64)]) ->
                     let (x, y) = positions[i];
                     let bx = (((x - core.llx) / bw) as usize).min(bins - 1);
                     let by = (((y - core.lly) / bh) as usize).min(bins - 1);
-                    ((by * bins + bx) as u32, problem.movable[i].area())
+                    ((by * bins + bx) as u32, soa.area[i])
                 })
                 .collect()
         });
@@ -182,7 +209,7 @@ pub fn density_overflow(problem: &PlacementProblem, positions: &[(f64, f64)]) ->
             area[b as usize] += a;
         }
     }
-    let total: f64 = problem.movable_area().max(1e-12);
+    let total: f64 = soa.total_area.max(1e-12);
     // Per-bin capacity (blockage clipping) dominates; sum overflow with a
     // deterministic parallel reduction over the row-major bin order.
     let over = cp_parallel::par_sum(bins * bins, BIN_CHUNK, |range| {
