@@ -16,15 +16,19 @@
 //!   every run is traced at the same level so timings are comparable.
 //!
 //! ```text
-//! scaling [--max-cells N]
+//! scaling [--max-cells N] [--backend b2b|edensity]
 //! ```
 //!
 //! `--max-cells` truncates the ladder (CI smoke runs the ≥50k-cell prefix
-//! without paying for the ~769k-cell tier).
+//! without paying for the ~769k-cell tier). `--backend` selects the
+//! spreading backend for the whole sweep; whenever the ladder reaches the
+//! ≥50k-cell tier, an extra backend A/B section (wall clock + final HPWL,
+//! b2b vs edensity at the same options) is appended to the artifact.
 
 use cp_bench::{print_table, Bench};
 use cp_core::flow::{run_flow, FlowOptions, FlowReport};
 use cp_netlist::generator::DesignProfile;
+use cp_place::PlacerBackendKind;
 use cp_trace::{Analysis, Level};
 use std::time::Instant;
 
@@ -200,9 +204,56 @@ fn scale_json(r: &ScaleResult, speedups_meaningful: bool) -> String {
     )
 }
 
+/// One backend leg of the A/B comparison.
+struct AbRun {
+    backend: PlacerBackendKind,
+    wall_s: f64,
+    hpwl: f64,
+}
+
+/// Runs the full flow once per backend on the same design with otherwise
+/// identical options: the honest apples-to-apples wall + QoR row.
+fn backend_ab(
+    profile: DesignProfile,
+    scale: f64,
+    threads: usize,
+    opts: &FlowOptions,
+) -> (String, usize, Vec<AbRun>) {
+    let b = Bench::generate_at(profile, scale);
+    let cells = b.netlist.cell_count();
+    eprintln!(
+        "## backend A/B: {} @ scale {scale} — {cells} cells, {threads} thread(s)",
+        b.name()
+    );
+    let runs = [PlacerBackendKind::B2b, PlacerBackendKind::EDensity]
+        .into_iter()
+        .map(|backend| {
+            let mut o = opts.clone();
+            o.placer.backend = backend;
+            let t0 = Instant::now();
+            let report = cp_parallel::with_threads(threads, || {
+                run_flow(&b.netlist, &b.constraints, &o).expect("flow runs")
+            });
+            let wall_s = t0.elapsed().as_secs_f64();
+            eprintln!(
+                "  {}: {wall_s:.2}s, hpwl {:.0}",
+                backend.name(),
+                report.hpwl
+            );
+            AbRun {
+                backend,
+                wall_s,
+                hpwl: report.hpwl,
+            }
+        })
+        .collect();
+    (b.name().to_string(), cells, runs)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut max_cells = usize::MAX;
+    let mut backend = PlacerBackendKind::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -211,7 +262,15 @@ fn main() {
                 max_cells = v.parse().expect("--max-cells must be an integer");
                 i += 2;
             }
-            other => panic!("unknown option `{other}` (usage: scaling [--max-cells N])"),
+            "--backend" => {
+                let v = args.get(i + 1).expect("--backend needs a value");
+                backend = PlacerBackendKind::parse(v)
+                    .unwrap_or_else(|| panic!("unknown backend `{v}` (b2b|edensity)"));
+                i += 2;
+            }
+            other => panic!(
+                "unknown option `{other}` (usage: scaling [--max-cells N] [--backend b2b|edensity])"
+            ),
         }
     }
 
@@ -234,7 +293,9 @@ fn main() {
         );
     }
 
-    let opts = sweep_options();
+    let mut opts = sweep_options();
+    opts.placer.backend = backend;
+    println!("# Spreading backend: {}", backend.name());
     let results: Vec<ScaleResult> = ladder()
         .iter()
         .filter(|p| {
@@ -279,6 +340,48 @@ fn main() {
         &rows,
     );
 
+    // Backend A/B at the first ≥50k-cell rung the ladder reached (Jpeg at
+    // full scale); skipped — and recorded as null — when `--max-cells`
+    // cut the ladder below it.
+    const AB_PROFILE: DesignProfile = DesignProfile::Jpeg;
+    let ab = ((AB_PROFILE.table1_insts() as f64) as usize <= max_cells)
+        .then(|| backend_ab(AB_PROFILE, 1.0, *threads.last().unwrap_or(&1), &opts));
+    let ab_json = match &ab {
+        None => "null".to_string(),
+        Some((name, cells, runs)) => {
+            let rows: Vec<Vec<String>> = runs
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.backend.name().to_string(),
+                        format!("{:.2}", r.wall_s),
+                        format!("{:.0}", r.hpwl),
+                    ]
+                })
+                .collect();
+            print_table(
+                &format!("Backend A/B ({name}, {cells} cells)"),
+                &["Backend", "Wall s", "Final HPWL"],
+                &rows,
+            );
+            let runs_json = runs
+                .iter()
+                .map(|r| {
+                    format!(
+                        "      {{\"backend\": \"{}\", \"wall_s\": {:.6}, \"hpwl\": {:.3}}}",
+                        r.backend.name(),
+                        r.wall_s,
+                        r.hpwl
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!(
+                "{{\n    \"design\": \"{name}\",\n    \"cells\": {cells},\n    \"runs\": [\n{runs_json}\n    ]\n  }}"
+            )
+        }
+    };
+
     let scales_json = results
         .iter()
         .map(|r| scale_json(r, speedups_meaningful))
@@ -295,8 +398,14 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"parallel_scaling\",\n  \"detected_cores\": {},\n  \
          \"thread_counts\": {:?},\n  \"trace_level\": \"spans\",\n  \
-         \"metrics_identical\": true,{}\n  \"scales\": [\n{}\n  ]\n}}\n",
-        cores, threads, note, scales_json
+         \"backend\": \"{}\",\n  \"metrics_identical\": true,{}\n  \
+         \"backend_ab\": {},\n  \"scales\": [\n{}\n  ]\n}}\n",
+        cores,
+        threads,
+        backend.name(),
+        note,
+        ab_json,
+        scales_json
     );
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!(

@@ -1,10 +1,13 @@
 //! Solver micro-bench (hot-path kernels in isolation): builds synthetic
 //! B2B systems at 10k / 100k / 1M variables and times
 //!
-//! - one CSR SpMV (`B2bSystem::apply_into`), min-of-N over repeated
-//!   applications,
-//! - a full preconditioned-CG solve into reused scratch
-//!   (`solve_into_with_stats`),
+//! - one CSR SpMV per layout: the row kernel and the dispatched kernel
+//!   (cache-blocked column stripes above the nnz threshold), min-of-N,
+//! - a full fixed-budget CG solve with fused vs unfused vector kernels
+//!   (`CgOptions::fused`), with the non-SpMV share split out,
+//! - convergence honesty: iterations and seconds to a relative residual
+//!   of ≤ 1e-4 (capped) for plain Jacobi-CG vs IC(0)-preconditioned CG
+//!   (factorization timed separately and included in the total),
 //! - a full B2B rebuild from scratch vs an incremental rebuild after
 //!   moving 1% of the cells (the cached-net fast path).
 //!
@@ -14,7 +17,7 @@
 
 use cp_graph::Hypergraph;
 use cp_netlist::floorplan::Rect;
-use cp_place::solver::{Axis, B2bRebuilder, CgScratch};
+use cp_place::solver::{Axis, B2bRebuilder, CgOptions, CgScratch, CgStats, IcPreconditioner};
 use cp_place::{Object, PlacementProblem};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -23,6 +26,15 @@ use std::time::Instant;
 const SIZES: [usize; 3] = [10_000, 100_000, 1_000_000];
 const SPMV_REPS: usize = 20;
 const CG_ITERS: usize = 60;
+/// Convergence target for the iterations-to-tolerance rows.
+const TOL: f64 = 1e-4;
+/// Iteration cap for the to-tolerance rows: plain Jacobi-CG on the
+/// chain-dominated synthetic may simply not get there — that is the
+/// point, and the row reports `reached: false` honestly.
+const TOL_CAP: usize = 500;
+/// The solves are deterministic, so repeated runs differ only in wall
+/// time; min-of-N filters scheduler noise out of the timed rows.
+const SOLVE_REPS: usize = 3;
 
 /// Synthetic placement problem: `n` movable cells in a square core,
 /// `1.5 n` random 2–4-pin nets plus a connectivity chain, seeded
@@ -81,79 +93,211 @@ struct SizeResult {
     nnz: usize,
     build_s: f64,
     incremental_s: f64,
+    /// Dispatched SpMV (blocked above the nnz threshold).
     spmv_s: f64,
+    /// Unblocked row-kernel SpMV, for the blocked-vs-rows comparison.
+    spmv_rows_s: f64,
+    blocked: bool,
+    /// Fixed-budget CG, fused kernels (the default path).
     cg_s: f64,
     cg_iters: usize,
     cg_rel: f64,
+    /// Fixed-budget CG, unfused kernels (`CgOptions { fused: false }`).
+    cg_unfused_s: f64,
+    /// Plain Jacobi-CG to TOL (capped at TOL_CAP).
+    tol_iters: usize,
+    tol_s: f64,
+    tol_rel: f64,
+    /// IC(0)-preconditioned CG to TOL: factor time + solve time.
+    ic_factor_s: f64,
+    pcg_iters: usize,
+    pcg_s: f64,
+    pcg_rel: f64,
 }
 
 fn bench_size(n: usize) -> SizeResult {
-    let (problem, mut positions) = synthetic(n, 0x5eed ^ n as u64);
+    let (problem, positions) = synthetic(n, 0x5eed ^ n as u64);
+
+    // Full-rebuild vs incremental-rebuild comparison with the allocator
+    // warmth held equal: after a cold first build, alternate an
+    // every-cell move (all nets dirty — the full re-derive path, warm
+    // arenas) with a 1%-cell move (the cached-net fast path), min over
+    // repeats. Timing the cold first build as "full" would flatter the
+    // incremental row with allocation noise.
     let mut rb = B2bRebuilder::new(Axis::X);
-
-    // Full build (first rebuild is always full).
-    let t0 = Instant::now();
-    rb.rebuild(&problem, &positions, None);
-    let build_s = t0.elapsed().as_secs_f64();
-    let nnz = rb.system().nnz();
-
-    // Incremental rebuild after moving 1% of the cells.
+    let mut cur = positions.clone();
+    rb.rebuild(&problem, &cur, None);
     let mut rng = StdRng::seed_from_u64(97);
-    for _ in 0..(n / 100).max(1) {
-        let i = rng.random_range(0..n);
-        positions[i].0 += 0.75;
+    let (mut build_s, mut incremental_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..SOLVE_REPS {
+        // Uniform shift: every pin coordinate changes (all nets dirty)
+        // while the pin ordering — and so the pair topology — stays put.
+        for p in &mut cur {
+            p.0 += 0.375;
+        }
+        let t0 = Instant::now();
+        rb.rebuild(&problem, &cur, None);
+        build_s = build_s.min(t0.elapsed().as_secs_f64());
+        for _ in 0..(n / 100).max(1) {
+            let i = rng.random_range(0..n);
+            cur[i].0 += 0.75;
+        }
+        let t1 = Instant::now();
+        rb.rebuild(&problem, &cur, None);
+        incremental_s = incremental_s.min(t1.elapsed().as_secs_f64());
     }
-    let t1 = Instant::now();
-    rb.rebuild(&problem, &positions, None);
-    let incremental_s = t1.elapsed().as_secs_f64();
+    let nnz = rb.system().nnz();
 
     let sys = rb.system();
     let x: Vec<f64> = (0..sys.len()).map(|i| (i % 17) as f64 * 0.25).collect();
     let mut out = vec![0.0; sys.len()];
     let mut spmv_s = f64::INFINITY;
+    let mut spmv_rows_s = f64::INFINITY;
     for _ in 0..SPMV_REPS {
         let t = Instant::now();
         sys.apply_into(&x, &mut out);
         spmv_s = spmv_s.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        sys.apply_rows_into(&x, &mut out);
+        spmv_rows_s = spmv_rows_s.min(t.elapsed().as_secs_f64());
     }
     assert!(out.iter().all(|v| v.is_finite()));
 
-    let mut sol = vec![0.0; sys.len()];
+    // Fixed-budget CG: fused (default) vs unfused vector kernels. The
+    // solves are bitwise-identical, so the non-SpMV delta is pure kernel
+    // fusion.
     let mut scratch = CgScratch::default();
-    let t2 = Instant::now();
-    let stats = sys.solve_into_with_stats(&mut sol, &mut scratch, CG_ITERS, 1e-6);
-    let cg_s = t2.elapsed().as_secs_f64();
+    let run_budget = |fused: bool, scratch: &mut CgScratch| {
+        let mut sol = vec![0.0; sys.len()];
+        let t = Instant::now();
+        let stats = sys.solve_into_with_options(
+            &mut sol,
+            scratch,
+            CG_ITERS,
+            1e-6,
+            CgOptions {
+                precondition: false,
+                fused,
+            },
+        );
+        (t.elapsed().as_secs_f64(), stats)
+    };
+    // Warm the scratch allocations outside the timed region, then take
+    // the min over SOLVE_REPS deterministic repeats of every solve row.
+    let _ = run_budget(true, &mut scratch);
+    let (mut cg_s, mut cg_unfused_s) = (f64::INFINITY, f64::INFINITY);
+    let (mut stats, mut unfused_stats) = (CgStats::default(), CgStats::default());
+    for _ in 0..SOLVE_REPS {
+        let (s, st) = run_budget(true, &mut scratch);
+        if s < cg_s {
+            (cg_s, stats) = (s, st);
+        }
+        let (s, st) = run_budget(false, &mut scratch);
+        if s < cg_unfused_s {
+            (cg_unfused_s, unfused_stats) = (s, st);
+        }
+    }
+    assert_eq!(
+        stats.relative_residual.to_bits(),
+        unfused_stats.relative_residual.to_bits(),
+        "fused and unfused CG must be bitwise-identical"
+    );
+
+    // Convergence honesty: to-tolerance rows. Plain Jacobi first.
+    let mut tol_s = f64::INFINITY;
+    let mut tol_stats = CgStats::default();
+    for _ in 0..SOLVE_REPS {
+        let mut sol = vec![0.0; sys.len()];
+        let t = Instant::now();
+        tol_stats = sys.solve_into_with_stats(&mut sol, &mut scratch, TOL_CAP, TOL);
+        tol_s = tol_s.min(t.elapsed().as_secs_f64());
+    }
+
+    // IC(0)-preconditioned, factorization timed apart.
+    let mut ic_factor_s = f64::INFINITY;
+    let mut pcg_s = f64::INFINITY;
+    let mut pcg_stats = CgStats::default();
+    for _ in 0..SOLVE_REPS {
+        let t = Instant::now();
+        let ic = IcPreconditioner::new(sys);
+        ic_factor_s = ic_factor_s.min(t.elapsed().as_secs_f64());
+        let mut sol = vec![0.0; sys.len()];
+        let t = Instant::now();
+        pcg_stats = sys.solve_into_preconditioned(&mut sol, &mut scratch, TOL_CAP, TOL, &ic);
+        pcg_s = pcg_s.min(t.elapsed().as_secs_f64());
+    }
+
     SizeResult {
         n,
         nnz,
         build_s,
         incremental_s,
         spmv_s,
+        spmv_rows_s,
+        blocked: sys.is_blocked(),
         cg_s,
         cg_iters: stats.iterations,
         cg_rel: stats.relative_residual,
+        cg_unfused_s,
+        tol_iters: tol_stats.iterations,
+        tol_s,
+        tol_rel: tol_stats.relative_residual,
+        ic_factor_s,
+        pcg_iters: pcg_stats.iterations,
+        pcg_s,
+        pcg_rel: pcg_stats.relative_residual,
     }
 }
 
 fn main() {
-    println!("# Solver kernels (CSR B2B), min-of-{SPMV_REPS} SpMV, {CG_ITERS}-iter CG budget");
+    println!(
+        "# Solver kernels (CSR B2B): min-of-{SPMV_REPS} SpMV, {CG_ITERS}-iter CG budget, \
+         to-tolerance rel {TOL:.0e} capped at {TOL_CAP}"
+    );
     let results: Vec<SizeResult> = SIZES
         .iter()
         .map(|&n| {
             let r = bench_size(n);
+            let non_spmv = |cg: f64| (cg - r.cg_iters as f64 * r.spmv_s).max(0.0);
             println!(
-                "{:>9} vars: nnz {:>9}, build {:.4}s, incr {:.4}s ({:.1}x), spmv {:.5}s \
-             ({:.1} Mnnz/s), cg {:.3}s ({} iters, rel {:.2e})",
+                "{:>9} vars: nnz {:>9}, build {:.4}s, incr {:.4}s ({:.1}x), spmv {:.5}s{} \
+                 (rows {:.5}s), cg {:.3}s ({} iters, rel {:.2e}, non-spmv {:.3}s fused vs \
+                 {:.3}s unfused)",
                 r.n,
                 r.nnz,
                 r.build_s,
                 r.incremental_s,
                 r.build_s / r.incremental_s.max(1e-12),
                 r.spmv_s,
-                r.nnz as f64 / r.spmv_s.max(1e-12) / 1e6,
+                if r.blocked { " [blocked]" } else { "" },
+                r.spmv_rows_s,
                 r.cg_s,
                 r.cg_iters,
-                r.cg_rel
+                r.cg_rel,
+                non_spmv(r.cg_s),
+                non_spmv(r.cg_unfused_s),
+            );
+            println!(
+                "           to rel {TOL:.0e}: jacobi {} iters {:.3}s (rel {:.2e}{}) | \
+                 ic(0) factor {:.4}s + {} iters {:.3}s = {:.3}s (rel {:.2e}{})",
+                r.tol_iters,
+                r.tol_s,
+                r.tol_rel,
+                if r.tol_rel <= TOL {
+                    ""
+                } else {
+                    ", NOT reached"
+                },
+                r.ic_factor_s,
+                r.pcg_iters,
+                r.pcg_s,
+                r.ic_factor_s + r.pcg_s,
+                r.pcg_rel,
+                if r.pcg_rel <= TOL {
+                    ""
+                } else {
+                    ", NOT reached"
+                },
             );
             r
         })
@@ -165,17 +309,40 @@ fn main() {
             format!(
                 "    {{\"vars\": {}, \"nnz\": {}, \"build_s\": {:.6}, \
                  \"incremental_rebuild_s\": {:.6}, \"spmv_s\": {:.6}, \
+                 \"spmv_rows_s\": {:.6}, \"spmv_blocked\": {}, \
                  \"spmv_mnnz_per_s\": {:.2}, \"cg_s\": {:.6}, \"cg_iters\": {}, \
-                 \"cg_rel_residual\": {:e}}}",
+                 \"cg_rel_residual\": {:e}, \"cg_unfused_s\": {:.6}, \
+                 \"cg_non_spmv_s\": {:.6}, \"cg_non_spmv_unfused_s\": {:.6}, \
+                 \"to_tol\": {{\"tol\": {:e}, \"cap\": {}, \
+                 \"jacobi\": {{\"iters\": {}, \"secs\": {:.6}, \"rel\": {:e}, \"reached\": {}}}, \
+                 \"ic0\": {{\"factor_s\": {:.6}, \"iters\": {}, \"solve_s\": {:.6}, \
+                 \"total_s\": {:.6}, \"rel\": {:e}, \"reached\": {}}}}}}}",
                 r.n,
                 r.nnz,
                 r.build_s,
                 r.incremental_s,
                 r.spmv_s,
+                r.spmv_rows_s,
+                r.blocked,
                 r.nnz as f64 / r.spmv_s.max(1e-12) / 1e6,
                 r.cg_s,
                 r.cg_iters,
-                r.cg_rel
+                r.cg_rel,
+                r.cg_unfused_s,
+                (r.cg_s - r.cg_iters as f64 * r.spmv_s).max(0.0),
+                (r.cg_unfused_s - r.cg_iters as f64 * r.spmv_s).max(0.0),
+                TOL,
+                TOL_CAP,
+                r.tol_iters,
+                r.tol_s,
+                r.tol_rel,
+                r.tol_rel <= TOL,
+                r.ic_factor_s,
+                r.pcg_iters,
+                r.pcg_s,
+                r.ic_factor_s + r.pcg_s,
+                r.pcg_rel,
+                r.pcg_rel <= TOL,
             )
         })
         .collect::<Vec<_>>()

@@ -178,6 +178,16 @@ impl FlowOptions {
         self.shape_mode = mode;
         self
     }
+
+    /// Sets the placer's spreading backend (builder style). Every
+    /// placement the flow runs — clustered, flat, and V-P&R candidate
+    /// evaluations — uses the chosen backend; checkpointing and QoR
+    /// gating work unchanged (the backend is part of the options
+    /// fingerprint, so checkpoints never mix backends).
+    pub fn backend(mut self, backend: cp_place::PlacerBackendKind) -> Self {
+        self.placer.backend = backend;
+        self
+    }
 }
 
 /// Post-route PPA metrics (the columns of Tables 3–6).

@@ -599,6 +599,59 @@ pub fn par_chunks_mut<T: Send>(
     });
 }
 
+/// [`par_chunks_mut`] fused with a deterministic reduction: each chunk
+/// mutates its disjoint slice and returns a partial, and the partials are
+/// tree-combined in fixed order ([`tree_combine`]) — one memory pass
+/// where a mutate-then-reduce pair would take two. The reduction is
+/// bit-identical to running [`par_chunks_mut`] followed by [`par_sum`]
+/// over the same chunk geometry whenever `f` accumulates its partial in
+/// index order.
+pub fn par_chunks_mut_sum<T: Send>(
+    data: &mut [T],
+    chunk: usize,
+    f: impl Fn(usize, usize, &mut [T]) -> f64 + Sync,
+) -> f64 {
+    let n = data.len();
+    let chunk = chunk.max(1);
+    let ptr = SendPtr(data.as_mut_ptr());
+    let parts = par_map_ranges(n, chunk, |r| {
+        // SAFETY: ranges from the fixed chunking are pairwise disjoint.
+        let slice = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(r.start), r.len()) };
+        f(r.start / chunk, r.start, slice)
+    });
+    tree_combine(parts, |a, b| a + b).unwrap_or(0.0)
+}
+
+/// Two-buffer [`par_chunks_mut_sum`]: `a` and `b` are chunked with the
+/// same fixed geometry and each chunk mutates both disjoint slices,
+/// returning a partial for the fixed-order tree reduction. The CG fused
+/// kernels use this to update the iterate and the residual — and reduce
+/// the new residual norm — in a single pass.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` differ in length.
+pub fn par_chunks2_mut_sum<T: Send>(
+    a: &mut [T],
+    b: &mut [T],
+    chunk: usize,
+    f: impl Fn(usize, usize, &mut [T], &mut [T]) -> f64 + Sync,
+) -> f64 {
+    assert_eq!(a.len(), b.len(), "par_chunks2_mut_sum buffers differ");
+    let n = a.len();
+    let chunk = chunk.max(1);
+    let pa = SendPtr(a.as_mut_ptr());
+    let pb = SendPtr(b.as_mut_ptr());
+    let parts = par_map_ranges(n, chunk, |r| {
+        // SAFETY: ranges from the fixed chunking are pairwise disjoint,
+        // and `a`/`b` are distinct exclusive borrows.
+        let sa = unsafe { std::slice::from_raw_parts_mut(pa.get().add(r.start), r.len()) };
+        let sb = unsafe { std::slice::from_raw_parts_mut(pb.get().add(r.start), r.len()) };
+        f(r.start / chunk, r.start, sa, sb)
+    });
+    tree_combine(parts, |a, b| a + b).unwrap_or(0.0)
+}
+
 /// Combines `parts` pairwise in fixed order until one value remains:
 /// `((p0 ⊕ p1) ⊕ (p2 ⊕ p3)) ⊕ …`. The combination tree depends only on
 /// `parts.len()`, which is what makes the reductions here bit-identical
@@ -677,6 +730,75 @@ mod tests {
         for (i, &v) in data.iter().enumerate() {
             assert_eq!(v, i);
         }
+    }
+
+    #[test]
+    fn par_chunks_mut_sum_matches_separate_passes() {
+        let vals: Vec<f64> = (0..5000)
+            .map(|i| ((i * 2_654_435_761_u64) % 997) as f64 * 1e-3)
+            .collect();
+        // Reference: mutate, then reduce over the same chunk geometry.
+        let mut a = vals.clone();
+        par_chunks_mut(&mut a, 128, |_, off, s| {
+            for (k, v) in s.iter_mut().enumerate() {
+                *v = *v * 2.0 + (off + k) as f64;
+            }
+        });
+        let want = par_sum(a.len(), 128, |r| {
+            let mut s = 0.0;
+            for i in r {
+                s += a[i] * a[i];
+            }
+            s
+        });
+        for t in [1usize, 4, 8] {
+            let mut b = vals.clone();
+            let got = with_threads(t, || {
+                par_chunks_mut_sum(&mut b, 128, |_, off, s| {
+                    let mut acc = 0.0;
+                    for (k, v) in s.iter_mut().enumerate() {
+                        *v = *v * 2.0 + (off + k) as f64;
+                        acc += *v * *v;
+                    }
+                    acc
+                })
+            });
+            assert_eq!(want.to_bits(), got.to_bits(), "threads = {t}");
+            assert_eq!(a, b, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn par_chunks2_mut_sum_is_thread_count_invariant() {
+        let n = 3000;
+        let run = |t: usize| {
+            let mut x: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+            let mut r: Vec<f64> = (0..n).map(|i| (n - i) as f64 * 0.25).collect();
+            let s = with_threads(t, || {
+                par_chunks2_mut_sum(&mut x, &mut r, 64, |_, _, sx, sr| {
+                    let mut acc = 0.0;
+                    for (xi, ri) in sx.iter_mut().zip(sr.iter_mut()) {
+                        *xi += 0.125 * *ri;
+                        *ri -= 0.25 * *xi;
+                        acc += *ri * *ri;
+                    }
+                    acc
+                })
+            });
+            (x, r, s.to_bits())
+        };
+        let base = run(1);
+        for t in [2, 4, 8] {
+            assert_eq!(base, run(t), "threads = {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "buffers differ")]
+    fn par_chunks2_mut_sum_rejects_length_mismatch() {
+        let mut a = vec![0.0; 4];
+        let mut b = vec![0.0; 5];
+        par_chunks2_mut_sum(&mut a, &mut b, 2, |_, _, _, _| 0.0);
     }
 
     #[test]

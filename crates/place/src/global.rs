@@ -1,11 +1,12 @@
 //! The global placement loop (SimPL-style lower/upper bound iteration).
 
+use crate::backend::PlacerBackendKind;
 use crate::error::{BestSnapshot, PlaceError};
 use crate::hpwl::raw_hpwl_soa;
 use crate::problem::PlacementProblem;
 use crate::soa::{PlacementSoa, VertexCoords};
-use crate::solver::{Anchors, Axis, B2bRebuilder, CgScratch};
-use crate::spreading::{density_overflow_soa, spread_soa};
+use crate::solver::{Anchors, Axis, B2bRebuilder, CgOptions, CgScratch};
+use crate::spreading::density_overflow_soa;
 use cp_resilience::RunControl;
 use cp_trace::ArgValue;
 use rand::rngs::StdRng;
@@ -39,6 +40,14 @@ pub struct PlacerOptions {
     /// Test hook: poison the solver output with NaN at this iteration to
     /// exercise the divergence path. `None` in normal operation.
     pub fault_nan_at_iteration: Option<usize>,
+    /// Which spreading backend drives the upper-bound step. The default
+    /// ([`PlacerBackendKind::B2b`]) is bit-identical to the pre-trait
+    /// placer.
+    pub backend: PlacerBackendKind,
+    /// Per-solve CG configuration for the axis solves. The default is
+    /// bit-identical to the pre-refactor solver; `precondition` swaps in
+    /// the IC(0) preconditioner.
+    pub cg: CgOptions,
 }
 
 impl Default for PlacerOptions {
@@ -54,6 +63,8 @@ impl Default for PlacerOptions {
             revert_if_diverge: true,
             divergence_factor: 4.0,
             fault_nan_at_iteration: None,
+            backend: PlacerBackendKind::default(),
+            cg: CgOptions::default(),
         }
     }
 }
@@ -159,6 +170,7 @@ impl GlobalPlacer {
                         "scratch"
                     }),
                 ),
+                ("backend", ArgValue::S(self.options.backend.name())),
             ],
         );
         let core = problem.core;
@@ -225,7 +237,11 @@ impl GlobalPlacer {
         // areas for spreading/density, flat per-axis coordinates for HPWL.
         let soa = PlacementSoa::from_problem(problem);
         let mut coords = VertexCoords::new(problem);
-        let mut upper = spread_soa(problem, &soa, &pos);
+        // One backend instance per placement run: any internal state (the
+        // eDensity grid, warm-started potential) is scoped to this call,
+        // keeping repeated and resumed runs bitwise-deterministic.
+        let mut backend = opt.backend.instantiate();
+        let mut upper = backend.spread(problem, &soa, &pos);
         coords.set_movable(&upper);
         let mut overflow = density_overflow_soa(problem, &soa, &upper);
         let mut hpwl = raw_hpwl_soa(problem, &coords);
@@ -302,9 +318,13 @@ impl GlobalPlacer {
                     weight: &anchor_w,
                 }),
             );
-            let cg_x =
-                rb_x.system()
-                    .solve_into_with_stats(&mut sx, &mut scratch, opt.cg_iterations, 1e-6);
+            let cg_x = rb_x.system().solve_into_with_options(
+                &mut sx,
+                &mut scratch,
+                opt.cg_iterations,
+                1e-6,
+                opt.cg,
+            );
             rb_y.rebuild(
                 problem,
                 &pos,
@@ -313,9 +333,13 @@ impl GlobalPlacer {
                     weight: &anchor_w,
                 }),
             );
-            let cg_y =
-                rb_y.system()
-                    .solve_into_with_stats(&mut sy, &mut scratch, opt.cg_iterations, 1e-6);
+            let cg_y = rb_y.system().solve_into_with_options(
+                &mut sy,
+                &mut scratch,
+                opt.cg_iterations,
+                1e-6,
+                opt.cg,
+            );
             for i in 0..m {
                 pos[i] = (sx[i], sy[i]);
             }
@@ -336,7 +360,7 @@ impl GlobalPlacer {
                 }
             }
             self.clamp(problem, &mut pos);
-            upper = spread_soa(problem, &soa, &pos);
+            upper = backend.spread(problem, &soa, &pos);
             coords.set_movable(&upper);
             overflow = density_overflow_soa(problem, &soa, &upper);
             hpwl = raw_hpwl_soa(problem, &coords);

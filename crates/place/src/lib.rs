@@ -44,11 +44,13 @@
 //! a diverging global-placement loop reverts to its best snapshot when
 //! [`PlacerOptions::revert_if_diverge`] is set (the default).
 
+pub mod backend;
 pub mod cts;
 pub mod detailed;
 pub mod error;
 pub mod global;
 pub mod hpwl;
+pub mod kernels;
 pub mod legalize;
 pub mod problem;
 pub mod soa;
@@ -56,6 +58,7 @@ pub mod solver;
 pub mod spreading;
 pub mod svg;
 
+pub use crate::backend::{B2bBackend, EDensityBackend, PlacerBackend, PlacerBackendKind};
 pub use crate::cts::{synthesize_clock_tree, ClockTree, CtsOptions};
 pub use crate::detailed::{refine, DetailedOptions};
 pub use crate::error::{BestSnapshot, PlaceError};
@@ -63,4 +66,5 @@ pub use crate::global::{GlobalPlacer, PlacementResult, PlacerOptions};
 pub use crate::legalize::legalize;
 pub use crate::problem::{Object, PlacementProblem};
 pub use crate::soa::{PlacementSoa, VertexCoords};
+pub use crate::solver::{CgOptions, CgStats, IcPreconditioner};
 pub use crate::svg::placement_svg;
