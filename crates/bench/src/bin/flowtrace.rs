@@ -11,11 +11,15 @@
 //!   surrogate-training trace and the flow trace into one timeline; load
 //!   it in `chrome://tracing` or <https://ui.perfetto.dev>;
 //! - `BENCH_trace.json` — tracing overhead: min-of-reps flow wall-clock
-//!   at `Off`, `Spans` and `Full`, asserting bitwise-identical HPWL
-//!   across levels and (non-smoke) spans-only overhead below 2%.
+//!   at `Off`, `Spans`, `Spans` with an attached-but-idle `TraceSink`
+//!   channel, and `Full`, asserting bitwise-identical HPWL across all
+//!   four configurations and (non-smoke) spans-only AND sink-attached
+//!   overhead below 2%.
 //!
 //! It also checks the trace's internal consistency: the per-stage span
-//! durations must sum to within 5% of the root span's wall-clock.
+//! durations must sum to within 5% of the root span's wall-clock, and
+//! appends the fully-traced run to the run ledger (`runs/ledger.jsonl`,
+//! source `bench`) so bench runs seed the cross-run trend corpus.
 //!
 //! Knobs: `CP_SCALE` (design size), `CP_TRACE_REPS` (timing repetitions,
 //! minimum kept; default 3), `CP_TRACE_SMOKE` (reduced effort + skipped
@@ -104,24 +108,39 @@ fn main() -> Result<(), FlowError> {
         top_k: 4,
     });
 
-    // Overhead: the identical flow at Off / Spans / Full, min wall-clock
-    // of `reps` runs per level. The flow is deterministic and tracing must
-    // not feed back into it, so every run's HPWL must agree bitwise.
-    let levels: [(&str, Level); 3] = [
-        ("off", Level::Off),
-        ("spans", Level::Spans),
-        ("full", Level::Full),
+    // Overhead: the identical flow at Off / Spans / Spans+idle-sink /
+    // Full, min wall-clock of `reps` runs per configuration. The flow is
+    // deterministic and neither tracing nor a subscriber may feed back
+    // into it, so every run's HPWL must agree bitwise. The sink run
+    // attaches a generously-sized channel that nobody drains mid-flow —
+    // the attached-but-idle cost the streaming layer promises to keep in
+    // the same band as spans-only tracing.
+    let levels: [(&str, Level, bool); 4] = [
+        ("off", Level::Off, false),
+        ("spans", Level::Spans, false),
+        ("spans+sink", Level::Spans, true),
+        ("full", Level::Full, false),
     ];
-    let mut secs = [f64::INFINITY; 3];
+    let mut secs = [f64::INFINITY; 4];
     let mut baseline: Option<FlowReport> = None;
     let mut traced: Option<FlowReport> = None;
-    for (li, &(name, level)) in levels.iter().enumerate() {
+    let (mut sink_events, mut sink_dropped) = (0usize, 0u64);
+    for (li, &(name, level, sink)) in levels.iter().enumerate() {
         for _ in 0..reps {
+            if sink {
+                cp_trace::attach_sink(1 << 20);
+            }
             cp_trace::set_level(level);
             let t0 = Instant::now();
             let report = run_flow(&b.netlist, &b.constraints, &run_opts)?;
             secs[li] = secs[li].min(t0.elapsed().as_secs_f64());
             cp_trace::set_level(Level::Off);
+            if sink {
+                let batch = cp_trace::drain_sink();
+                sink_events = batch.events.len();
+                sink_dropped = batch.dropped;
+                cp_trace::detach_sink();
+            }
             match &baseline {
                 Some(base) => assert!(
                     base.hpwl.to_bits() == report.hpwl.to_bits() && base.ppa == report.ppa,
@@ -143,7 +162,8 @@ fn main() -> Result<(), FlowError> {
     let traced = traced.expect("full-level run happened");
     let trace = traced.trace.as_ref().expect("full-level run has a trace");
     let spans_overhead_pct = (secs[1] - secs[0]) / secs[0] * 100.0;
-    let full_overhead_pct = (secs[2] - secs[0]) / secs[0] * 100.0;
+    let sink_overhead_pct = (secs[2] - secs[0]) / secs[0] * 100.0;
+    let full_overhead_pct = (secs[3] - secs[0]) / secs[0] * 100.0;
 
     // Internal consistency: the stage spans partition the root span up to
     // inter-stage glue (validation, seed building), so their durations
@@ -172,8 +192,12 @@ fn main() -> Result<(), FlowError> {
         trace.metrics.len()
     );
     println!(
-        "- overhead vs off: spans {spans_overhead_pct:+.2}%, full {full_overhead_pct:+.2}% \
-         (min of {reps})"
+        "- overhead vs off: spans {spans_overhead_pct:+.2}%, spans+sink {sink_overhead_pct:+.2}%, \
+         full {full_overhead_pct:+.2}% (min of {reps})"
+    );
+    println!(
+        "- idle sink captured {sink_events} events, {sink_dropped} dropped \
+         (capacity 2^20, never pumped mid-flow)"
     );
     assert!(
         (0.95..=1.05).contains(&stage_ratio),
@@ -189,10 +213,19 @@ fn main() -> Result<(), FlowError> {
         trace.series.iter().any(|r| r.name == "place.outer"),
         "placer convergence series must be present at Full"
     );
+    assert!(
+        sink_events > 0,
+        "the attached sink must capture span events at Level::Spans"
+    );
     if !smoke {
         assert!(
             spans_overhead_pct < 2.0,
             "spans-only tracing must stay under 2% overhead, measured {spans_overhead_pct:.2}%"
+        );
+        assert!(
+            sink_overhead_pct < 2.0,
+            "an attached-but-idle sink must stay under 2% overhead, \
+             measured {sink_overhead_pct:.2}%"
         );
     }
 
@@ -216,8 +249,10 @@ fn main() -> Result<(), FlowError> {
     let bench_json = format!(
         "{{\n  \"bench\": \"trace_overhead\",\n  \"design\": \"{}\",\n  \"scale\": {},\n  \
          \"cells\": {},\n  \"threads\": {},\n  \"reps\": {},\n  \"off_s\": {:.6},\n  \
-         \"spans_s\": {:.6},\n  \"full_s\": {:.6},\n  \"spans_overhead_pct\": {:.4},\n  \
-         \"full_overhead_pct\": {:.4},\n  \"stage_sum_over_root\": {:.4},\n  \
+         \"spans_s\": {:.6},\n  \"sink_s\": {:.6},\n  \"full_s\": {:.6},\n  \
+         \"spans_overhead_pct\": {:.4},\n  \"sink_overhead_pct\": {:.4},\n  \
+         \"full_overhead_pct\": {:.4},\n  \"sink_events\": {},\n  \"sink_dropped\": {},\n  \
+         \"stage_sum_over_root\": {:.4},\n  \
          \"spans_recorded\": {},\n  \"vpr_cluster_spans\": {},\n  \"vpr_candidate_spans\": {},\n  \
          \"series_rows\": {},\n  \"metrics\": {}\n}}\n",
         b.name(),
@@ -228,8 +263,12 @@ fn main() -> Result<(), FlowError> {
         secs[0],
         secs[1],
         secs[2],
+        secs[3],
         spans_overhead_pct,
+        sink_overhead_pct,
         full_overhead_pct,
+        sink_events,
+        sink_dropped,
         stage_ratio,
         trace.spans.len(),
         cluster_spans,
@@ -238,6 +277,24 @@ fn main() -> Result<(), FlowError> {
         trace.metrics.len(),
     );
     std::fs::write("BENCH_trace.json", &bench_json).expect("write BENCH_trace.json");
+
+    // Seed the cross-run trend corpus: the fully-traced run becomes a
+    // ledger entry under the same checkpoint fingerprint a resilient run
+    // of this design/options pair would get, so bench runs and flow runs
+    // trend together instead of being discarded after the report lands.
+    let fingerprint = cp_core::checkpoint::fingerprint(&b.netlist, &run_opts);
+    let entry = cp_trace::LedgerEntry::new(fingerprint, b.name(), "bench")
+        .with_threads(u32::try_from(cp_parallel::current_threads()).unwrap_or(u32::MAX))
+        .with_options(&format!("flowtrace scale={} hybrid", scale()))
+        .capture_trace(trace);
+    let ledger_path = std::path::Path::new("runs/ledger.jsonl");
+    cp_trace::ledger::append(ledger_path, &entry).expect("append run-ledger entry");
+    println!(
+        "appended ledger entry {:016x} ({} qor gauges) -> {}",
+        entry.fingerprint,
+        entry.qor.len(),
+        ledger_path.display()
+    );
     println!("\nwrote TRACE_report.json, TRACE_chrome.json, BENCH_trace.json");
     Ok(())
 }

@@ -8,6 +8,8 @@
 //! tracetool gate [--baseline FILE] [--from report.json] [--reps N] [--write] [--timeout-s S] [--large]
 //! tracetool chaos [--seeds N] [--timeout-s S] [--site SUBSTR]
 //! tracetool bench <report.json> [-o BENCH_analysis.json]
+//! tracetool harvest [TRACE_report.json ...] [--run PROFILE@SCALE] [--ledger F] [--design NAME] [--doctor qor.NAME=FACTOR]
+//! tracetool trend [--ledger F] [--format table|tsv|json] [--metric-rel M] [--rel R] [--abs S]
 //! ```
 //!
 //! `gate` runs the pinned gate flow (Aes at scale 0.02, exact V-P&R,
@@ -25,9 +27,21 @@
 //! 1 when any case violates the resilience contract. `diff` exits 1
 //! when regressions survive the tolerances; `summarize` and
 //! `flamegraph` are read-only.
+//!
+//! `harvest` backfills the run ledger (`runs/ledger.jsonl` by default)
+//! from existing TRACE report artifacts — fingerprinted by FNV-1a over
+//! the artifact bytes so re-harvests of the same report group together —
+//! or runs a fresh hermetic gate-options flow with `--run aes@0.02`
+//! (checkpoint fingerprint, so repeat runs of the same profile@scale
+//! form one trend group). `--doctor qor.NAME=FACTOR` multiplies one QoR
+//! value before appending — the self-test knob for the trend gate.
+//! `trend` compares each fingerprint group's latest completed run
+//! against the best earlier one using the TraceDiff noise model and
+//! exits 1 on any QoR regression (wall time is reported but advisory).
 
 use cp_bench::qor_gate::{self, Baseline};
-use cp_trace::json::{parse, validate};
+use cp_trace::json::{fmt_f64, parse, validate};
+use cp_trace::ledger::{self, Direction};
 use cp_trace::{Analysis, DiffOptions, TraceDiff};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -483,6 +497,264 @@ fn bench(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// FNV-1a 64 over a byte slice — the artifact-identity fingerprint used
+/// when harvesting existing TRACE reports (there is no netlist to run
+/// the checkpoint fingerprint over, but the same bytes must land in the
+/// same trend group, doctored or not).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const HARVEST_USAGE: &str = "usage: tracetool harvest [TRACE_report.json ...] \
+     [--run PROFILE@SCALE] [--ledger F] [--design NAME] [--doctor qor.NAME=FACTOR]";
+
+/// Backfills ledger entries from existing TRACE report artifacts and/or
+/// a fresh hermetic flow, appending to the run ledger.
+fn harvest(args: &[String]) -> Result<(), String> {
+    let (mut ledger_path, mut run, mut doctor, mut design) = (None, None, None, None);
+    let pos = split_args(
+        args,
+        &mut [
+            ("--ledger", &mut ledger_path),
+            ("--run", &mut run),
+            ("--doctor", &mut doctor),
+            ("--design", &mut design),
+        ],
+        &mut [],
+    )?;
+    if pos.is_empty() && run.is_none() {
+        return Err(HARVEST_USAGE.into());
+    }
+    let ledger_path =
+        std::path::PathBuf::from(ledger_path.unwrap_or_else(|| "runs/ledger.jsonl".to_string()));
+    let doctor = doctor
+        .map(|spec| -> Result<(String, f64), String> {
+            let (name, factor) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("`--doctor` wants qor.NAME=FACTOR, got `{spec}`"))?;
+            let factor = factor
+                .parse::<f64>()
+                .map_err(|_| format!("`--doctor` factor must be a number, got `{factor}`"))?;
+            Ok((name.to_string(), factor))
+        })
+        .transpose()?;
+
+    let mut entries: Vec<ledger::LedgerEntry> = Vec::new();
+    for path in &pos {
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let src = String::from_utf8_lossy(&bytes);
+        let doc = parse(&src).map_err(|e| format!("`{path}` is not valid JSON: {e}"))?;
+        let label = design.clone().unwrap_or_else(|| {
+            std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.clone())
+        });
+        let entry = ledger::entry_from_report_json(&doc, fnv1a64(&bytes), &label)
+            .map_err(|e| format!("`{path}`: {e}"))?;
+        entries.push(entry);
+    }
+    if let Some(spec) = &run {
+        let (profile_name, scale) = spec
+            .split_once('@')
+            .ok_or_else(|| format!("`--run` wants PROFILE@SCALE (e.g. aes@0.02), got `{spec}`"))?;
+        let profile = qor_gate::parse_profile(profile_name)
+            .ok_or_else(|| format!("unknown profile `{profile_name}`"))?;
+        let scale: f64 = scale
+            .parse()
+            .map_err(|_| format!("`--run` scale must be a number, got `{scale}`"))?;
+        let t0 = Instant::now();
+        let (report, fingerprint) =
+            qor_gate::run_hermetic(profile, scale).map_err(|e| format!("hermetic flow: {e}"))?;
+        let trace = report
+            .trace
+            .as_ref()
+            .ok_or("hermetic flow produced no trace")?;
+        let label = design
+            .clone()
+            .unwrap_or_else(|| format!("{}@{scale}", profile.name()));
+        let threads = u32::try_from(report.timings.threads).unwrap_or(u32::MAX);
+        entries.push(
+            ledger::LedgerEntry::new(fingerprint, &label, "harvest")
+                .with_threads(threads)
+                .with_options(&format!("gate_options scale={scale}"))
+                .capture_trace(trace),
+        );
+        eprintln!(
+            "hermetic {} @ {scale}: {:.3}s, hpwl {}",
+            profile.name(),
+            t0.elapsed().as_secs_f64(),
+            report.hpwl
+        );
+    }
+    for entry in entries {
+        let entry = match &doctor {
+            Some((name, factor)) => entry.doctor(name, *factor),
+            None => entry,
+        };
+        ledger::append(&ledger_path, &entry).map_err(|e| format!("append: {e}"))?;
+        println!(
+            "appended {:016x} {} ({}, {} qor gauges, {} stage rows) -> {}",
+            entry.fingerprint,
+            entry.design,
+            entry.status,
+            entry.qor.len(),
+            entry.stages.len(),
+            ledger_path.display()
+        );
+    }
+    Ok(())
+}
+
+/// Cross-run trend gate over the ledger: prints the per-group metric
+/// movements and reports whether any QoR metric regressed.
+fn trend_cmd(args: &[String]) -> Result<bool, String> {
+    let (mut ledger_path, mut format, mut metric_rel, mut rel, mut abs) =
+        (None, None, None, None, None);
+    let pos = split_args(
+        args,
+        &mut [
+            ("--ledger", &mut ledger_path),
+            ("--format", &mut format),
+            ("--metric-rel", &mut metric_rel),
+            ("--rel", &mut rel),
+            ("--abs", &mut abs),
+        ],
+        &mut [],
+    )?;
+    if !pos.is_empty() {
+        return Err(format!("trend takes no positional arguments, got {pos:?}"));
+    }
+    let ledger_path =
+        std::path::PathBuf::from(ledger_path.unwrap_or_else(|| "runs/ledger.jsonl".to_string()));
+    let parse_f = |s: Option<String>, what: &str| -> Result<Option<f64>, String> {
+        s.map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| format!("`{what}` must be a number, got `{v}`"))
+        })
+        .transpose()
+    };
+    let mut opts = DiffOptions::default();
+    if let Some(v) = parse_f(metric_rel, "--metric-rel")? {
+        opts.metric_rel_tol = v;
+    }
+    if let Some(v) = parse_f(rel, "--rel")? {
+        opts.time_rel_tol = v;
+    }
+    if let Some(v) = parse_f(abs, "--abs")? {
+        opts.time_abs_tol_s = v;
+    }
+    let entries = ledger::load(&ledger_path)?;
+    let report = ledger::trend(&entries, &opts);
+    let dir_label = |d: Direction| match d {
+        Direction::LowerIsBetter => "lower",
+        Direction::HigherIsBetter => "higher",
+        Direction::Informational => "info",
+    };
+    let verdict = |r: &ledger::TrendRow| {
+        if r.regressed {
+            "REGRESSED"
+        } else if r.improved {
+            "improved"
+        } else {
+            "ok"
+        }
+    };
+    match format.as_deref().unwrap_or("table") {
+        "table" => {
+            if report.rows.is_empty() {
+                println!("no multi-run fingerprint groups to compare");
+            } else {
+                println!("| fingerprint | design | metric | baseline | latest | delta % | runs | dir | verdict |");
+                println!("|---|---|---|---|---|---|---|---|---|");
+                for r in &report.rows {
+                    println!(
+                        "| {:016x} | {} | {} | {:.6} | {:.6} | {:+.3} | {} | {} | {} |",
+                        r.fingerprint,
+                        r.design,
+                        r.metric,
+                        r.baseline,
+                        r.latest,
+                        r.delta_pct(),
+                        r.runs,
+                        dir_label(r.direction),
+                        verdict(r)
+                    );
+                }
+            }
+            println!(
+                "\n{} entries, {} group(s) ({} singleton), {} regression(s)",
+                entries.len(),
+                report.groups,
+                report.singletons,
+                report.regressions().len()
+            );
+        }
+        "tsv" => {
+            println!(
+                "fingerprint\tdesign\tmetric\tbaseline\tlatest\tdelta_pct\truns\tdir\tverdict"
+            );
+            for r in &report.rows {
+                println!(
+                    "{:016x}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                    r.fingerprint,
+                    r.design,
+                    r.metric,
+                    fmt_f64(r.baseline),
+                    fmt_f64(r.latest),
+                    fmt_f64(r.delta_pct()),
+                    r.runs,
+                    dir_label(r.direction),
+                    verdict(r)
+                );
+            }
+        }
+        "json" => {
+            let mut out = String::new();
+            out.push_str(&format!(
+                "{{\"entries\": {}, \"groups\": {}, \"singletons\": {}, \"regressions\": {}, \"rows\": [",
+                entries.len(),
+                report.groups,
+                report.singletons,
+                report.regressions().len()
+            ));
+            for (i, r) in report.rows.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"fingerprint\": \"{:016x}\", \"design\": \"{}\", \"metric\": \"{}\", \
+                     \"baseline\": {}, \"latest\": {}, \"delta_pct\": {}, \"runs\": {}, \
+                     \"direction\": \"{}\", \"regressed\": {}, \"improved\": {}}}",
+                    r.fingerprint,
+                    cp_trace::json::escape(&r.design),
+                    cp_trace::json::escape(&r.metric),
+                    fmt_f64(r.baseline),
+                    fmt_f64(r.latest),
+                    fmt_f64(r.delta_pct()),
+                    r.runs,
+                    dir_label(r.direction),
+                    r.regressed,
+                    r.improved
+                ));
+            }
+            out.push_str("]}\n");
+            print!("{out}");
+        }
+        other => {
+            return Err(format!(
+                "`--format` must be table, tsv or json, got `{other}`"
+            ))
+        }
+    }
+    Ok(!report.regressions().is_empty())
+}
+
 /// Validates a JSON file against a repo schema (used by CI for the
 /// committed baseline).
 fn check_schema(args: &[String]) -> Result<bool, String> {
@@ -505,7 +777,7 @@ fn check_schema(args: &[String]) -> Result<bool, String> {
     Ok(true)
 }
 
-const USAGE: &str = "usage: tracetool <summarize|diff|flamegraph|gate|chaos|bench|check-schema> ...\n\
+const USAGE: &str = "usage: tracetool <summarize|diff|flamegraph|gate|chaos|bench|harvest|trend|check-schema> ...\n\
      \n\
      summarize <report.json>                    self-time table, critical path, QoR gauges\n\
      diff <base.json> <new.json>                span/metric diff (--rel/--abs/--metric-rel)\n\
@@ -518,6 +790,14 @@ const USAGE: &str = "usage: tracetool <summarize|diff|flamegraph|gate|chaos|benc
      chaos [--seeds N] [--timeout-s S] [--site SUBSTR]\n\
      \x20                                          fault-injection sweep (needs --features fault-injection)\n\
      bench <report.json> [-o out.json]          analysis-cost bench -> BENCH_analysis.json\n\
+     harvest [REPORT.json ...] [--run PROFILE@SCALE] [--ledger F] [--design NAME] [--doctor qor.NAME=FACTOR]\n\
+     \x20                                          backfill run-ledger entries from TRACE artifacts\n\
+     \x20                                          or a fresh hermetic flow (default ledger:\n\
+     \x20                                          runs/ledger.jsonl; --doctor is the trend-gate\n\
+     \x20                                          self-test knob)\n\
+     trend [--ledger F] [--format table|tsv|json] [--metric-rel M] [--rel R] [--abs S]\n\
+     \x20                                          cross-run QoR trend gate over the ledger\n\
+     \x20                                          (exit 1 on regression; wall time advisory)\n\
      check-schema <doc.json> <schema.json>      validate a JSON file against a repo schema";
 
 fn main() -> ExitCode {
@@ -533,6 +813,8 @@ fn main() -> ExitCode {
         "gate" => gate(rest),
         "chaos" => chaos(rest),
         "bench" => bench(rest).map(|()| 0),
+        "harvest" => harvest(rest).map(|()| 0),
+        "trend" => trend_cmd(rest).map(u8::from),
         "check-schema" => check_schema(rest).map(u8::from),
         _ => {
             eprintln!("unknown subcommand `{cmd}`\n{USAGE}");

@@ -102,6 +102,37 @@ pub fn run_gate_flow_large() -> Result<FlowReport, FlowError> {
     run_traced(&gate_bench_large(), &gate_large_options())
 }
 
+/// Parses a profile name as accepted by `tracetool harvest --run`
+/// (case-insensitive: `aes`, `jpeg`, `ariane`, `blackparrot`,
+/// `megaboom`, `mempool`/`mempoolgroup`).
+pub fn parse_profile(name: &str) -> Option<DesignProfile> {
+    match name.to_ascii_lowercase().as_str() {
+        "aes" => Some(DesignProfile::Aes),
+        "jpeg" => Some(DesignProfile::Jpeg),
+        "ariane" => Some(DesignProfile::Ariane),
+        "blackparrot" => Some(DesignProfile::BlackParrot),
+        "megaboom" => Some(DesignProfile::MegaBoom),
+        "mempool" | "mempoolgroup" => Some(DesignProfile::MemPoolGroup),
+        _ => None,
+    }
+}
+
+/// Runs one hermetic, fully-traced flow of `profile` at `scale` with the
+/// pinned gate options, returning the report (its `trace` is always
+/// present) and the run's checkpoint fingerprint. This is the
+/// `tracetool harvest --run` backend — the ledger-smoke corpus seeder.
+///
+/// # Errors
+///
+/// Propagates any [`FlowError`] from the flow.
+pub fn run_hermetic(profile: DesignProfile, scale: f64) -> Result<(FlowReport, u64), FlowError> {
+    let b = Bench::generate_at(profile, scale);
+    let options = gate_options();
+    let fingerprint = cp_core::checkpoint::fingerprint(&b.netlist, &options);
+    let report = run_traced(&b, &options)?;
+    Ok((report, fingerprint))
+}
+
 /// One gated QoR gauge.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QorEntry {

@@ -106,6 +106,14 @@ pub struct Interrupt {
     pub budget_bytes: u64,
 }
 
+impl Interrupt {
+    /// Canonical machine-readable status label for run-ledger entries:
+    /// `interrupted:<kind>@<site>` (e.g. `interrupted:deadline@place.outer`).
+    pub fn status_label(&self) -> String {
+        format!("interrupted:{}@{}", self.kind.label(), self.site)
+    }
+}
+
 impl std::fmt::Display for Interrupt {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.kind {
@@ -442,6 +450,21 @@ mod tests {
         let p = RunControl::unlimited().cancel_after_checks(1);
         p.poll(sites::POOL_CHUNK).expect("poll is uncounted");
         assert_eq!(p.checks(), 0);
+    }
+
+    #[test]
+    fn status_label_is_stable_per_kind_and_site() {
+        let i = Interrupt {
+            kind: InterruptKind::DeadlineExceeded,
+            site: sites::FLOW_START,
+            elapsed_s: 1.5,
+            heap_bytes: 0,
+            budget_bytes: 0,
+        };
+        assert_eq!(
+            i.status_label(),
+            format!("interrupted:deadline@{}", sites::FLOW_START)
+        );
     }
 
     #[test]

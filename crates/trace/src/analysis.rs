@@ -606,7 +606,7 @@ impl TraceDiff {
     }
 }
 
-fn significant(base: f64, new: f64, rel: f64, abs: f64) -> bool {
+pub(crate) fn significant(base: f64, new: f64, rel: f64, abs: f64) -> bool {
     if base.is_nan() || new.is_nan() {
         return true;
     }

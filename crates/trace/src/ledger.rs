@@ -1,0 +1,956 @@
+//! The run ledger: an append-only, schema-validated JSONL corpus of
+//! placement runs (`runs/ledger.jsonl`).
+//!
+//! Each line is one [`LedgerEntry`]: the run's FNV fingerprint, a compact
+//! options summary, the `qor.*` gauge snapshot, the stage self-time
+//! partition in **integer nanoseconds** (including an `other` row so the
+//! rows always sum to the root wall exactly — the same partition
+//! invariant the analysis layer's self-time proptest pins), and summary
+//! statistics for every convergence series. Entries are written with a
+//! single appending `write` of one `\n`-terminated line, so concurrent
+//! writers interleave whole lines, never fragments.
+//!
+//! [`trend`] compares entries of the same fingerprint across the corpus,
+//! reusing the TraceDiff noise model ([`DiffOptions`]): QoR gauges gate
+//! with `metric_rel_tol` (0 by default — the flow is bitwise-
+//! deterministic, so any drift is real), wall time is reported as
+//! advisory only (machine-dependent).
+
+use crate::analysis::significant;
+use crate::json::{escape, fmt_f64, parse, validate, Json};
+use crate::{DiffOptions, MetricValue, TraceReport};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// The checked-in schema every appended line is validated against.
+pub const SCHEMA_JSON: &str = include_str!("../../../schemas/ledger_entry.schema.json");
+
+fn schema() -> Result<&'static Json, String> {
+    static SCHEMA: OnceLock<Result<Json, String>> = OnceLock::new();
+    SCHEMA
+        .get_or_init(|| parse(SCHEMA_JSON))
+        .as_ref()
+        .map_err(|e| format!("embedded ledger schema is invalid: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Entry
+
+/// Summary statistics for one convergence series of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSummary {
+    /// Series name (e.g. `place.outer`).
+    pub name: String,
+    /// The value key summarized (the series' first column, e.g. `hpwl`).
+    pub key: String,
+    /// Number of rows recorded.
+    pub rows: u64,
+    /// First value of `key`.
+    pub first: f64,
+    /// Last value of `key`.
+    pub last: f64,
+    /// Minimum value of `key`.
+    pub min: f64,
+    /// Maximum value of `key`.
+    pub max: f64,
+}
+
+/// One run ledger entry — a single JSONL line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEntry {
+    /// Entry schema version (currently 1).
+    pub version: u32,
+    /// FNV-1a fingerprint of (netlist, options) — the cross-run grouping
+    /// key. Serialized as a 16-digit hex string (u64 exceeds the JSON
+    /// number range a float-based parser preserves).
+    pub fingerprint: u64,
+    /// Human-facing design label (informational, not a grouping key).
+    pub design: String,
+    /// Where the entry came from: `flow`, `bench` or `harvest`.
+    pub source: String,
+    /// `completed`, or `interrupted:<kind>@<site>` for a run cut short.
+    pub status: String,
+    /// Worker threads the run used.
+    pub threads: u32,
+    /// Whether the run resumed from a checkpoint.
+    pub resumed: bool,
+    /// Compact options summary (informational).
+    pub options: String,
+    /// Root span wall time in nanoseconds.
+    pub root_wall_ns: u64,
+    /// Stage self-time partition in integer ns, including the `other`
+    /// row (root wall minus the stage spans; may be negative under
+    /// parallel fan-out). Sums to `root_wall_ns` exactly.
+    pub stages: Vec<(String, i64)>,
+    /// `qor.*` gauge snapshot, sorted by name.
+    pub qor: Vec<(String, f64)>,
+    /// Convergence-series summaries, in first-appearance order.
+    pub series: Vec<SeriesSummary>,
+}
+
+impl LedgerEntry {
+    /// A minimal entry: completed, single-threaded, no captured data.
+    pub fn new(fingerprint: u64, design: &str, source: &str) -> Self {
+        LedgerEntry {
+            version: 1,
+            fingerprint,
+            design: design.to_string(),
+            source: source.to_string(),
+            status: "completed".to_string(),
+            threads: 1,
+            resumed: false,
+            options: String::new(),
+            root_wall_ns: 0,
+            stages: Vec::new(),
+            qor: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the run status (`completed` or an `interrupted:...` label).
+    pub fn with_status(mut self, status: &str) -> Self {
+        self.status = status.to_string();
+        self
+    }
+
+    /// Sets the thread count.
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Marks the run as resumed from a checkpoint.
+    pub fn with_resumed(mut self, resumed: bool) -> Self {
+        self.resumed = resumed;
+        self
+    }
+
+    /// Sets the compact options summary.
+    pub fn with_options(mut self, options: &str) -> Self {
+        self.options = options.to_string();
+        self
+    }
+
+    /// Fills the measured fields from a captured trace: root wall, the
+    /// integer-ns stage partition (with its reconciling `other` row),
+    /// the `qor.*` gauge snapshot and per-series summaries.
+    pub fn capture_trace(mut self, report: &TraceReport) -> Self {
+        let root_wall_ns = report
+            .root_span()
+            .map_or(0, |s| s.end_ns.saturating_sub(s.start_ns));
+        self.root_wall_ns = root_wall_ns;
+        self.stages = report
+            .stage_nanos()
+            .into_iter()
+            .map(|(name, ns)| (name.to_string(), ns as i64))
+            .collect();
+        let staged: i64 = self.stages.iter().map(|(_, ns)| ns).sum();
+        // The partition invariant: stages + other == root wall, exactly,
+        // in integer ns (`other` is the root's own self time and may be
+        // negative when stage spans overlap under parallel fan-out).
+        self.stages
+            .push(("other".to_string(), root_wall_ns as i64 - staged));
+        self.qor = report
+            .metrics
+            .iter()
+            .filter(|m| m.name.starts_with("qor."))
+            .filter_map(|m| match m.value {
+                MetricValue::Gauge(v) => Some((m.name.to_string(), v)),
+                _ => None,
+            })
+            .collect();
+        self.qor.sort_by(|a, b| a.0.cmp(&b.0));
+        self.series = summarize_series(report);
+        self
+    }
+
+    /// Applies a multiplicative factor to one QoR metric — the trend
+    /// gate's self-test knob (`tracetool harvest --doctor`).
+    pub fn doctor(mut self, metric: &str, factor: f64) -> Self {
+        for (name, value) in &mut self.qor {
+            if name == metric {
+                *value *= factor;
+            }
+        }
+        self
+    }
+
+    /// Serializes the entry as one compact JSON line (no trailing `\n`).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(256 + 32 * (self.stages.len() + self.qor.len()));
+        out.push_str("{\"version\":1,");
+        let _ = write!(out, "\"fingerprint\":\"{:016x}\",", self.fingerprint);
+        let _ = write!(out, "\"design\":\"{}\",", escape(&self.design));
+        let _ = write!(out, "\"source\":\"{}\",", escape(&self.source));
+        let _ = write!(out, "\"status\":\"{}\",", escape(&self.status));
+        let _ = write!(out, "\"threads\":{},", self.threads);
+        let _ = write!(out, "\"resumed\":{},", self.resumed);
+        let _ = write!(out, "\"options\":\"{}\",", escape(&self.options));
+        let _ = write!(out, "\"root_wall_ns\":{},", self.root_wall_ns);
+        out.push_str("\"stages\":[");
+        for (i, (name, ns)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":\"{}\",\"self_ns\":{}}}", escape(name), ns);
+        }
+        out.push_str("],\"qor\":[");
+        for (i, (name, value)) in self.qor.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"value\":{}}}",
+                escape(name),
+                fmt_f64(*value)
+            );
+        }
+        out.push_str("],\"series\":[");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"key\":\"{}\",\"rows\":{},\"first\":{},\"last\":{},\"min\":{},\"max\":{}}}",
+                escape(&s.name),
+                escape(&s.key),
+                s.rows,
+                fmt_f64(s.first),
+                fmt_f64(s.last),
+                fmt_f64(s.min),
+                fmt_f64(s.max)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Deserializes an entry from a parsed JSON document.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let errors = validate(doc, schema()?);
+        if !errors.is_empty() {
+            return Err(format!("ledger entry fails schema: {}", errors.join("; ")));
+        }
+        let str_field = |k: &str| -> Result<String, String> {
+            doc.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {k}"))
+        };
+        let num_field = |k: &str| -> Result<f64, String> {
+            doc.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing number field {k}"))
+        };
+        let fingerprint_hex = str_field("fingerprint")?;
+        let fingerprint = u64::from_str_radix(&fingerprint_hex, 16)
+            .map_err(|e| format!("bad fingerprint {fingerprint_hex:?}: {e}"))?;
+        let resumed = match doc.get("resumed") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err("missing bool field resumed".to_string()),
+        };
+        let mut stages = Vec::new();
+        if let Some(rows) = doc.get("stages").and_then(Json::as_array) {
+            for row in rows {
+                let name = row
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("stage row missing name")?;
+                let ns = row
+                    .get("self_ns")
+                    .and_then(Json::as_f64)
+                    .ok_or("stage row missing self_ns")?;
+                stages.push((name.to_string(), ns as i64));
+            }
+        }
+        let mut qor = Vec::new();
+        if let Some(rows) = doc.get("qor").and_then(Json::as_array) {
+            for row in rows {
+                let name = row
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("qor row missing name")?;
+                // `null` marks a non-finite gauge (JSON has no NaN).
+                let value = row.get("value").and_then(Json::as_f64).unwrap_or(f64::NAN);
+                qor.push((name.to_string(), value));
+            }
+        }
+        let mut series = Vec::new();
+        if let Some(rows) = doc.get("series").and_then(Json::as_array) {
+            for row in rows {
+                let field = |k: &str| -> Result<f64, String> {
+                    row.get(k)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("series row missing {k}"))
+                };
+                series.push(SeriesSummary {
+                    name: row
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("series row missing name")?
+                        .to_string(),
+                    key: row
+                        .get("key")
+                        .and_then(Json::as_str)
+                        .ok_or("series row missing key")?
+                        .to_string(),
+                    rows: field("rows")? as u64,
+                    first: field("first")?,
+                    last: field("last")?,
+                    min: field("min")?,
+                    max: field("max")?,
+                });
+            }
+        }
+        Ok(LedgerEntry {
+            version: num_field("version")? as u32,
+            fingerprint,
+            design: str_field("design")?,
+            source: str_field("source")?,
+            status: str_field("status")?,
+            threads: num_field("threads")? as u32,
+            resumed,
+            options: str_field("options")?,
+            root_wall_ns: num_field("root_wall_ns")? as u64,
+            stages,
+            qor,
+            series,
+        })
+    }
+
+    /// Parses one JSONL line.
+    pub fn parse_line(line: &str) -> Result<Self, String> {
+        Self::from_json(&parse(line)?)
+    }
+
+    /// The value of one QoR metric, when present.
+    pub fn qor_value(&self, name: &str) -> Option<f64> {
+        self.qor.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Root wall time in seconds.
+    pub fn wall_seconds(&self) -> f64 {
+        self.root_wall_ns as f64 * 1e-9
+    }
+
+    /// Whether the run finished (vs. interrupted).
+    pub fn completed(&self) -> bool {
+        self.status == "completed"
+    }
+
+    /// The stage rows as `(name, seconds)` — historical timings for
+    /// [`crate::ProgressSink`] ETAs (the `other` row excluded).
+    pub fn stage_history(&self) -> Vec<(String, f64)> {
+        self.stages
+            .iter()
+            .filter(|(name, _)| name != "other")
+            .map(|(name, ns)| (name.clone(), *ns as f64 * 1e-9))
+            .collect()
+    }
+}
+
+/// Builds an entry from a parsed `TraceReport::to_json()` document — the
+/// `tracetool harvest` backfill path for existing TRACE artifacts.
+///
+/// Stage selection mirrors [`TraceReport::stage_nanos`] (the root's
+/// direct children, with `flow.*`-named children transparent), and the
+/// exported µs span fields convert back to integer ns by rounding —
+/// exact recovery for any run shorter than ~29 days, so the partition
+/// invariant (Σ stages == root wall) survives the JSON trip.
+pub fn entry_from_report_json(
+    doc: &Json,
+    fingerprint: u64,
+    design: &str,
+) -> Result<LedgerEntry, String> {
+    let root = doc
+        .get("root")
+        .and_then(Json::as_f64)
+        .ok_or("report has no root id")? as u64;
+    let spans = doc
+        .get("spans")
+        .and_then(Json::as_array)
+        .ok_or("report has no spans array")?;
+    // (id, parent, name, wall_ns) in file (start) order.
+    let mut rows: Vec<(u64, u64, String, u64)> = Vec::with_capacity(spans.len());
+    for s in spans {
+        let num = |k: &str| -> Result<f64, String> {
+            s.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("span missing {k}"))
+        };
+        let name = s
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("span missing name")?;
+        rows.push((
+            num("id")? as u64,
+            num("parent")? as u64,
+            name.to_string(),
+            (num("dur_us")? * 1e3).round() as u64,
+        ));
+    }
+    let root_wall_ns = rows
+        .iter()
+        .find(|(id, ..)| *id == root)
+        .map_or(0, |&(.., ns)| ns);
+    let is_flow_root = |name: &str| name.starts_with("flow.");
+    let nested: Vec<u64> = rows
+        .iter()
+        .filter(|(_, parent, name, _)| *parent == root && is_flow_root(name))
+        .map(|&(id, ..)| id)
+        .collect();
+    let mut stages: Vec<(String, i64)> = rows
+        .iter()
+        .filter(|(_, parent, name, _)| {
+            (*parent == root && !is_flow_root(name)) || nested.contains(parent)
+        })
+        .map(|(_, _, name, ns)| (name.clone(), *ns as i64))
+        .collect();
+    let staged: i64 = stages.iter().map(|(_, ns)| ns).sum();
+    stages.push(("other".to_string(), root_wall_ns as i64 - staged));
+
+    let mut qor: Vec<(String, f64)> = Vec::new();
+    if let Some(metrics) = doc.get("metrics").and_then(Json::as_array) {
+        for m in metrics {
+            let name = m.get("name").and_then(Json::as_str).unwrap_or_default();
+            let kind = m.get("kind").and_then(Json::as_str).unwrap_or_default();
+            if kind == "gauge" && name.starts_with("qor.") {
+                let value = m.get("value").and_then(Json::as_f64).unwrap_or(f64::NAN);
+                qor.push((name.to_string(), value));
+            }
+        }
+    }
+    qor.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut series: Vec<SeriesSummary> = Vec::new();
+    if let Some(groups) = doc.get("series").and_then(Json::as_array) {
+        for g in groups {
+            let name = g.get("name").and_then(Json::as_str).unwrap_or_default();
+            let Some(rows) = g.get("rows").and_then(Json::as_array) else {
+                continue;
+            };
+            for row in rows {
+                let Json::Obj(map) = row else { continue };
+                // Every non-index column gets its own (name, key)
+                // summary, matching `summarize_series` on the in-memory
+                // report (canonical name-then-key order restored below).
+                for (key, value) in map {
+                    if key == "i" {
+                        continue;
+                    }
+                    let Some(v) = value.as_f64() else { continue };
+                    match series.iter_mut().find(|s| s.name == name && s.key == *key) {
+                        Some(s) => {
+                            s.rows += 1;
+                            s.last = v;
+                            s.min = s.min.min(v);
+                            s.max = s.max.max(v);
+                        }
+                        None => series.push(SeriesSummary {
+                            name: name.to_string(),
+                            key: key.clone(),
+                            rows: 1,
+                            first: v,
+                            last: v,
+                            min: v,
+                            max: v,
+                        }),
+                    }
+                }
+            }
+        }
+    }
+    sort_series(&mut series);
+
+    let mut entry = LedgerEntry::new(fingerprint, design, "harvest");
+    entry.root_wall_ns = root_wall_ns;
+    entry.stages = stages;
+    entry.qor = qor;
+    entry.series = series;
+    Ok(entry)
+}
+
+/// One summary per (series name, value column), sorted by name then key
+/// — the same canonical order [`entry_from_report_json`] produces from a
+/// parsed report, so harvested entries match flow-written ones.
+fn summarize_series(report: &TraceReport) -> Vec<SeriesSummary> {
+    let mut out: Vec<SeriesSummary> = Vec::new();
+    for row in &report.series {
+        for &(key, v) in &row.values {
+            match out.iter_mut().find(|s| s.name == row.name && s.key == key) {
+                Some(s) => {
+                    s.rows += 1;
+                    s.last = v;
+                    s.min = s.min.min(v);
+                    s.max = s.max.max(v);
+                }
+                None => out.push(SeriesSummary {
+                    name: row.name.to_string(),
+                    key: key.to_string(),
+                    rows: 1,
+                    first: v,
+                    last: v,
+                    min: v,
+                    max: v,
+                }),
+            }
+        }
+    }
+    sort_series(&mut out);
+    out
+}
+
+fn sort_series(out: &mut [SeriesSummary]) {
+    out.sort_by(|a, b| (a.name.as_str(), a.key.as_str()).cmp(&(b.name.as_str(), b.key.as_str())));
+}
+
+// ---------------------------------------------------------------------------
+// Store
+
+/// Validates and appends one entry to the JSONL ledger at `path`,
+/// creating parent directories and the file as needed. The whole line is
+/// written with a single appending `write`, so concurrent appenders
+/// interleave complete lines.
+pub fn append(path: &Path, entry: &LedgerEntry) -> Result<(), String> {
+    let line = entry.to_json_line();
+    let doc = parse(&line).map_err(|e| format!("ledger entry does not serialize: {e}"))?;
+    let errors = validate(&doc, schema()?);
+    if !errors.is_empty() {
+        return Err(format!(
+            "refusing to append schema-invalid entry: {}",
+            errors.join("; ")
+        ));
+    }
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("open {}: {e}", path.display()))?;
+    let mut buf = line.into_bytes();
+    buf.push(b'\n');
+    file.write_all(&buf)
+        .map_err(|e| format!("append {}: {e}", path.display()))
+}
+
+/// Loads every entry from a JSONL ledger, in file order.
+pub fn load(path: &Path) -> Result<Vec<LedgerEntry>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let entry = LedgerEntry::parse_line(line)
+            .map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+// ---------------------------------------------------------------------------
+// Trend analysis
+
+/// Which way a metric improves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (wirelength, power, skew, overflow).
+    LowerIsBetter,
+    /// Larger is better (slacks: WNS/TNS/hold are ≤ 0, closer to 0 wins).
+    HigherIsBetter,
+    /// Tracked but never gated (counts, structural stats, wall time).
+    Informational,
+}
+
+/// The improvement direction of a `qor.*` metric name.
+pub fn qor_direction(name: &str) -> Direction {
+    if name.contains("wns") || name.contains("tns") {
+        return Direction::HigherIsBetter;
+    }
+    if ["hpwl", "rwl", "power", "skew", "overflow", "utilization"]
+        .iter()
+        .any(|k| name.contains(k))
+    {
+        return Direction::LowerIsBetter;
+    }
+    Direction::Informational
+}
+
+/// One cross-run comparison: the latest entry of a fingerprint group
+/// against the best earlier entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendRow {
+    /// Fingerprint group the row belongs to.
+    pub fingerprint: u64,
+    /// Design label of the latest entry.
+    pub design: String,
+    /// Metric name (`qor.*`, or `wall_s` for the advisory wall row).
+    pub metric: String,
+    /// Best earlier value (by the metric's direction).
+    pub baseline: f64,
+    /// Latest entry's value.
+    pub latest: f64,
+    /// Completed runs in the group.
+    pub runs: usize,
+    /// Improvement direction used for the verdict.
+    pub direction: Direction,
+    /// Latest is significantly worse than baseline.
+    pub regressed: bool,
+    /// Latest is significantly better than baseline.
+    pub improved: bool,
+}
+
+impl TrendRow {
+    /// Relative change from baseline to latest, in percent.
+    pub fn delta_pct(&self) -> f64 {
+        if self.baseline == 0.0 {
+            if self.latest == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.latest - self.baseline) / self.baseline.abs() * 100.0
+        }
+    }
+}
+
+/// The result of [`trend`] over a ledger.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrendReport {
+    /// Per-metric comparisons for every multi-run fingerprint group.
+    pub rows: Vec<TrendRow>,
+    /// Fingerprint groups seen (including singletons).
+    pub groups: usize,
+    /// Groups with fewer than two completed runs (nothing to compare).
+    pub singletons: usize,
+}
+
+impl TrendReport {
+    /// The rows that regressed.
+    pub fn regressions(&self) -> Vec<&TrendRow> {
+        self.rows.iter().filter(|r| r.regressed).collect()
+    }
+}
+
+/// Cross-run trend analysis: groups `entries` by fingerprint (file order
+/// preserved) and compares each group's latest completed run against the
+/// best earlier one, metric by metric. QoR gauges use
+/// `opts.metric_rel_tol` (default 0 — the flow is deterministic, any
+/// drift is significant) and gate; wall time uses the
+/// `time_rel_tol`/`time_abs_tol_s` noise model but stays advisory
+/// (machine-dependent), reported as an `Informational` row.
+pub fn trend(entries: &[LedgerEntry], opts: &DiffOptions) -> TrendReport {
+    let mut order: Vec<u64> = Vec::new();
+    for e in entries {
+        if !order.contains(&e.fingerprint) {
+            order.push(e.fingerprint);
+        }
+    }
+    let mut report = TrendReport {
+        groups: order.len(),
+        ..TrendReport::default()
+    };
+    for fp in order {
+        let group: Vec<&LedgerEntry> = entries
+            .iter()
+            .filter(|e| e.fingerprint == fp && e.completed())
+            .collect();
+        let Some((latest, earlier)) = group.split_last() else {
+            report.singletons += 1;
+            continue;
+        };
+        if earlier.is_empty() {
+            report.singletons += 1;
+            continue;
+        }
+        for (name, value) in &latest.qor {
+            let prev: Vec<f64> = earlier.iter().filter_map(|e| e.qor_value(name)).collect();
+            if prev.is_empty() {
+                continue;
+            }
+            let direction = qor_direction(name);
+            let baseline = match direction {
+                Direction::LowerIsBetter => prev.iter().copied().fold(f64::INFINITY, f64::min),
+                Direction::HigherIsBetter => prev.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                // Informational metrics compare against the previous run.
+                Direction::Informational => prev[prev.len() - 1],
+            };
+            let moved = significant(baseline, *value, opts.metric_rel_tol, 0.0);
+            let worse = match direction {
+                Direction::LowerIsBetter => *value > baseline,
+                Direction::HigherIsBetter => *value < baseline,
+                Direction::Informational => false,
+            };
+            report.rows.push(TrendRow {
+                fingerprint: fp,
+                design: latest.design.clone(),
+                metric: name.clone(),
+                baseline,
+                latest: *value,
+                runs: group.len(),
+                direction,
+                regressed: moved && worse && direction != Direction::Informational,
+                improved: moved && !worse && direction != Direction::Informational,
+            });
+        }
+        // Advisory wall row: best earlier wall vs latest, flagged by the
+        // TraceDiff time noise model but never a gate failure.
+        let base_wall = earlier
+            .iter()
+            .map(|e| e.wall_seconds())
+            .fold(f64::INFINITY, f64::min);
+        let latest_wall = latest.wall_seconds();
+        let moved = significant(
+            base_wall,
+            latest_wall,
+            opts.time_rel_tol,
+            opts.time_abs_tol_s,
+        );
+        report.rows.push(TrendRow {
+            fingerprint: fp,
+            design: latest.design.clone(),
+            metric: "wall_s".to_string(),
+            baseline: base_wall,
+            latest: latest_wall,
+            runs: group.len(),
+            direction: Direction::Informational,
+            regressed: false,
+            improved: moved && latest_wall < base_wall,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArgValue, InstantRecord, MetricSnapshot, SeriesRow, SpanRecord};
+
+    fn span(id: u64, parent: u64, name: &'static str, start_ns: u64, end_ns: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            thread: 0,
+            start_ns,
+            end_ns,
+            args: vec![],
+        }
+    }
+
+    fn sample_report() -> TraceReport {
+        TraceReport {
+            root: 1,
+            spans: vec![
+                span(1, 0, "flow.clustered", 0, 10_000_000),
+                span(2, 1, "clustering", 0, 3_000_000),
+                span(3, 1, "shaping", 3_000_000, 7_000_000),
+                span(4, 3, "vpr.cluster", 3_100_000, 3_900_000),
+            ],
+            instants: vec![InstantRecord {
+                name: "recovery.checkpoint_failed",
+                span: 3,
+                thread: 0,
+                ts_ns: 5_000_000,
+                args: vec![("stage", ArgValue::S("shaping"))],
+            }],
+            series: vec![
+                SeriesRow {
+                    name: "place.outer",
+                    span: 3,
+                    iter: 0,
+                    values: vec![("hpwl", 12.0), ("overflow", 0.9)],
+                },
+                SeriesRow {
+                    name: "place.outer",
+                    span: 3,
+                    iter: 1,
+                    values: vec![("hpwl", 9.5), ("overflow", 0.4)],
+                },
+            ],
+            metrics: vec![
+                MetricSnapshot {
+                    name: "qor.legalized.hpwl",
+                    slot: None,
+                    value: MetricValue::Gauge(123.25),
+                },
+                MetricSnapshot {
+                    name: "qor.timing.wns",
+                    slot: None,
+                    value: MetricValue::Gauge(-0.5),
+                },
+                MetricSnapshot {
+                    name: "vpr.evals",
+                    slot: None,
+                    value: MetricValue::Counter(7),
+                },
+            ],
+            dropped_events: 0,
+        }
+    }
+
+    fn sample_entry() -> LedgerEntry {
+        LedgerEntry::new(0xdead_beef_0042_1133, "unit", "harvest")
+            .with_threads(4)
+            .with_options("fast")
+            .capture_trace(&sample_report())
+    }
+
+    #[test]
+    fn capture_partitions_stages_to_root_wall_in_integer_ns() {
+        let e = sample_entry();
+        assert_eq!(e.root_wall_ns, 10_000_000);
+        let names: Vec<&str> = e.stages.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["clustering", "shaping", "other"]);
+        assert_eq!(e.stages[0].1, 3_000_000);
+        assert_eq!(e.stages[1].1, 4_000_000);
+        assert_eq!(e.stages[2].1, 3_000_000);
+        let sum: i64 = e.stages.iter().map(|(_, ns)| ns).sum();
+        assert_eq!(sum, e.root_wall_ns as i64);
+        // QoR keeps gauges only, sorted; counters stay out.
+        assert_eq!(e.qor_value("qor.legalized.hpwl"), Some(123.25));
+        assert_eq!(e.qor_value("qor.timing.wns"), Some(-0.5));
+        assert_eq!(e.qor.len(), 2);
+        // Every value column gets a summary, in canonical (name, key)
+        // order — the same order a harvested JSON report reproduces.
+        assert_eq!(e.series.len(), 2);
+        let s = &e.series[0];
+        assert_eq!(
+            (s.name.as_str(), s.key.as_str(), s.rows),
+            ("place.outer", "hpwl", 2)
+        );
+        assert_eq!((s.first, s.last, s.min, s.max), (12.0, 9.5, 9.5, 12.0));
+        let o = &e.series[1];
+        assert_eq!(
+            (o.name.as_str(), o.key.as_str(), o.rows),
+            ("place.outer", "overflow", 2)
+        );
+        assert_eq!((o.first, o.last, o.min, o.max), (0.9, 0.4, 0.4, 0.9));
+    }
+
+    #[test]
+    fn harvested_json_report_matches_captured_entry() {
+        let report = sample_report();
+        let flow = LedgerEntry::new(7, "unit", "flow").capture_trace(&report);
+        let doc = parse(&report.to_json()).expect("report json parses");
+        let harvested = entry_from_report_json(&doc, 7, "unit").expect("harvest");
+        assert_eq!(harvested.root_wall_ns, flow.root_wall_ns);
+        assert_eq!(harvested.stages, flow.stages);
+        assert_eq!(harvested.qor, flow.qor);
+        assert_eq!(harvested.series, flow.series);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_is_lossless_and_schema_valid() {
+        let e = sample_entry();
+        let line = e.to_json_line();
+        let doc = parse(&line).expect("line parses");
+        assert!(validate(&doc, schema().expect("schema")).is_empty());
+        let back = LedgerEntry::parse_line(&line).expect("line loads");
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn append_and_load_roundtrip_on_disk() {
+        let path =
+            std::env::temp_dir().join(format!("cp_ledger_unit_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let a = sample_entry();
+        let b = sample_entry().with_status("interrupted:cancelled@flow.start");
+        append(&path, &a).expect("append a");
+        append(&path, &b).expect("append b");
+        let loaded = load(&path).expect("load");
+        assert_eq!(loaded, vec![a, b]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trend_detects_doctored_regression_by_direction() {
+        let clean = sample_entry();
+        let worse_hpwl = sample_entry().doctor("qor.legalized.hpwl", 1.1);
+        let report = trend(&[clean.clone(), worse_hpwl], &DiffOptions::default());
+        assert_eq!(report.groups, 1);
+        let bad = report.regressions();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].metric, "qor.legalized.hpwl");
+        assert!(bad[0].delta_pct() > 9.0);
+        // WNS moving toward zero is an improvement, not a regression.
+        let better_wns = sample_entry().doctor("qor.timing.wns", 0.5);
+        let report = trend(&[clean.clone(), better_wns], &DiffOptions::default());
+        assert!(report.regressions().is_empty());
+        assert!(report
+            .rows
+            .iter()
+            .any(|r| r.metric == "qor.timing.wns" && r.improved));
+        // WNS moving away from zero regresses.
+        let worse_wns = sample_entry().doctor("qor.timing.wns", 2.0);
+        let report = trend(&[clean, worse_wns], &DiffOptions::default());
+        assert_eq!(report.regressions().len(), 1);
+    }
+
+    #[test]
+    fn trend_skips_singletons_and_interrupted_runs() {
+        let a = sample_entry();
+        let mut b = sample_entry();
+        b.fingerprint = 0x1;
+        let interrupted = sample_entry().with_status("interrupted:deadline@place.outer");
+        let report = trend(&[a, b, interrupted], &DiffOptions::default());
+        // Two fingerprints, both with a single *completed* run.
+        assert_eq!(report.groups, 2);
+        assert_eq!(report.singletons, 2);
+        assert!(report.rows.is_empty());
+    }
+
+    #[test]
+    fn trend_baseline_is_best_of_earlier_runs() {
+        let best = sample_entry().doctor("qor.legalized.hpwl", 0.9);
+        let middle = sample_entry();
+        // Latest matches the *middle* run: still a regression vs best.
+        let latest = sample_entry();
+        let report = trend(&[best, middle, latest], &DiffOptions::default());
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.metric == "qor.legalized.hpwl")
+            .expect("hpwl row");
+        assert!((row.baseline - 123.25 * 0.9).abs() < 1e-9);
+        assert!(row.regressed);
+    }
+
+    #[test]
+    fn directions_cover_the_qor_namespace() {
+        assert_eq!(
+            qor_direction("qor.legalized.hpwl"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(qor_direction("qor.route.rwl"), Direction::LowerIsBetter);
+        assert_eq!(qor_direction("qor.power.total"), Direction::LowerIsBetter);
+        assert_eq!(qor_direction("qor.timing.wns"), Direction::HigherIsBetter);
+        assert_eq!(qor_direction("qor.timing.tns"), Direction::HigherIsBetter);
+        assert_eq!(
+            qor_direction("qor.timing.hold_wns"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(qor_direction("qor.cluster.count"), Direction::Informational);
+    }
+
+    #[test]
+    fn stage_history_feeds_progress_eta() {
+        let e = sample_entry();
+        let hist = e.stage_history();
+        assert_eq!(hist.len(), 2, "other row excluded");
+        assert!(hist
+            .iter()
+            .any(|(n, s)| n == "clustering" && (*s - 3e-3).abs() < 1e-12));
+    }
+}

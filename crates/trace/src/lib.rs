@@ -35,13 +35,29 @@
 //! [`TraceReport::dropped_events`]) until [`take_report`] extracts one
 //! root span's subtree into a [`TraceReport`], which exports structured
 //! JSON and Chrome `trace_event` JSON (Perfetto-loadable).
+//!
+//! Two streaming/persistence layers build on the record sites:
+//!
+//! - [`sink`] — live event streaming into a bounded, drop-on-overflow
+//!   channel behind one extra relaxed atomic load ([`sink_attached`]),
+//!   with [`ProgressSink`] folding events into stage-level progress.
+//! - [`ledger`] — an append-only, schema-validated JSONL run ledger
+//!   capturing each run's QoR snapshot, integer-ns stage self-times and
+//!   convergence summaries, plus cross-run trend analysis.
 
 pub mod analysis;
 pub mod json;
+pub mod ledger;
 pub mod report;
+pub mod sink;
 
 pub use analysis::{Analysis, DiffEntry, DiffKind, DiffOptions, NameAgg, PathStep, TraceDiff};
+pub use ledger::{LedgerEntry, SeriesSummary, TrendReport, TrendRow};
 pub use report::{chrome_trace, MetricSnapshot, MetricValue, TraceReport};
+pub use sink::{
+    attach_sink, detach_sink, drain_sink, pump_sink, sink_attached, ProgressSink, ProgressSnapshot,
+    SinkBatch, SinkEvent, StageState, TraceSink,
+};
 
 use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
@@ -53,6 +69,14 @@ use std::time::Instant;
 /// stays usable after a panicking instrumented section.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Serializes tests that touch process-global state (the level byte and
+/// the sink channel) across this crate's test modules.
+#[cfg(test)]
+pub(crate) fn test_serial() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 // ---------------------------------------------------------------------------
@@ -299,13 +323,24 @@ pub fn span_with(name: &'static str, args: &[(&'static str, ArgValue)]) -> SpanG
     }
     let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
     let parent = CURRENT.with(|c| c.replace(id));
+    let thread = thread_ordinal();
+    let start_ns = now_ns();
+    if sink::sink_attached() {
+        sink::emit(SinkEvent::SpanOpen {
+            id,
+            parent,
+            name,
+            thread,
+            start_ns,
+        });
+    }
     SpanGuard {
         inner: Some(SpanInner {
             id,
             parent,
             name,
-            thread: thread_ordinal(),
-            start_ns: now_ns(),
+            thread,
+            start_ns,
             args: args.to_vec(),
         }),
     }
@@ -333,6 +368,16 @@ impl Drop for SpanGuard {
             // nesting stays consistent when the level flips mid-run.
             CURRENT.with(|c| c.set(i.parent));
             let end_ns = now_ns();
+            if sink::sink_attached() {
+                sink::emit(SinkEvent::SpanClose {
+                    id: i.id,
+                    parent: i.parent,
+                    name: i.name,
+                    thread: i.thread,
+                    start_ns: i.start_ns,
+                    end_ns,
+                });
+            }
             let mut c = lock(collector());
             if c.total() < MAX_BUFFERED_EVENTS {
                 c.spans.push(SpanRecord {
@@ -364,6 +409,15 @@ pub fn instant(name: &'static str, args: &[(&'static str, ArgValue)]) {
         ts_ns: now_ns(),
         args: args.to_vec(),
     };
+    if sink::sink_attached() {
+        sink::emit(SinkEvent::Instant {
+            name: rec.name,
+            span: rec.span,
+            thread: rec.thread,
+            ts_ns: rec.ts_ns,
+            args: rec.args.clone(),
+        });
+    }
     let mut c = lock(collector());
     if c.total() < MAX_BUFFERED_EVENTS {
         c.instants.push(rec);
@@ -384,6 +438,14 @@ pub fn series(name: &'static str, iter: u64, values: &[(&'static str, f64)]) {
         iter,
         values: values.to_vec(),
     };
+    if sink::sink_attached() {
+        sink::emit(SinkEvent::SeriesPoint {
+            name: row.name,
+            span: row.span,
+            iter: row.iter,
+            values: row.values.clone(),
+        });
+    }
     let mut c = lock(collector());
     if c.total() < MAX_BUFFERED_EVENTS {
         c.series.push(row);
@@ -433,9 +495,19 @@ pub fn counter_add_slot(name: &'static str, slot: u32, delta: u64) {
         return;
     }
     let mut m = lock(metrics());
-    match m.entry((name, slot)).or_insert(Metric::Counter(0)) {
-        Metric::Counter(v) => *v += delta,
-        other => *other = Metric::Counter(delta),
+    let total = match m.entry((name, slot)).or_insert(Metric::Counter(0)) {
+        Metric::Counter(v) => {
+            *v += delta;
+            *v
+        }
+        other => {
+            *other = Metric::Counter(delta);
+            delta
+        }
+    };
+    drop(m);
+    if sink::sink_attached() {
+        sink::emit(SinkEvent::Counter { name, slot, total });
     }
 }
 
@@ -446,6 +518,10 @@ pub fn gauge_set(name: &'static str, value: f64) {
     }
     let mut m = lock(metrics());
     *m.entry((name, NO_SLOT)).or_insert(Metric::Gauge(value)) = Metric::Gauge(value);
+    drop(m);
+    if sink::sink_attached() {
+        sink::emit(SinkEvent::Gauge { name, value });
+    }
 }
 
 /// Records one observation into a fixed-bucket histogram. No-op below
@@ -615,8 +691,7 @@ mod tests {
 
     /// Level is process-global; tests that flip it serialize here.
     fn serial() -> MutexGuard<'static, ()> {
-        static GATE: Mutex<()> = Mutex::new(());
-        GATE.lock().unwrap_or_else(PoisonError::into_inner)
+        test_serial()
     }
 
     #[test]

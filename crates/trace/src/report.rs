@@ -85,6 +85,19 @@ impl TraceReport {
     /// stage set whether the flow ran at top level or nested one level
     /// below the captured root.
     pub fn stage_seconds(&self) -> Vec<(&'static str, f64)> {
+        // `seconds()` is `wall_ns as f64 * 1e-9`, so the two views are
+        // the same partition in different units — pinned by the
+        // analysis_props ledger-roundtrip proptest.
+        self.stage_nanos()
+            .into_iter()
+            .map(|(name, ns)| (name, ns as f64 * 1e-9))
+            .collect()
+    }
+
+    /// [`stage_seconds`](Self::stage_seconds) in integer nanoseconds —
+    /// the exact wall times the run ledger persists, sharing the same
+    /// stage-selection logic (direct children, `flow.*` transparency).
+    pub fn stage_nanos(&self) -> Vec<(&'static str, u64)> {
         let is_flow_root = |s: &SpanRecord| s.name.starts_with("flow.");
         let nested: Vec<u64> = self
             .spans
@@ -95,7 +108,7 @@ impl TraceReport {
         self.spans
             .iter()
             .filter(|s| (s.parent == self.root && !is_flow_root(s)) || nested.contains(&s.parent))
-            .map(|s| (s.name, s.seconds()))
+            .map(|s| (s.name, s.end_ns.saturating_sub(s.start_ns)))
             .collect()
     }
 

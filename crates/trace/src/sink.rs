@@ -1,0 +1,667 @@
+//! Live event streaming: a bounded, non-blocking subscriber channel fed
+//! from the record sites, plus a [`ProgressSink`] that folds raw events
+//! into stage-level progress and ETA estimates.
+//!
+//! # Hot-path cost model
+//!
+//! The level check in `lib.rs` stays the only cost when tracing is off:
+//! one relaxed atomic load per record site, nothing else. When tracing is
+//! on but no sink is attached, each record site pays exactly one *more*
+//! relaxed load ([`sink_attached`]) on top of its normal buffering work.
+//! Only when a sink is attached does the site build a [`SinkEvent`] and
+//! push it into the bounded ring under a short mutex hold.
+//!
+//! # Overflow policy
+//!
+//! The channel is bounded ([`attach_sink`] picks the capacity). A full
+//! ring never blocks the producer: the event is dropped and a cumulative
+//! counter incremented. Because record sites emit deterministically for a
+//! deterministic run, the drop *count* is deterministic too (only the
+//! interleaving order of surviving events varies across thread
+//! schedules) — pinned by the `ledger_stream` suite.
+//!
+//! # Consumption
+//!
+//! Consumption is caller-owned and pull-based: [`drain_sink`] moves the
+//! buffered events out (with the cumulative drop counter), [`pump_sink`]
+//! drains and dispatches to a [`TraceSink`] implementation. The producer
+//! side never runs subscriber code, so a slow or panicking subscriber
+//! cannot stall or poison the flow.
+
+use crate::{lock, ArgValue};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Events
+
+/// One streamed telemetry event, as observed at a record site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SinkEvent {
+    /// A span opened (emitted from `span_with`).
+    SpanOpen {
+        /// Span id (process-wide, never 0).
+        id: u64,
+        /// Parent span id (0 = root).
+        parent: u64,
+        /// Static span name.
+        name: &'static str,
+        /// Ordinal of the opening thread.
+        thread: u32,
+        /// Start, nanoseconds since the trace epoch.
+        start_ns: u64,
+    },
+    /// A span closed (emitted from the guard's `Drop`).
+    SpanClose {
+        /// Span id.
+        id: u64,
+        /// Parent span id (0 = root).
+        parent: u64,
+        /// Static span name.
+        name: &'static str,
+        /// Ordinal of the opening thread.
+        thread: u32,
+        /// Start, nanoseconds since the trace epoch.
+        start_ns: u64,
+        /// End, nanoseconds since the trace epoch.
+        end_ns: u64,
+    },
+    /// A point-in-time event (recovery events, fallbacks).
+    Instant {
+        /// Static event name.
+        name: &'static str,
+        /// Enclosing span at emission time (0 = none).
+        span: u64,
+        /// Ordinal of the emitting thread.
+        thread: u32,
+        /// Timestamp, nanoseconds since the trace epoch.
+        ts_ns: u64,
+        /// Attached key/value arguments.
+        args: Vec<(&'static str, ArgValue)>,
+    },
+    /// One convergence-series row (level `Full` only).
+    SeriesPoint {
+        /// Static series name.
+        name: &'static str,
+        /// Enclosing span at emission time (0 = none).
+        span: u64,
+        /// Iteration index within the series.
+        iter: u64,
+        /// Named values for this iteration.
+        values: Vec<(&'static str, f64)>,
+    },
+    /// A counter update carrying the new per-slot total.
+    Counter {
+        /// Static counter name.
+        name: &'static str,
+        /// Metric slot ([`crate::NO_SLOT`] when unslotted).
+        slot: u32,
+        /// The counter's value after the update.
+        total: u64,
+    },
+    /// A gauge update.
+    Gauge {
+        /// Static gauge name.
+        name: &'static str,
+        /// The new gauge value.
+        value: f64,
+    },
+}
+
+impl SinkEvent {
+    /// The event's timestamp in nanoseconds since the trace epoch, when
+    /// it carries one (metric updates do not read the clock).
+    pub fn ts_ns(&self) -> Option<u64> {
+        match self {
+            SinkEvent::SpanOpen { start_ns, .. } => Some(*start_ns),
+            SinkEvent::SpanClose { end_ns, .. } => Some(*end_ns),
+            SinkEvent::Instant { ts_ns, .. } => Some(*ts_ns),
+            SinkEvent::SeriesPoint { .. } | SinkEvent::Counter { .. } | SinkEvent::Gauge { .. } => {
+                None
+            }
+        }
+    }
+}
+
+/// A subscriber receiving drained [`SinkEvent`]s via [`pump_sink`].
+///
+/// Subscribers run on the *consumer's* thread, never at a record site, so
+/// implementations may be arbitrarily slow without affecting the flow.
+pub trait TraceSink {
+    /// Called once per drained event, in ring (arrival) order.
+    fn on_event(&mut self, event: &SinkEvent);
+
+    /// Called after each pump with the cumulative number of events
+    /// dropped on overflow since the sink was attached.
+    fn on_overflow(&mut self, dropped_total: u64) {
+        let _ = dropped_total;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The bounded channel
+
+/// Fast-path flag: record sites check this with one relaxed load before
+/// doing any sink work. Kept separate from the level byte so the
+/// trace-off cost stays exactly one load.
+static SINK_ATTACHED: AtomicBool = AtomicBool::new(false);
+
+struct Channel {
+    ring: VecDeque<SinkEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+static CHANNEL: OnceLock<Mutex<Option<Channel>>> = OnceLock::new();
+
+fn channel() -> &'static Mutex<Option<Channel>> {
+    CHANNEL.get_or_init(Mutex::default)
+}
+
+/// `true` when a sink channel is attached — one relaxed atomic load.
+#[inline]
+pub fn sink_attached() -> bool {
+    SINK_ATTACHED.load(Ordering::Relaxed)
+}
+
+/// Attaches the process-wide sink channel with the given ring capacity
+/// (clamped to ≥ 1). Any previously attached channel is replaced and its
+/// buffered events discarded. Events recorded while attached are buffered
+/// until [`drain_sink`]/[`pump_sink`]; on overflow the newest event is
+/// dropped and counted instead of blocking the producer.
+pub fn attach_sink(capacity: usize) {
+    let capacity = capacity.max(1);
+    let mut ch = lock(channel());
+    *ch = Some(Channel {
+        // Pre-size modestly; the ring grows on demand up to `capacity`.
+        ring: VecDeque::with_capacity(capacity.min(1024)),
+        capacity,
+        dropped: 0,
+    });
+    SINK_ATTACHED.store(true, Ordering::SeqCst);
+}
+
+/// Detaches the sink channel, discarding buffered events. Returns the
+/// cumulative overflow-drop count for the detached channel (0 when none
+/// was attached).
+pub fn detach_sink() -> u64 {
+    SINK_ATTACHED.store(false, Ordering::SeqCst);
+    lock(channel()).take().map_or(0, |c| c.dropped)
+}
+
+/// Pushes one event into the attached channel. Called by record sites
+/// only after [`sink_attached`] returned true; tolerates a concurrent
+/// detach (the event is silently discarded).
+pub(crate) fn emit(event: SinkEvent) {
+    let mut ch = lock(channel());
+    if let Some(c) = ch.as_mut() {
+        if c.ring.len() < c.capacity {
+            c.ring.push_back(event);
+        } else {
+            c.dropped += 1;
+        }
+    }
+}
+
+/// A drained batch: the buffered events (in arrival order) plus the
+/// channel's cumulative overflow-drop counter.
+#[derive(Debug, Default)]
+pub struct SinkBatch {
+    /// Events moved out of the ring, oldest first.
+    pub events: Vec<SinkEvent>,
+    /// Total events dropped on overflow since [`attach_sink`].
+    pub dropped: u64,
+}
+
+/// Moves every buffered event out of the channel. Non-destructive to the
+/// attachment itself — recording continues into the (now empty) ring.
+pub fn drain_sink() -> SinkBatch {
+    let mut ch = lock(channel());
+    match ch.as_mut() {
+        Some(c) => SinkBatch {
+            events: c.ring.drain(..).collect(),
+            dropped: c.dropped,
+        },
+        None => SinkBatch::default(),
+    }
+}
+
+/// Drains the channel and dispatches each event to `sink`, then reports
+/// the cumulative drop counter via [`TraceSink::on_overflow`]. Returns
+/// the number of events dispatched.
+pub fn pump_sink(sink: &mut dyn TraceSink) -> usize {
+    let batch = drain_sink();
+    for event in &batch.events {
+        sink.on_event(event);
+    }
+    sink.on_overflow(batch.dropped);
+    batch.events.len()
+}
+
+// ---------------------------------------------------------------------------
+// ProgressSink
+
+/// Lifecycle of one pipeline stage as seen by the [`ProgressSink`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StageState {
+    /// No span with the stage's name has opened yet.
+    Pending,
+    /// The stage span is open.
+    Running {
+        /// The stage span's start timestamp (trace-epoch ns).
+        since_ns: u64,
+    },
+    /// The stage span closed.
+    Done {
+        /// The stage span's wall time in nanoseconds.
+        wall_ns: u64,
+    },
+}
+
+/// A point-in-time summary produced by [`ProgressSink::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Per-stage lifecycle states, in configured order.
+    pub stages: Vec<(String, StageState)>,
+    /// Number of stages in [`StageState::Done`].
+    pub done_stages: usize,
+    /// Estimated completion fraction in `[0, 1]` — weighted by
+    /// historical stage timings when available, else by stage count.
+    pub fraction: f64,
+    /// Estimated remaining seconds, from historical stage timings.
+    /// `None` when no history was provided.
+    pub eta_s: Option<f64>,
+    /// Global-placer CG iteration ticks observed (`place.outer` rows).
+    pub cg_iterations: u64,
+    /// V-P&R cluster evaluations started (`vpr.cluster` span opens).
+    pub vpr_started: u64,
+    /// V-P&R cluster evaluations finished (`vpr.cluster` span closes).
+    pub vpr_done: u64,
+    /// Completion fraction of the V-P&R sweep: against the expected
+    /// cluster count when set, else against the started count.
+    pub vpr_fraction: Option<f64>,
+    /// `recovery.*` instants observed (checkpoints, fallbacks, resume).
+    pub recovery_events: u64,
+    /// Cumulative overflow-drop count last reported by the channel.
+    pub dropped: u64,
+    /// Timestamp of the newest event folded in (trace-epoch ns). Used as
+    /// "now" for running-stage elapsed time, keeping snapshots
+    /// deterministic for a given event sequence.
+    pub last_event_ns: u64,
+}
+
+/// Folds streamed [`SinkEvent`]s into stage-level progress: which
+/// pipeline stages have started/finished, CG-iteration ticks from the
+/// `place.outer` series, per-cluster V-P&R completion, and an ETA from
+/// historical stage timings. Pure folding — all state comes from the
+/// events themselves, so identical event sequences yield identical
+/// snapshots.
+pub struct ProgressSink {
+    stages: Vec<(String, StageState)>,
+    history: Vec<(String, f64)>,
+    cg_series: String,
+    vpr_span: String,
+    cg_iterations: u64,
+    vpr_expected: Option<u64>,
+    vpr_started: u64,
+    vpr_done: u64,
+    recovery_events: u64,
+    dropped: u64,
+    last_event_ns: u64,
+}
+
+impl ProgressSink {
+    /// Creates a sink tracking the given stage names (the flow's
+    /// top-level stage spans, in pipeline order).
+    pub fn new<S: AsRef<str>>(stages: &[S]) -> Self {
+        ProgressSink {
+            stages: stages
+                .iter()
+                .map(|s| (s.as_ref().to_string(), StageState::Pending))
+                .collect(),
+            history: Vec::new(),
+            cg_series: "place.outer".to_string(),
+            vpr_span: "vpr.cluster".to_string(),
+            cg_iterations: 0,
+            vpr_expected: None,
+            vpr_started: 0,
+            vpr_done: 0,
+            recovery_events: 0,
+            dropped: 0,
+            last_event_ns: 0,
+        }
+    }
+
+    /// Supplies historical per-stage wall seconds (e.g. from a prior
+    /// ledger entry) to weight the completion fraction and derive ETAs.
+    pub fn with_history<S: AsRef<str>>(mut self, history: &[(S, f64)]) -> Self {
+        self.history = history
+            .iter()
+            .map(|(n, s)| (n.as_ref().to_string(), *s))
+            .collect();
+        self
+    }
+
+    /// Sets the expected number of V-P&R cluster evaluations, making
+    /// `vpr_fraction` meaningful before the sweep finishes.
+    pub fn expect_vpr_clusters(mut self, n: u64) -> Self {
+        self.vpr_expected = Some(n);
+        self
+    }
+
+    /// Overrides the series name counted as CG-iteration ticks
+    /// (default `place.outer`).
+    pub fn cg_series(mut self, name: &str) -> Self {
+        self.cg_series = name.to_string();
+        self
+    }
+
+    /// Overrides the span name counted as one V-P&R cluster evaluation
+    /// (default `vpr.cluster`).
+    pub fn vpr_span(mut self, name: &str) -> Self {
+        self.vpr_span = name.to_string();
+        self
+    }
+
+    fn stage_mut(&mut self, name: &str) -> Option<&mut StageState> {
+        self.stages
+            .iter_mut()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// The historical weight of a stage: its recorded seconds, else the
+    /// mean of the recorded stages (so an unseen stage still advances
+    /// the fraction), else 0 when there is no history at all.
+    fn weight(&self, name: &str) -> f64 {
+        if let Some((_, s)) = self.history.iter().find(|(n, _)| n == name) {
+            return *s;
+        }
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        self.history.iter().map(|(_, s)| *s).sum::<f64>() / self.history.len() as f64
+    }
+
+    /// Produces the current progress summary.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let done_stages = self
+            .stages
+            .iter()
+            .filter(|(_, s)| matches!(s, StageState::Done { .. }))
+            .count();
+        let (fraction, eta_s) = if self.history.is_empty() {
+            let f = if self.stages.is_empty() {
+                0.0
+            } else {
+                done_stages as f64 / self.stages.len() as f64
+            };
+            (f, None)
+        } else {
+            let mut total = 0.0;
+            let mut credit = 0.0;
+            for (name, state) in &self.stages {
+                let w = self.weight(name);
+                total += w;
+                match state {
+                    StageState::Done { .. } => credit += w,
+                    StageState::Running { since_ns } => {
+                        let elapsed = self.last_event_ns.saturating_sub(*since_ns) as f64 * 1e-9;
+                        credit += elapsed.min(w);
+                    }
+                    StageState::Pending => {}
+                }
+            }
+            if total > 0.0 {
+                (
+                    (credit / total).clamp(0.0, 1.0),
+                    Some((total - credit).max(0.0)),
+                )
+            } else {
+                (0.0, Some(0.0))
+            }
+        };
+        let vpr_fraction = match (self.vpr_expected, self.vpr_started) {
+            (Some(n), _) if n > 0 => Some((self.vpr_done as f64 / n as f64).clamp(0.0, 1.0)),
+            (None, started) if started > 0 => Some(self.vpr_done as f64 / started as f64),
+            _ => None,
+        };
+        ProgressSnapshot {
+            stages: self.stages.clone(),
+            done_stages,
+            fraction,
+            eta_s,
+            cg_iterations: self.cg_iterations,
+            vpr_started: self.vpr_started,
+            vpr_done: self.vpr_done,
+            vpr_fraction,
+            recovery_events: self.recovery_events,
+            dropped: self.dropped,
+            last_event_ns: self.last_event_ns,
+        }
+    }
+}
+
+impl TraceSink for ProgressSink {
+    fn on_event(&mut self, event: &SinkEvent) {
+        if let Some(ts) = event.ts_ns() {
+            self.last_event_ns = self.last_event_ns.max(ts);
+        }
+        match event {
+            SinkEvent::SpanOpen { name, start_ns, .. } => {
+                if *name == self.vpr_span {
+                    self.vpr_started += 1;
+                } else if let Some(state) = self.stage_mut(name) {
+                    if matches!(state, StageState::Pending) {
+                        *state = StageState::Running {
+                            since_ns: *start_ns,
+                        };
+                    }
+                }
+            }
+            SinkEvent::SpanClose {
+                name,
+                start_ns,
+                end_ns,
+                ..
+            } => {
+                if *name == self.vpr_span {
+                    self.vpr_done += 1;
+                } else if let Some(state) = self.stage_mut(name) {
+                    *state = StageState::Done {
+                        wall_ns: end_ns.saturating_sub(*start_ns),
+                    };
+                }
+            }
+            SinkEvent::SeriesPoint { name, iter, .. } => {
+                if *name == self.cg_series {
+                    self.cg_iterations = self.cg_iterations.max(iter + 1);
+                }
+            }
+            SinkEvent::Instant { name, .. } => {
+                if name.starts_with("recovery.") {
+                    self.recovery_events += 1;
+                }
+            }
+            SinkEvent::Counter { .. } | SinkEvent::Gauge { .. } => {}
+        }
+    }
+
+    fn on_overflow(&mut self, dropped_total: u64) {
+        self.dropped = dropped_total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open(id: u64, name: &'static str, start_ns: u64) -> SinkEvent {
+        SinkEvent::SpanOpen {
+            id,
+            parent: 0,
+            name,
+            thread: 0,
+            start_ns,
+        }
+    }
+
+    fn close(id: u64, name: &'static str, start_ns: u64, end_ns: u64) -> SinkEvent {
+        SinkEvent::SpanClose {
+            id,
+            parent: 0,
+            name,
+            thread: 0,
+            start_ns,
+            end_ns,
+        }
+    }
+
+    #[test]
+    fn progress_folds_stages_ticks_and_vpr() {
+        let mut p = ProgressSink::new(&["clustering", "shaping", "ppa"]).expect_vpr_clusters(4);
+        p.on_event(&open(1, "clustering", 0));
+        p.on_event(&close(1, "clustering", 0, 2_000_000_000));
+        p.on_event(&open(2, "shaping", 2_000_000_000));
+        for i in 0..3 {
+            p.on_event(&SinkEvent::SeriesPoint {
+                name: "place.outer",
+                span: 2,
+                iter: i,
+                values: vec![("hpwl", 10.0 - i as f64)],
+            });
+        }
+        for id in 10..13 {
+            p.on_event(&open(id, "vpr.cluster", 0));
+        }
+        p.on_event(&close(10, "vpr.cluster", 0, 1));
+        p.on_event(&close(11, "vpr.cluster", 0, 2));
+        p.on_event(&SinkEvent::Instant {
+            name: "recovery.checkpoint_failed",
+            span: 2,
+            thread: 0,
+            ts_ns: 3_000_000_000,
+            args: vec![],
+        });
+        let s = p.snapshot();
+        assert_eq!(s.done_stages, 1);
+        assert_eq!(
+            s.stages[0].1,
+            StageState::Done {
+                wall_ns: 2_000_000_000
+            }
+        );
+        assert!(matches!(s.stages[1].1, StageState::Running { .. }));
+        assert_eq!(s.stages[2].1, StageState::Pending);
+        assert_eq!(s.cg_iterations, 3);
+        assert_eq!(s.vpr_started, 3);
+        assert_eq!(s.vpr_done, 2);
+        assert_eq!(s.vpr_fraction, Some(0.5));
+        assert_eq!(s.recovery_events, 1);
+        assert!((s.fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.eta_s, None);
+    }
+
+    #[test]
+    fn progress_eta_uses_historical_timings() {
+        let mut p =
+            ProgressSink::new(&["a", "b", "c"]).with_history(&[("a", 2.0), ("b", 6.0), ("c", 2.0)]);
+        p.on_event(&open(1, "a", 0));
+        p.on_event(&close(1, "a", 0, 2_000_000_000));
+        // "b" has run 3 of its historical 6 seconds.
+        p.on_event(&open(2, "b", 2_000_000_000));
+        p.on_event(&SinkEvent::Instant {
+            name: "tick",
+            span: 2,
+            thread: 0,
+            ts_ns: 5_000_000_000,
+            args: vec![],
+        });
+        let s = p.snapshot();
+        // credit = 2 (a done) + 3 (b elapsed) of total 10.
+        assert!((s.fraction - 0.5).abs() < 1e-12);
+        assert_eq!(s.eta_s, Some(5.0));
+        // A running stage never earns more than its historical weight.
+        p.on_event(&SinkEvent::Instant {
+            name: "tick",
+            span: 2,
+            thread: 0,
+            ts_ns: 60_000_000_000,
+            args: vec![],
+        });
+        let s = p.snapshot();
+        assert!((s.fraction - 0.8).abs() < 1e-12);
+        assert_eq!(s.eta_s, Some(2.0));
+    }
+
+    #[test]
+    fn channel_bounds_drops_and_counts() {
+        // The channel is process-global; serialize with other tests.
+        let _g = crate::test_serial();
+        attach_sink(3);
+        assert!(sink_attached());
+        for i in 0..5 {
+            emit(SinkEvent::Gauge {
+                name: "g",
+                value: i as f64,
+            });
+        }
+        let batch = drain_sink();
+        assert_eq!(batch.events.len(), 3);
+        assert_eq!(batch.dropped, 2);
+        // Drain frees capacity; the drop counter stays cumulative.
+        emit(SinkEvent::Gauge {
+            name: "g",
+            value: 9.0,
+        });
+        let batch = drain_sink();
+        assert_eq!(batch.events.len(), 1);
+        assert_eq!(batch.dropped, 2);
+        assert_eq!(detach_sink(), 2);
+        assert!(!sink_attached());
+        // Emitting after detach is a silent no-op.
+        emit(SinkEvent::Gauge {
+            name: "g",
+            value: 0.0,
+        });
+        assert_eq!(drain_sink().events.len(), 0);
+    }
+
+    #[test]
+    fn pump_dispatches_in_order_and_reports_overflow() {
+        struct Tape {
+            names: Vec<&'static str>,
+            dropped: u64,
+        }
+        impl TraceSink for Tape {
+            fn on_event(&mut self, event: &SinkEvent) {
+                if let SinkEvent::Instant { name, .. } = event {
+                    self.names.push(name);
+                }
+            }
+            fn on_overflow(&mut self, dropped_total: u64) {
+                self.dropped = dropped_total;
+            }
+        }
+        let _g = crate::test_serial();
+        attach_sink(2);
+        for name in ["first", "second", "third"] {
+            emit(SinkEvent::Instant {
+                name,
+                span: 0,
+                thread: 0,
+                ts_ns: 0,
+                args: vec![],
+            });
+        }
+        let mut tape = Tape {
+            names: vec![],
+            dropped: 0,
+        };
+        assert_eq!(pump_sink(&mut tape), 2);
+        assert_eq!(tape.names, vec!["first", "second"]);
+        assert_eq!(tape.dropped, 1);
+        detach_sink();
+    }
+}
