@@ -12,9 +12,14 @@
 //!   it in `chrome://tracing` or <https://ui.perfetto.dev>;
 //! - `BENCH_trace.json` — tracing overhead: min-of-reps flow wall-clock
 //!   at `Off`, `Spans`, `Spans` with an attached-but-idle `TraceSink`
-//!   channel, and `Full`, asserting bitwise-identical HPWL across all
-//!   four configurations and (non-smoke) spans-only AND sink-attached
-//!   overhead below 2%.
+//!   channel, `Spans` with field-frame capture on, and `Full`, asserting
+//!   bitwise-identical HPWL across all five configurations and
+//!   (non-smoke) spans-only AND sink-attached overhead below 2% plus
+//!   field-capture overhead below 5%;
+//! - `FIELDS_frames.json` — the field frames (density overflow,
+//!   displacement, eDensity charge, router congestion) captured by the
+//!   spans+fields run, validated against
+//!   `schemas/field_frames.schema.json`.
 //!
 //! It also checks the trace's internal consistency: the per-stage span
 //! durations must sum to within 5% of the root span's wall-clock, and
@@ -109,26 +114,35 @@ fn main() -> Result<(), FlowError> {
     });
 
     // Overhead: the identical flow at Off / Spans / Spans+idle-sink /
-    // Full, min wall-clock of `reps` runs per configuration. The flow is
-    // deterministic and neither tracing nor a subscriber may feed back
-    // into it, so every run's HPWL must agree bitwise. The sink run
-    // attaches a generously-sized channel that nobody drains mid-flow —
-    // the attached-but-idle cost the streaming layer promises to keep in
-    // the same band as spans-only tracing.
-    let levels: [(&str, Level, bool); 4] = [
-        ("off", Level::Off, false),
-        ("spans", Level::Spans, false),
-        ("spans+sink", Level::Spans, true),
-        ("full", Level::Full, false),
+    // Spans+fields / Full, min wall-clock of `reps` runs per
+    // configuration. The flow is deterministic and neither tracing nor a
+    // subscriber may feed back into it, so every run's HPWL must agree
+    // bitwise. The sink run attaches a generously-sized channel that
+    // nobody drains mid-flow — the attached-but-idle cost the streaming
+    // layer promises to keep in the same band as spans-only tracing. The
+    // fields run captures per-bin grid snapshots at every record site —
+    // a heavier artifact, granted a 5% band instead of 2%.
+    let levels: [(&str, Level, bool, bool); 5] = [
+        ("off", Level::Off, false, false),
+        ("spans", Level::Spans, false, false),
+        ("spans+sink", Level::Spans, true, false),
+        ("spans+fields", Level::Spans, false, true),
+        ("full", Level::Full, false, false),
     ];
-    let mut secs = [f64::INFINITY; 4];
+    let mut secs = [f64::INFINITY; 5];
     let mut baseline: Option<FlowReport> = None;
     let mut traced: Option<FlowReport> = None;
     let (mut sink_events, mut sink_dropped) = (0usize, 0u64);
-    for (li, &(name, level, sink)) in levels.iter().enumerate() {
+    let mut field_capture: Option<cp_trace::FrameCapture> = None;
+    for (li, &(name, level, sink, fields)) in levels.iter().enumerate() {
         for _ in 0..reps {
             if sink {
                 cp_trace::attach_sink(1 << 20);
+            }
+            if fields {
+                // `enable` clears the frame store, so each rep captures
+                // the same sequence from scratch.
+                cp_trace::fields::enable(cp_trace::fields::DEFAULT_FRAME_BUDGET);
             }
             cp_trace::set_level(level);
             let t0 = Instant::now();
@@ -140,6 +154,10 @@ fn main() -> Result<(), FlowError> {
                 sink_events = batch.events.len();
                 sink_dropped = batch.dropped;
                 cp_trace::detach_sink();
+            }
+            if fields {
+                field_capture = Some(cp_trace::fields::take());
+                cp_trace::fields::disable();
             }
             match &baseline {
                 Some(base) => assert!(
@@ -161,9 +179,11 @@ fn main() -> Result<(), FlowError> {
     }
     let traced = traced.expect("full-level run happened");
     let trace = traced.trace.as_ref().expect("full-level run has a trace");
+    let field_capture = field_capture.expect("fields run happened");
     let spans_overhead_pct = (secs[1] - secs[0]) / secs[0] * 100.0;
     let sink_overhead_pct = (secs[2] - secs[0]) / secs[0] * 100.0;
-    let full_overhead_pct = (secs[3] - secs[0]) / secs[0] * 100.0;
+    let fields_overhead_pct = (secs[3] - secs[0]) / secs[0] * 100.0;
+    let full_overhead_pct = (secs[4] - secs[0]) / secs[0] * 100.0;
 
     // Internal consistency: the stage spans partition the root span up to
     // inter-stage glue (validation, seed building), so their durations
@@ -193,11 +213,17 @@ fn main() -> Result<(), FlowError> {
     );
     println!(
         "- overhead vs off: spans {spans_overhead_pct:+.2}%, spans+sink {sink_overhead_pct:+.2}%, \
-         full {full_overhead_pct:+.2}% (min of {reps})"
+         spans+fields {fields_overhead_pct:+.2}%, full {full_overhead_pct:+.2}% (min of {reps})"
     );
     println!(
         "- idle sink captured {sink_events} events, {sink_dropped} dropped \
          (capacity 2^20, never pumped mid-flow)"
+    );
+    println!(
+        "- field capture: {} frame(s), {} dropped (budget {})",
+        field_capture.frames.len(),
+        field_capture.dropped_frames,
+        field_capture.budget
     );
     assert!(
         (0.95..=1.05).contains(&stage_ratio),
@@ -217,6 +243,10 @@ fn main() -> Result<(), FlowError> {
         sink_events > 0,
         "the attached sink must capture span events at Level::Spans"
     );
+    assert!(
+        !field_capture.frames.is_empty(),
+        "field capture must record frames when enabled"
+    );
     if !smoke {
         assert!(
             spans_overhead_pct < 2.0,
@@ -226,6 +256,11 @@ fn main() -> Result<(), FlowError> {
             sink_overhead_pct < 2.0,
             "an attached-but-idle sink must stay under 2% overhead, \
              measured {sink_overhead_pct:.2}%"
+        );
+        assert!(
+            fields_overhead_pct < 5.0,
+            "field-frame capture must stay under 5% overhead, \
+             measured {fields_overhead_pct:.2}%"
         );
     }
 
@@ -242,6 +277,17 @@ fn main() -> Result<(), FlowError> {
     );
     std::fs::write("TRACE_report.json", &structured).expect("write TRACE_report.json");
 
+    // Field frames, checked against their own schema.
+    let frames_json = cp_trace::fields::to_json(&field_capture);
+    let frames_doc = parse(&frames_json).expect("frames artifact parses");
+    let frames_schema = parse(cp_trace::fields::SCHEMA_JSON).expect("field_frames schema parses");
+    let frame_violations = validate(&frames_doc, &frames_schema);
+    assert!(
+        frame_violations.is_empty(),
+        "field frames violate their schema: {frame_violations:?}"
+    );
+    std::fs::write("FIELDS_frames.json", &frames_json).expect("write FIELDS_frames.json");
+
     // One merged Chrome timeline: training next to the flow run.
     let reports: [&TraceReport; 2] = [&training_trace, trace];
     std::fs::write("TRACE_chrome.json", chrome_trace(&reports)).expect("write TRACE_chrome.json");
@@ -249,9 +295,11 @@ fn main() -> Result<(), FlowError> {
     let bench_json = format!(
         "{{\n  \"bench\": \"trace_overhead\",\n  \"design\": \"{}\",\n  \"scale\": {},\n  \
          \"cells\": {},\n  \"threads\": {},\n  \"reps\": {},\n  \"off_s\": {:.6},\n  \
-         \"spans_s\": {:.6},\n  \"sink_s\": {:.6},\n  \"full_s\": {:.6},\n  \
+         \"spans_s\": {:.6},\n  \"sink_s\": {:.6},\n  \"fields_s\": {:.6},\n  \"full_s\": {:.6},\n  \
          \"spans_overhead_pct\": {:.4},\n  \"sink_overhead_pct\": {:.4},\n  \
+         \"fields_overhead_pct\": {:.4},\n  \
          \"full_overhead_pct\": {:.4},\n  \"sink_events\": {},\n  \"sink_dropped\": {},\n  \
+         \"field_frames\": {},\n  \
          \"stage_sum_over_root\": {:.4},\n  \
          \"spans_recorded\": {},\n  \"vpr_cluster_spans\": {},\n  \"vpr_candidate_spans\": {},\n  \
          \"series_rows\": {},\n  \"metrics\": {}\n}}\n",
@@ -264,11 +312,14 @@ fn main() -> Result<(), FlowError> {
         secs[1],
         secs[2],
         secs[3],
+        secs[4],
         spans_overhead_pct,
         sink_overhead_pct,
+        fields_overhead_pct,
         full_overhead_pct,
         sink_events,
         sink_dropped,
+        field_capture.frames.len(),
         stage_ratio,
         trace.spans.len(),
         cluster_spans,
@@ -295,6 +346,6 @@ fn main() -> Result<(), FlowError> {
         entry.qor.len(),
         ledger_path.display()
     );
-    println!("\nwrote TRACE_report.json, TRACE_chrome.json, BENCH_trace.json");
+    println!("\nwrote TRACE_report.json, TRACE_chrome.json, FIELDS_frames.json, BENCH_trace.json");
     Ok(())
 }

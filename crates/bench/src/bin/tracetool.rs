@@ -10,6 +10,9 @@
 //! tracetool bench <report.json> [-o BENCH_analysis.json]
 //! tracetool harvest [TRACE_report.json ...] [--run PROFILE@SCALE] [--ledger F] [--design NAME] [--doctor qor.NAME=FACTOR]
 //! tracetool trend [--ledger F] [--format table|tsv|json] [--metric-rel M] [--rel R] [--abs S]
+//! tracetool explain <report.json> [--fields F.json] [--base B.json] [--base-fields BF.json]
+//! tracetool explain --run PROFILE@SCALE [--fields-out F] [--report-out R] [--doctor stall]
+//! tracetool render <fields.json> [--out-dir DIR] [--name SUBSTR]
 //! ```
 //!
 //! `gate` runs the pinned gate flow (Aes at scale 0.02, exact V-P&R,
@@ -38,11 +41,26 @@
 //! `trend` compares each fingerprint group's latest completed run
 //! against the best earlier one using the TraceDiff noise model and
 //! exits 1 on any QoR regression (wall time is reported but advisory).
+//!
+//! `explain` is the convergence doctor's front door: it diagnoses one
+//! run (a report file plus optional field frames, or a fresh hermetic
+//! `--run` with frame capture on) and prints structured verdicts —
+//! stall, oscillation, divergence, persistent hotspot bins,
+//! spreading-vs-legalization displacement conflict — exiting 1 when any
+//! is Critical. With `--base` it compares two runs instead and
+//! localizes each regression to a stage and, when frames are given, a
+//! grid region. `--doctor stall` flattens the `place.outer` series
+//! in-memory before diagnosis — the CI self-test knob. `render` turns a
+//! frames artifact into per-frame SVG heatmaps; `summarize --ledger`
+//! prints per-fingerprint run groups with their latest QoR snapshot.
 
 use cp_bench::qor_gate::{self, Baseline};
 use cp_trace::json::{fmt_f64, parse, validate};
 use cp_trace::ledger::{self, Direction};
-use cp_trace::{Analysis, DiffOptions, TraceDiff};
+use cp_trace::{
+    analysis, Analysis, DecodedFrame, DiffOptions, Doctor, Severity, TraceDiff, Verdict,
+    VerdictKind,
+};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -102,9 +120,20 @@ fn split_args(
 }
 
 fn summarize(args: &[String]) -> Result<(), String> {
-    let pos = split_args(args, &mut [], &mut [])?;
+    let mut ledger_path = None;
+    let pos = split_args(args, &mut [("--ledger", &mut ledger_path)], &mut [])?;
+    if let Some(lp) = ledger_path {
+        if !pos.is_empty() {
+            return Err(format!(
+                "summarize --ledger takes no positional arguments, got {pos:?}"
+            ));
+        }
+        return summarize_ledger(&lp);
+    }
     let [path] = pos.as_slice() else {
-        return Err("usage: tracetool summarize <report.json>".into());
+        return Err(
+            "usage: tracetool summarize <report.json> | summarize --ledger <ledger.jsonl>".into(),
+        );
     };
     let a = load_analysis(path)?;
     println!(
@@ -151,6 +180,47 @@ fn summarize(args: &[String]) -> Result<(), String> {
         println!("\n## Memory gauges (alloc-telemetry)\n");
         for (name, value) in mem {
             println!("- {name}: {value}");
+        }
+    }
+    Ok(())
+}
+
+/// `summarize --ledger`: per-fingerprint run groups in first-appearance
+/// order — run count, last status, and the latest entry's `qor.*`
+/// snapshot.
+fn summarize_ledger(path: &str) -> Result<(), String> {
+    let entries = ledger::load(std::path::Path::new(path))?;
+    let mut order: Vec<u64> = Vec::new();
+    let mut groups: std::collections::BTreeMap<u64, Vec<&ledger::LedgerEntry>> =
+        std::collections::BTreeMap::new();
+    for e in &entries {
+        if !groups.contains_key(&e.fingerprint) {
+            order.push(e.fingerprint);
+        }
+        groups.entry(e.fingerprint).or_default().push(e);
+    }
+    println!(
+        "# {path} — {} entries, {} fingerprint group(s)",
+        entries.len(),
+        order.len()
+    );
+    for fp in order {
+        let group = &groups[&fp];
+        let Some(last) = group.last() else { continue };
+        println!(
+            "\n## {:016x} — {} ({} run{}, last: {}, {} threads)",
+            fp,
+            last.design,
+            group.len(),
+            if group.len() == 1 { "" } else { "s" },
+            last.status,
+            last.threads
+        );
+        if last.qor.is_empty() {
+            println!("- (no qor gauges captured)");
+        }
+        for (name, value) in &last.qor {
+            println!("- {name}: {}", fmt_f64(*value));
         }
     }
     Ok(())
@@ -755,6 +825,316 @@ fn trend_cmd(args: &[String]) -> Result<bool, String> {
     Ok(!report.regressions().is_empty())
 }
 
+/// Loads a `field_frames.schema.json`-shaped artifact and decodes every
+/// frame to its dense grid.
+fn load_frames(path: &str) -> Result<Vec<DecodedFrame>, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let doc = parse(&src).map_err(|e| format!("`{path}` is not valid JSON: {e}"))?;
+    cp_trace::fields::decode_json(&doc).map_err(|e| format!("`{path}`: {e}"))
+}
+
+fn print_verdicts(verdicts: &[Verdict]) {
+    if verdicts.is_empty() {
+        println!("no anomalies detected");
+        return;
+    }
+    for v in verdicts {
+        println!(
+            "[{}] {} @ {}",
+            v.severity.as_str(),
+            v.kind.as_str(),
+            v.stage
+        );
+        println!("  evidence:   {}", v.evidence);
+        println!("  suggestion: {}", v.suggestion);
+    }
+}
+
+/// The `--doctor stall` self-test knob: flattens the named columns of
+/// every `series_name` row to the first row's value within each
+/// emitting-span group, so the doctor sees a converged-but-stuck run.
+fn flatten_series(trace: &mut cp_trace::TraceReport, series_name: &str, keys: &[&str]) {
+    let mut first: std::collections::BTreeMap<u64, Vec<(&'static str, f64)>> =
+        std::collections::BTreeMap::new();
+    for row in trace.series.iter_mut().filter(|r| r.name == series_name) {
+        let f = first.entry(row.span).or_insert_with(|| row.values.clone());
+        for (k, v) in row.values.iter_mut() {
+            if keys.contains(&(*k as &str)) {
+                if let Some(&(_, fv)) = f.iter().find(|(fk, _)| fk == k) {
+                    *v = fv;
+                }
+            }
+        }
+    }
+}
+
+const EXPLAIN_USAGE: &str = "usage: tracetool explain <report.json> [--fields F.json] [--base B.json] [--base-fields BF.json]\n\
+     \x20      tracetool explain --run PROFILE@SCALE [--fields-out F] [--report-out R] [--doctor stall]";
+
+/// The convergence doctor: diagnose one run (exit 1 on any Critical
+/// verdict), or compare two and localize regressions (exit 1 on any
+/// Regression verdict).
+fn explain(args: &[String]) -> Result<bool, String> {
+    let (mut fields, mut base, mut base_fields) = (None, None, None);
+    let (mut run, mut fields_out, mut report_out, mut doctor) = (None, None, None, None);
+    let pos = split_args(
+        args,
+        &mut [
+            ("--fields", &mut fields),
+            ("--base", &mut base),
+            ("--base-fields", &mut base_fields),
+            ("--run", &mut run),
+            ("--fields-out", &mut fields_out),
+            ("--report-out", &mut report_out),
+            ("--doctor", &mut doctor),
+        ],
+        &mut [],
+    )?;
+    if let Some(d) = &doctor {
+        if d != "stall" {
+            return Err(format!("`--doctor` only knows `stall`, got `{d}`"));
+        }
+        if run.is_none() {
+            return Err("`--doctor` needs `--run`".into());
+        }
+    }
+
+    // Fresh hermetic run with frame capture on.
+    if let Some(spec) = run {
+        if !pos.is_empty() || base.is_some() || fields.is_some() {
+            return Err(EXPLAIN_USAGE.into());
+        }
+        let (profile_name, scale) = spec
+            .split_once('@')
+            .ok_or_else(|| format!("`--run` wants PROFILE@SCALE (e.g. aes@0.02), got `{spec}`"))?;
+        let profile = qor_gate::parse_profile(profile_name)
+            .ok_or_else(|| format!("unknown profile `{profile_name}`"))?;
+        let scale: f64 = scale
+            .parse()
+            .map_err(|_| format!("`--run` scale must be a number, got `{scale}`"))?;
+        let t0 = Instant::now();
+        let (report, capture, _) = qor_gate::run_hermetic_fields(profile, scale)
+            .map_err(|e| format!("hermetic flow: {e}"))?;
+        let mut trace = report
+            .trace
+            .clone()
+            .ok_or("hermetic flow produced no trace")?;
+        if doctor.is_some() {
+            flatten_series(&mut trace, "place.outer", &["hpwl", "overflow"]);
+        }
+        eprintln!(
+            "hermetic {} @ {scale}: {:.3}s, {} field frame(s) ({} dropped)",
+            profile.name(),
+            t0.elapsed().as_secs_f64(),
+            capture.frames.len(),
+            capture.dropped_frames
+        );
+        if let Some(dest) = fields_out {
+            let json = cp_trace::fields::to_json(&capture);
+            std::fs::write(&dest, json).map_err(|e| format!("cannot write `{dest}`: {e}"))?;
+            eprintln!("wrote {dest}");
+        }
+        if let Some(dest) = report_out {
+            std::fs::write(&dest, trace.to_json())
+                .map_err(|e| format!("cannot write `{dest}`: {e}"))?;
+            eprintln!("wrote {dest}");
+        }
+        let frames = cp_trace::fields::decode(&capture);
+        let verdicts = Doctor::default().diagnose_report(&trace, &frames);
+        print_verdicts(&verdicts);
+        return Ok(verdicts.iter().any(|v| v.severity == Severity::Critical));
+    }
+
+    let [report_path] = pos.as_slice() else {
+        return Err(EXPLAIN_USAGE.into());
+    };
+    if fields_out.is_some() || report_out.is_some() {
+        return Err("`--fields-out`/`--report-out` need `--run`".into());
+    }
+    let new_frames = fields
+        .as_deref()
+        .map(load_frames)
+        .transpose()?
+        .unwrap_or_default();
+
+    // Two-run comparison: localize regressions to a stage and region.
+    if let Some(base_path) = base {
+        let base_a = load_analysis(&base_path)?;
+        let new_a = load_analysis(report_path)?;
+        let base_frames = base_fields
+            .as_deref()
+            .map(load_frames)
+            .transpose()?
+            .unwrap_or_default();
+        let verdicts = analysis::compare_runs(
+            &base_a,
+            &new_a,
+            &base_frames,
+            &new_frames,
+            &DiffOptions::default(),
+        );
+        print_verdicts(&verdicts);
+        return Ok(verdicts.iter().any(|v| v.kind == VerdictKind::Regression));
+    }
+
+    // Single-run diagnosis from a report artifact.
+    if base_fields.is_some() {
+        return Err("`--base-fields` needs `--base`".into());
+    }
+    let src = std::fs::read_to_string(report_path)
+        .map_err(|e| format!("cannot read `{report_path}`: {e}"))?;
+    let doc = parse(&src).map_err(|e| format!("`{report_path}` is not valid JSON: {e}"))?;
+    let verdicts = Doctor::default()
+        .diagnose_json(&doc, &new_frames)
+        .map_err(|e| format!("`{report_path}`: {e}"))?;
+    print_verdicts(&verdicts);
+    Ok(verdicts.iter().any(|v| v.severity == Severity::Critical))
+}
+
+/// Linear three-stop color ramp for heatmap cells: quiet bins match the
+/// placement SVG's core fill, mid bins its cell blue, hot bins its red.
+fn heat_color(t: f64) -> String {
+    const STOPS: [(f64, f64, f64); 3] = [
+        (245.0, 245.0, 245.0), // #f5f5f5
+        (78.0, 121.0, 167.0),  // #4e79a7
+        (225.0, 87.0, 89.0),   // #e15759
+    ];
+    let t = if t.is_finite() {
+        t.clamp(0.0, 1.0)
+    } else {
+        0.0
+    } * 2.0;
+    let (lo, hi, f) = if t <= 1.0 {
+        (STOPS[0], STOPS[1], t)
+    } else {
+        (STOPS[1], STOPS[2], t - 1.0)
+    };
+    let ch = |a: f64, b: f64| (a + (b - a) * f).round() as u8;
+    format!(
+        "#{:02x}{:02x}{:02x}",
+        ch(lo.0, hi.0),
+        ch(lo.1, hi.1),
+        ch(lo.2, hi.2)
+    )
+}
+
+/// Renders one decoded frame as an SVG heatmap, `max` being the
+/// sequence-wide normalization ceiling. Bin (0, 0) sits at the lower
+/// left, matching the placer's grid origin (SVG y grows downward, so
+/// rows are flipped).
+fn frame_svg(frame: &DecodedFrame, max: f64) -> String {
+    use std::fmt::Write as _;
+    let (nx, ny) = (frame.nx.max(1), frame.ny.max(1));
+    let cell = 800.0 / nx.max(ny) as f64;
+    let (w, h) = (nx as f64 * cell, ny as f64 * cell);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w:.0}\" height=\"{h:.0}\" viewBox=\"0 0 {w:.1} {h:.1}\">"
+    );
+    let _ = writeln!(
+        out,
+        "<title>{} @ {} iter {}</title>",
+        cp_trace::json::escape(&frame.name),
+        cp_trace::json::escape(&frame.stage),
+        frame.iter
+    );
+    let _ = writeln!(
+        out,
+        "<rect x=\"0\" y=\"0\" width=\"{w:.2}\" height=\"{h:.2}\" fill=\"#f5f5f5\" stroke=\"#222222\"/>"
+    );
+    let norm = if max > 0.0 { max } else { 1.0 };
+    for by in 0..ny {
+        for bx in 0..nx {
+            let v = f64::from(frame.values[by * nx + bx]);
+            if v <= 0.0 {
+                continue;
+            }
+            let x = bx as f64 * cell;
+            let y = (ny - 1 - by) as f64 * cell;
+            let _ = writeln!(
+                out,
+                "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{cell:.2}\" height=\"{cell:.2}\" fill=\"{}\"/>",
+                heat_color(v / norm)
+            );
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+/// `render`: SVG heatmap sequences from a field-frames artifact, one
+/// file per frame, normalized per (name, stage) sequence.
+fn render(args: &[String]) -> Result<(), String> {
+    let (mut out_dir, mut name_filter) = (None, None);
+    let pos = split_args(
+        args,
+        &mut [("--out-dir", &mut out_dir), ("--name", &mut name_filter)],
+        &mut [],
+    )?;
+    let [path] = pos.as_slice() else {
+        return Err("usage: tracetool render <fields.json> [--out-dir DIR] [--name SUBSTR]".into());
+    };
+    let frames = load_frames(path)?;
+    let out_dir = std::path::PathBuf::from(out_dir.unwrap_or_else(|| "frames_svg".to_string()));
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create `{}`: {e}", out_dir.display()))?;
+
+    // Group into (name, stage) sequences in first-appearance order.
+    let mut sequences: Vec<((String, String), Vec<&DecodedFrame>)> = Vec::new();
+    for f in &frames {
+        if let Some(filter) = &name_filter {
+            if !f.name.contains(filter.as_str()) {
+                continue;
+            }
+        }
+        let key = (f.name.clone(), f.stage.clone());
+        match sequences.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, seq)) => seq.push(f),
+            None => sequences.push((key, vec![f])),
+        }
+    }
+    if sequences.is_empty() {
+        return Err(match name_filter {
+            Some(filter) => format!("no frames match `--name {filter}` in `{path}`"),
+            None => format!("no frames in `{path}`"),
+        });
+    }
+    let mut written = 0usize;
+    for (si, ((name, stage), seq)) in sequences.iter().enumerate() {
+        let max = seq
+            .iter()
+            .flat_map(|f| f.values.iter())
+            .fold(0.0f64, |m, &v| m.max(f64::from(v)));
+        for (fi, frame) in seq.iter().enumerate() {
+            let file = out_dir.join(format!(
+                "{si:02}_{}_{}_{fi:04}.svg",
+                sanitize(name),
+                sanitize(stage)
+            ));
+            std::fs::write(&file, frame_svg(frame, max))
+                .map_err(|e| format!("cannot write `{}`: {e}", file.display()))?;
+            written += 1;
+        }
+        println!(
+            "{name} @ {stage}: {} frame(s), {}x{}, max {}",
+            seq.len(),
+            seq.first().map_or(0, |f| f.nx),
+            seq.first().map_or(0, |f| f.ny),
+            fmt_f64(max)
+        );
+    }
+    println!("wrote {written} SVG(s) -> {}", out_dir.display());
+    Ok(())
+}
+
 /// Validates a JSON file against a repo schema (used by CI for the
 /// committed baseline).
 fn check_schema(args: &[String]) -> Result<bool, String> {
@@ -777,9 +1157,10 @@ fn check_schema(args: &[String]) -> Result<bool, String> {
     Ok(true)
 }
 
-const USAGE: &str = "usage: tracetool <summarize|diff|flamegraph|gate|chaos|bench|harvest|trend|check-schema> ...\n\
+const USAGE: &str = "usage: tracetool <summarize|diff|flamegraph|gate|chaos|bench|harvest|trend|explain|render|check-schema> ...\n\
      \n\
      summarize <report.json>                    self-time table, critical path, QoR gauges\n\
+     summarize --ledger <ledger.jsonl>          per-fingerprint run groups + latest QoR snapshot\n\
      diff <base.json> <new.json>                span/metric diff (--rel/--abs/--metric-rel)\n\
      flamegraph <report.json> [-o out.folded]   collapsed stacks for speedscope/inferno\n\
      gate [--baseline F] [--from R] [--reps N] [--write] [--timeout-s S] [--large]\n\
@@ -798,6 +1179,14 @@ const USAGE: &str = "usage: tracetool <summarize|diff|flamegraph|gate|chaos|benc
      trend [--ledger F] [--format table|tsv|json] [--metric-rel M] [--rel R] [--abs S]\n\
      \x20                                          cross-run QoR trend gate over the ledger\n\
      \x20                                          (exit 1 on regression; wall time advisory)\n\
+     explain <report.json> [--fields F.json] [--base B.json] [--base-fields BF.json]\n\
+     explain --run PROFILE@SCALE [--fields-out F] [--report-out R] [--doctor stall]\n\
+     \x20                                          convergence doctor: stall/oscillation/divergence/\n\
+     \x20                                          hotspot/displacement verdicts (exit 1 on Critical);\n\
+     \x20                                          --base compares two runs and localizes regressions\n\
+     \x20                                          to a stage and grid region (exit 1 on Regression)\n\
+     render <fields.json> [--out-dir DIR] [--name SUBSTR]\n\
+     \x20                                          SVG heatmap sequences from a field-frames artifact\n\
      check-schema <doc.json> <schema.json>      validate a JSON file against a repo schema";
 
 fn main() -> ExitCode {
@@ -815,6 +1204,8 @@ fn main() -> ExitCode {
         "bench" => bench(rest).map(|()| 0),
         "harvest" => harvest(rest).map(|()| 0),
         "trend" => trend_cmd(rest).map(u8::from),
+        "explain" => explain(rest).map(u8::from),
+        "render" => render(rest).map(|()| 0),
         "check-schema" => check_schema(rest).map(u8::from),
         _ => {
             eprintln!("unknown subcommand `{cmd}`\n{USAGE}");

@@ -133,6 +133,32 @@ pub fn run_hermetic(profile: DesignProfile, scale: f64) -> Result<(FlowReport, u
     Ok((report, fingerprint))
 }
 
+/// [`run_hermetic`] with spatial field-frame capture enabled: returns
+/// the report, the captured [`FrameCapture`](cp_trace::FrameCapture)
+/// and the checkpoint fingerprint. This is the `tracetool explain
+/// --run` backend. Frames are drained *before* the trace buffers are
+/// cleared — [`cp_trace::clear`] wipes buffered frames too.
+///
+/// # Errors
+///
+/// Propagates any [`FlowError`] from the flow.
+pub fn run_hermetic_fields(
+    profile: DesignProfile,
+    scale: f64,
+) -> Result<(FlowReport, cp_trace::FrameCapture, u64), FlowError> {
+    let b = Bench::generate_at(profile, scale);
+    let options = gate_options();
+    let fingerprint = cp_core::checkpoint::fingerprint(&b.netlist, &options);
+    cp_trace::fields::enable(cp_trace::fields::DEFAULT_FRAME_BUDGET);
+    cp_trace::set_level(Level::Full);
+    let r = run_flow(&b.netlist, &b.constraints, &options);
+    cp_trace::set_level(Level::Off);
+    let capture = cp_trace::fields::take();
+    cp_trace::fields::disable();
+    cp_trace::clear();
+    Ok((r?, capture, fingerprint))
+}
+
 /// One gated QoR gauge.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QorEntry {

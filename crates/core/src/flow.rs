@@ -388,7 +388,9 @@ pub fn run_default_flow(
     let mut timings = StageTimings::new();
     let t0 = Instant::now();
     let s_flat = cp_trace::span(stages::FLAT_PLACEMENT);
+    let fields_scope = cp_trace::fields::scope(stages::FLAT_PLACEMENT);
     let mut result = GlobalPlacer::new(options.placer).place(&problem)?;
+    drop(fields_scope);
     if result.diverged {
         diagnostics.record(RecoveryEvent::PlacerReverted {
             stage: stages::FLAT_PLACEMENT,
@@ -1142,9 +1144,11 @@ fn flow_with_assignment_traced(
         } else {
             let t_cluster = Instant::now();
             let s_cluster = cp_trace::span(stages::CLUSTER_PLACEMENT);
+            let fields_scope = cp_trace::fields::scope(stages::CLUSTER_PLACEMENT);
             let placement = GlobalPlacer::new(options.placer)
                 .place_with_control(&cluster_problem, &exec.control)
                 .map_err(|e| exec.place_error(e, stages::CLUSTER_PLACEMENT, &mut diagnostics))?;
+            drop(fields_scope);
             if placement.diverged {
                 diagnostics.record(RecoveryEvent::PlacerReverted {
                     stage: stages::CLUSTER_PLACEMENT,
@@ -1233,9 +1237,11 @@ fn flow_with_assignment_traced(
             }
             let t_flat = Instant::now();
             let s_flat = cp_trace::span(stages::FLAT_PLACEMENT);
+            let fields_scope = cp_trace::fields::scope(stages::FLAT_PLACEMENT);
             let result = GlobalPlacer::new(options.placer)
                 .place_with_control(&flat_problem, &exec.control)
                 .map_err(|e| exec.place_error(e, stages::FLAT_PLACEMENT, &mut diagnostics))?;
+            drop(fields_scope);
             if result.diverged {
                 diagnostics.record(RecoveryEvent::PlacerReverted {
                     stage: stages::FLAT_PLACEMENT,
@@ -1428,6 +1434,16 @@ pub fn evaluate_ppa(
         qor::ROUTE_OVERFLOW_EDGES,
         routed.congestion.overflow_edges() as f64,
     );
+    // Field frame: the router's per-GCell congestion map (Eq. 5). The
+    // scope opens here rather than in the callers because evaluate_ppa
+    // *is* the PPA stage wherever it runs; one relaxed load when off.
+    if cp_trace::fields::enabled() {
+        let _fields_scope = cp_trace::fields::scope(stages::PPA);
+        let c = &routed.congestion;
+        cp_trace::fields::record_with("route.congestion", 0, c.nx(), c.ny(), || {
+            c.gcell_congestion().iter().map(|&v| v as f32).collect()
+        });
+    }
     let report = PpaReport {
         rwl: routed.wirelength + tree.wirelength,
         wns: timing.wns,

@@ -25,7 +25,7 @@
 use crate::problem::PlacementProblem;
 use crate::soa::PlacementSoa;
 use crate::solver::{B2bSystem, CgScratch};
-use crate::spreading::spread_soa;
+use crate::spreading::{scatter_accumulate, spread_soa};
 
 /// Cells per parallel chunk in the charge scatter and position update.
 const CELL_CHUNK: usize = 4096;
@@ -130,6 +130,9 @@ impl PlacerBackend for B2bBackend {
 /// outer iterations.
 pub struct EDensityBackend {
     grid: Option<Grid>,
+    /// Spread calls so far — the iteration stamp of the charge-grid
+    /// field frames.
+    calls: u64,
 }
 
 struct Grid {
@@ -146,7 +149,10 @@ struct Grid {
 impl EDensityBackend {
     /// A backend with no grid yet; the first spread call sizes it.
     pub fn new() -> Self {
-        Self { grid: None }
+        Self {
+            grid: None,
+            calls: 0,
+        }
     }
 }
 
@@ -231,38 +237,27 @@ impl PlacerBackend for EDensityBackend {
 
         for _pass in 0..PASSES {
             // Charge scatter: bilinear (cloud-in-cell) split of each cell
-            // area over the four bins around its position. Fixed cell
-            // chunks emit (bin, charge) contributions in cell order; the
-            // chunks fold into the grid sequentially in chunk order, so
-            // the accumulated field is thread-count invariant.
+            // area over the four bins around its position, through the
+            // shared fixed-chunk scatter ([`scatter_accumulate`]) so the
+            // accumulated field is thread-count invariant.
             let pos = &out;
-            let scatter: Vec<Vec<(u32, f64)>> =
-                cp_parallel::par_map_ranges(m, CELL_CHUNK, |range| {
-                    let mut part = Vec::with_capacity(range.len() * 4);
-                    for i in range {
-                        let (x, y) = pos[i];
-                        // Continuous bin coordinates of the cell center,
-                        // offset so integer values land on bin centers.
-                        let fx = ((x - core.llx) / bw - 0.5).clamp(0.0, (bins - 1) as f64);
-                        let fy = ((y - core.lly) / bh - 0.5).clamp(0.0, (bins - 1) as f64);
-                        let (bx, by) = (fx as usize, fy as usize);
-                        let (tx, ty) = (fx - bx as f64, fy - by as f64);
-                        let bx1 = (bx + 1).min(bins - 1);
-                        let by1 = (by + 1).min(bins - 1);
-                        let a = soa.area[i];
-                        part.push(((by * bins + bx) as u32, a * (1.0 - tx) * (1.0 - ty)));
-                        part.push(((by * bins + bx1) as u32, a * tx * (1.0 - ty)));
-                        part.push(((by1 * bins + bx) as u32, a * (1.0 - tx) * ty));
-                        part.push(((by1 * bins + bx1) as u32, a * tx * ty));
-                    }
-                    part
-                });
             grid.rho.iter_mut().for_each(|v| *v = 0.0);
-            for chunk in &scatter {
-                for &(b, q) in chunk {
-                    grid.rho[b as usize] += q;
-                }
-            }
+            scatter_accumulate(m, CELL_CHUNK, &mut grid.rho, |i, part| {
+                let (x, y) = pos[i];
+                // Continuous bin coordinates of the cell center,
+                // offset so integer values land on bin centers.
+                let fx = ((x - core.llx) / bw - 0.5).clamp(0.0, (bins - 1) as f64);
+                let fy = ((y - core.lly) / bh - 0.5).clamp(0.0, (bins - 1) as f64);
+                let (bx, by) = (fx as usize, fy as usize);
+                let (tx, ty) = (fx - bx as f64, fy - by as f64);
+                let bx1 = (bx + 1).min(bins - 1);
+                let by1 = (by + 1).min(bins - 1);
+                let a = soa.area[i];
+                part.push(((by * bins + bx) as u32, a * (1.0 - tx) * (1.0 - ty)));
+                part.push(((by * bins + bx1) as u32, a * tx * (1.0 - ty)));
+                part.push(((by1 * bins + bx) as u32, a * (1.0 - tx) * ty));
+                part.push(((by1 * bins + bx1) as u32, a * tx * ty));
+            });
             // Zero-mean right-hand side: the shifted Laplacian would
             // otherwise absorb the mean into a constant offset of ψ.
             let mean = grid.rho.iter().sum::<f64>() / nb as f64;
@@ -326,6 +321,18 @@ impl PlacerBackend for EDensityBackend {
                     *p = core.clamp(nx, ny);
                 }
             });
+        }
+        // Field frame: the final sub-pass's charge grid. Free when off
+        // (one relaxed load), and nothing recorded feeds back into the
+        // drift, so placements are bitwise identical either way.
+        let call = self.calls;
+        self.calls += 1;
+        if cp_trace::fields::recording() {
+            if let Some(g) = self.grid.as_ref() {
+                cp_trace::fields::record_with("edensity.rho", call, bins, bins, || {
+                    g.rho.iter().map(|&v| v as f32).collect()
+                });
+            }
         }
         // Same tail as spread_soa: honor regions, core bounds, blockages.
         for (i, p) in out.iter_mut().enumerate() {

@@ -6,7 +6,7 @@ use crate::hpwl::raw_hpwl_soa;
 use crate::problem::PlacementProblem;
 use crate::soa::{PlacementSoa, VertexCoords};
 use crate::solver::{Anchors, Axis, B2bRebuilder, CgOptions, CgScratch};
-use crate::spreading::density_overflow_soa;
+use crate::spreading::{density_overflow_soa, displacement_grid, overflow_grid_soa};
 use cp_resilience::RunControl;
 use cp_trace::ArgValue;
 use rand::rngs::StdRng;
@@ -376,6 +376,23 @@ impl GlobalPlacer {
                     ("cg_y_residual", cg_y.relative_residual),
                 ],
             );
+            // Field frames: the spatial view behind the scalar series row
+            // — the per-bin density overflow of the spread (upper-bound)
+            // positions, and where the spreader displaced cells away from
+            // the lower bound. Free when off (one relaxed load); nothing
+            // recorded feeds back into the loop.
+            if cp_trace::fields::recording() {
+                let (bins, grid) = overflow_grid_soa(problem, &soa, &upper);
+                cp_trace::fields::record_with(
+                    "place.density_overflow",
+                    it as u64,
+                    bins,
+                    bins,
+                    || grid,
+                );
+                let (bins, grid) = displacement_grid(problem, &pos, &upper);
+                cp_trace::fields::record_with("place.displacement", it as u64, bins, bins, || grid);
+            }
             // Guard rail 2: HPWL blowing up while overflow regresses means
             // the anchors lost control — revert rather than walk off.
             let blown_up = match &best {

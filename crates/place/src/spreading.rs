@@ -167,11 +167,116 @@ fn map_into(region: Rect, items: &[usize], positions: &[(f64, f64)], out: &mut [
     }
 }
 
+/// The shared bin scatter behind the density grid and the eDensity
+/// backend's charge accumulation: each fixed item chunk emits `(bin,
+/// value)` contributions in item order via `emit`; the chunks are folded
+/// into `acc` sequentially in chunk order, reproducing the serial
+/// scatter's addition order exactly — bitwise identical at every thread
+/// count.
+pub fn scatter_accumulate(
+    items: usize,
+    chunk: usize,
+    acc: &mut [f64],
+    emit: impl Fn(usize, &mut Vec<(u32, f64)>) + Sync,
+) {
+    let scatter: Vec<Vec<(u32, f64)>> = cp_parallel::par_map_ranges(items, chunk, |range| {
+        let mut part = Vec::with_capacity(range.len());
+        for i in range {
+            emit(i, &mut part);
+        }
+        part
+    });
+    for part in &scatter {
+        for &(b, v) in part {
+            acc[b as usize] += v;
+        }
+    }
+}
+
+/// Bins per side of the density grid for `m` movables.
+pub fn density_bins(m: usize) -> usize {
+    ((m as f64).sqrt() / 2.0).ceil().max(2.0) as usize
+}
+
+/// The per-bin movable-area grid of a placement on the
+/// [`density_bins`]`(m) ×` [`density_bins`]`(m)` grid, row-major.
+fn area_grid_soa(
+    problem: &PlacementProblem,
+    soa: &PlacementSoa,
+    positions: &[(f64, f64)],
+) -> (usize, Vec<f64>) {
+    let bins = density_bins(problem.movable_count());
+    let core = problem.core;
+    let (bw, bh) = (core.width() / bins as f64, core.height() / bins as f64);
+    let mut area = vec![0.0f64; bins * bins];
+    scatter_accumulate(positions.len(), CELL_CHUNK, &mut area, |i, part| {
+        let (x, y) = positions[i];
+        let bx = (((x - core.llx) / bw) as usize).min(bins - 1);
+        let by = (((y - core.lly) / bh) as usize).min(bins - 1);
+        part.push(((by * bins + bx) as u32, soa.area[i]));
+    });
+    (bins, area)
+}
+
 /// Density overflow of a placement: the fraction of movable area exceeding
 /// per-bin capacity (`bin_area · density_target`), on a `bins × bins` grid
 /// sized to the problem.
 pub fn density_overflow(problem: &PlacementProblem, positions: &[(f64, f64)]) -> f64 {
     density_overflow_soa(problem, &PlacementSoa::from_problem(problem), positions)
+}
+
+/// Per-bin overflow amounts `(area − capacity)⁺` on the density grid —
+/// the spatial view behind the scalar [`density_overflow_soa`], recorded
+/// as a field frame when fields are enabled. Serial on purpose: it only
+/// runs on the instrumentation path.
+pub fn overflow_grid_soa(
+    problem: &PlacementProblem,
+    soa: &PlacementSoa,
+    positions: &[(f64, f64)],
+) -> (usize, Vec<f32>) {
+    let m = problem.movable_count();
+    if m == 0 {
+        return (0, Vec::new());
+    }
+    let (bins, area) = area_grid_soa(problem, soa, positions);
+    let core = problem.core;
+    let (bw, bh) = (core.width() / bins as f64, core.height() / bins as f64);
+    let grid = area
+        .iter()
+        .enumerate()
+        .map(|(b, &a)| {
+            let (by, bx) = (b / bins, b % bins);
+            let bin = Rect::new(core.llx + bx as f64 * bw, core.lly + by as f64 * bh, bw, bh);
+            let cap = problem.free_area_in(&bin) * problem.density_target;
+            (a - cap).max(0.0) as f32
+        })
+        .collect();
+    (bins, grid)
+}
+
+/// Per-bin summed displacement magnitude `‖to − from‖₂` binned at the
+/// destination position — the spreading-vs-lower-bound conflict field.
+/// Serial on purpose: it only runs on the instrumentation path.
+pub fn displacement_grid(
+    problem: &PlacementProblem,
+    from: &[(f64, f64)],
+    to: &[(f64, f64)],
+) -> (usize, Vec<f32>) {
+    let m = problem.movable_count().min(from.len()).min(to.len());
+    if m == 0 {
+        return (0, Vec::new());
+    }
+    let bins = density_bins(problem.movable_count());
+    let core = problem.core;
+    let (bw, bh) = (core.width() / bins as f64, core.height() / bins as f64);
+    let mut grid = vec![0.0f64; bins * bins];
+    for i in 0..m {
+        let (dx, dy) = (to[i].0 - from[i].0, to[i].1 - from[i].1);
+        let bx = (((to[i].0 - core.llx) / bw) as usize).min(bins - 1);
+        let by = (((to[i].1 - core.lly) / bh) as usize).min(bins - 1);
+        grid[by * bins + bx] += (dx * dx + dy * dy).sqrt();
+    }
+    (bins, grid.into_iter().map(|v| v as f32).collect())
 }
 
 /// [`density_overflow`] over a prebuilt [`PlacementSoa`]: the bin scatter
@@ -186,29 +291,12 @@ pub fn density_overflow_soa(
     if m == 0 {
         return 0.0;
     }
-    let bins = ((m as f64).sqrt() / 2.0).ceil().max(2.0) as usize;
-    let core = problem.core;
-    let (bw, bh) = (core.width() / bins as f64, core.height() / bins as f64);
     // Bin scatter: each fixed cell chunk computes (bin, area) contributions
     // in cell order; the chunks are folded into the grid sequentially in
     // chunk order, reproducing the serial scatter's addition order exactly.
-    let scatter: Vec<Vec<(u32, f64)>> =
-        cp_parallel::par_map_ranges(positions.len(), CELL_CHUNK, |range| {
-            range
-                .map(|i| {
-                    let (x, y) = positions[i];
-                    let bx = (((x - core.llx) / bw) as usize).min(bins - 1);
-                    let by = (((y - core.lly) / bh) as usize).min(bins - 1);
-                    ((by * bins + bx) as u32, soa.area[i])
-                })
-                .collect()
-        });
-    let mut area = vec![0.0f64; bins * bins];
-    for chunk in &scatter {
-        for &(b, a) in chunk {
-            area[b as usize] += a;
-        }
-    }
+    let (bins, area) = area_grid_soa(problem, soa, positions);
+    let core = problem.core;
+    let (bw, bh) = (core.width() / bins as f64, core.height() / bins as f64);
     let total: f64 = soa.total_area.max(1e-12);
     // Per-bin capacity (blockage clipping) dominates; sum overflow with a
     // deterministic parallel reduction over the row-major bin order.

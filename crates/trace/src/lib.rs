@@ -46,12 +46,17 @@
 //!   convergence summaries, plus cross-run trend analysis.
 
 pub mod analysis;
+pub mod fields;
 pub mod json;
 pub mod ledger;
 pub mod report;
 pub mod sink;
 
-pub use analysis::{Analysis, DiffEntry, DiffKind, DiffOptions, NameAgg, PathStep, TraceDiff};
+pub use analysis::{
+    Analysis, DiffEntry, DiffKind, DiffOptions, Doctor, NameAgg, PathStep, Severity, TraceDiff,
+    Verdict, VerdictKind,
+};
+pub use fields::{DecodedFrame, FieldFrame, FrameCapture, FrameData};
 pub use ledger::{LedgerEntry, SeriesSummary, TrendReport, TrendRow};
 pub use report::{chrome_trace, MetricSnapshot, MetricValue, TraceReport};
 pub use sink::{
@@ -67,7 +72,7 @@ use std::time::Instant;
 
 /// Locks ignoring poisoning: the buffers hold plain telemetry data that
 /// stays usable after a panicking instrumented section.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -133,9 +138,11 @@ pub fn level_from_env() -> Level {
     }
 }
 
-/// Sets the level from `CP_TRACE` (see [`level_from_env`]).
+/// Sets the level from `CP_TRACE` (see [`level_from_env`]) and enables
+/// field capture from `CP_TRACE_FIELDS` (see [`fields::init_from_env`]).
 pub fn init_from_env() {
     set_level(level_from_env());
+    fields::init_from_env();
 }
 
 // ---------------------------------------------------------------------------
@@ -683,6 +690,7 @@ pub fn clear() {
     c.dropped = 0;
     drop(c);
     lock(metrics()).clear();
+    fields::clear();
 }
 
 #[cfg(test)]

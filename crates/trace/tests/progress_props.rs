@@ -1,0 +1,132 @@
+//! Property tests for [`ProgressSink`]: across *arbitrary* event
+//! sequences — spans opening and closing in any order, with any
+//! timestamps, interleaved with series points, instants and metric
+//! updates — the reported completion `fraction` is monotone
+//! non-decreasing and stays in `[0, 1]`, and the ETA (when history is
+//! supplied) is never negative and never grows.
+//!
+//! Monotonicity holds by construction: `Done` is absorbing per stage,
+//! `last_event_ns` is a running max, a running stage's credit is capped
+//! at its historical weight, and float addition/subtraction are monotone
+//! in each operand — these tests pin that reasoning against regressions.
+
+use cp_trace::sink::{ProgressSink, SinkEvent, TraceSink};
+use proptest::prelude::*;
+
+/// Stage/span name pool: the three tracked stages, the V-P&R span and
+/// one untracked bystander (`SinkEvent` names are `&'static str`).
+const SPAN_NAMES: [&str; 5] = ["clustering", "shaping", "ppa", "vpr.cluster", "misc"];
+const SERIES_NAMES: [&str; 2] = ["place.outer", "other.series"];
+const INSTANT_NAMES: [&str; 2] = ["recovery.checkpoint", "tick"];
+
+/// One generated event as raw integers: `(kind, name index, span/slot
+/// id, timestamp a, timestamp b)`. Kinds map to the `SinkEvent`
+/// variants; both timestamps are arbitrary, so close-before-open,
+/// end-before-start and duplicate lifecycles are all reachable.
+type RawEvent = (usize, usize, u64, u64, u64);
+
+fn event_from(raw: RawEvent) -> SinkEvent {
+    let (kind, name, id, ts_a, ts_b) = raw;
+    match kind % 6 {
+        0 => SinkEvent::SpanOpen {
+            id: id % 16,
+            parent: 0,
+            name: SPAN_NAMES[name % SPAN_NAMES.len()],
+            thread: (id % 4) as u32,
+            start_ns: ts_a,
+        },
+        1 => SinkEvent::SpanClose {
+            id: id % 16,
+            parent: 0,
+            name: SPAN_NAMES[name % SPAN_NAMES.len()],
+            thread: (id % 4) as u32,
+            start_ns: ts_a,
+            end_ns: ts_b,
+        },
+        2 => SinkEvent::SeriesPoint {
+            name: SERIES_NAMES[name % SERIES_NAMES.len()],
+            span: id,
+            iter: ts_b % 64,
+            values: vec![("hpwl", ts_a as f64)],
+        },
+        3 => SinkEvent::Instant {
+            name: INSTANT_NAMES[name % INSTANT_NAMES.len()],
+            span: id,
+            thread: (id % 4) as u32,
+            ts_ns: ts_a,
+            args: vec![],
+        },
+        4 => SinkEvent::Counter {
+            name: "events",
+            slot: (id % 8) as u32,
+            total: ts_b,
+        },
+        _ => SinkEvent::Gauge {
+            name: "qor.hpwl",
+            value: ts_a as f64,
+        },
+    }
+}
+
+fn raw_events() -> impl Strategy<Value = Vec<RawEvent>> {
+    proptest::collection::vec(
+        (
+            0usize..6,
+            0usize..SPAN_NAMES.len(),
+            0u64..32,
+            0u64..10_000_000_000,
+            0u64..10_000_000_000,
+        ),
+        0..80,
+    )
+}
+
+proptest! {
+    /// Count-based progress (no history): the fraction only ever moves
+    /// forward, stays in the unit interval, and no ETA is invented.
+    #[test]
+    fn fraction_monotone_without_history(raw in raw_events()) {
+        let mut sink = ProgressSink::new(&["clustering", "shaping", "ppa"])
+            .expect_vpr_clusters(4);
+        let mut prev = sink.snapshot();
+        prop_assert_eq!(prev.fraction, 0.0);
+        for r in raw {
+            sink.on_event(&event_from(r));
+            let snap = sink.snapshot();
+            prop_assert!(snap.fraction >= prev.fraction,
+                "fraction regressed: {} -> {}", prev.fraction, snap.fraction);
+            prop_assert!((0.0..=1.0).contains(&snap.fraction));
+            prop_assert_eq!(snap.eta_s, None);
+            prop_assert!(snap.last_event_ns >= prev.last_event_ns);
+            prop_assert!(snap.done_stages >= prev.done_stages);
+            if let Some(v) = snap.vpr_fraction {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+            prev = snap;
+        }
+    }
+
+    /// History-weighted progress: same monotonicity, plus an ETA that is
+    /// never negative and never grows — even with a stage missing from
+    /// the history (it falls back to the mean weight) and with running
+    /// stages earning partial credit from the event clock.
+    #[test]
+    fn eta_never_negative_with_history(raw in raw_events()) {
+        let mut sink = ProgressSink::new(&["clustering", "shaping", "ppa"])
+            .with_history(&[("clustering", 2.0), ("shaping", 6.0)]);
+        let mut prev = sink.snapshot();
+        for r in raw {
+            sink.on_event(&event_from(r));
+            let snap = sink.snapshot();
+            prop_assert!(snap.fraction >= prev.fraction,
+                "fraction regressed: {} -> {}", prev.fraction, snap.fraction);
+            prop_assert!((0.0..=1.0).contains(&snap.fraction));
+            let eta = snap.eta_s.expect("history must yield an ETA");
+            prop_assert!(eta >= 0.0 && eta.is_finite(), "bad eta: {eta}");
+            if let Some(prev_eta) = prev.eta_s {
+                prop_assert!(eta <= prev_eta, "eta grew: {prev_eta} -> {eta}");
+            }
+            prev = snap;
+        }
+    }
+}
